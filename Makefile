@@ -1,0 +1,20 @@
+.PHONY: install test bench examples smoke clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+smoke:
+	pytest tests/ -q -x -k "not matrix and not Matrix" --timeout=300
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

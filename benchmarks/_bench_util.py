@@ -1,0 +1,41 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Each ``benchmarks/test_figXX_*.py`` module regenerates one table or figure
+from the paper's evaluation section and prints the reproduced rows/series
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them).
+Heavy experiments execute exactly once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]):
+    """Render one reproduced table to stdout."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    widths = [max(len(str(h)), 12) for h in header]
+    out.write("  ".join(str(h).rjust(w) for h, w in zip(header, widths)) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(_fmt(value).rjust(w) for value, w in zip(row, widths))
+            + "\n"
+        )
+    out.flush()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-2:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+DAY_NS = 86_400 * 1e9
+HOUR_NS = 3_600 * 1e9
+MONTH_NS = 30.44 * DAY_NS

@@ -1,0 +1,3 @@
+"""Pytest configuration for the benchmark suite (no shared fixtures needed;
+helpers live in _bench_util.py, importable because pytest puts this
+directory on sys.path)."""

@@ -1,0 +1,71 @@
+"""BPA models — LVF sizing rules and lifetime, model vs simulation.
+
+Backs the paper's §II-B / §V-A region-sizing rules with numbers:
+
+* paper-scale BPA lifetimes for RBSG across region counts (the reason
+  RBSG must use "no more than Endurance/(8*psi) lines in a region"),
+* a dwell-granularity simulation cross-check of the balls-into-bins model.
+"""
+
+import pytest
+from _bench_util import DAY_NS, print_table
+
+from repro.analysis.bpa import (
+    bpa_rbsg_lifetime_ns,
+    bpa_safe_region_count,
+    line_vulnerability_factor,
+)
+from repro.analysis.lifetime import ideal_lifetime_ns
+from repro.config import PAPER_PCM, PCMConfig, RBSGConfig
+from repro.sim.roundsim import RBSGBPASim
+
+
+def test_bpa_paper_scale(benchmark):
+    def sweep():
+        rows = []
+        for regions in (32, 128, 512, 2048):
+            cfg = RBSGConfig(regions, 100)
+            rows.append((
+                regions,
+                line_vulnerability_factor(PAPER_PCM, cfg),
+                bpa_rbsg_lifetime_ns(PAPER_PCM, cfg) / DAY_NS,
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    ideal_days = ideal_lifetime_ns(PAPER_PCM) / DAY_NS
+    print_table(
+        f"BPA vs RBSG at paper scale (psi=100; ideal = {ideal_days:.0f} "
+        f"days); safe region count per the 8x rule: "
+        f"{bpa_safe_region_count(PAPER_PCM, 100)}",
+        ["regions", "LVF (writes)", "BPA lifetime (days)"],
+        rows,
+    )
+    lifetimes = [r[2] for r in rows]
+    assert lifetimes == sorted(lifetimes)  # more regions → longer
+
+
+def test_bpa_model_vs_simulation(benchmark):
+    pcm = PCMConfig(n_lines=2**12, endurance=2e4)
+    cfg = RBSGConfig(n_regions=32, remap_interval=4)
+
+    def run():
+        sims = [
+            RBSGBPASim(pcm, cfg.n_regions, cfg.remap_interval, rng=seed)
+            .run_until_failure().lifetime_ns
+            for seed in range(3)
+        ]
+        return sum(sims) / len(sims)
+
+    simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    model = bpa_rbsg_lifetime_ns(pcm, cfg)
+    print_table(
+        "BPA model cross-check at N=2^12, E=2e4",
+        ["quantity", "lifetime (s)"],
+        [
+            ("dwell-granularity simulation", simulated * 1e-9),
+            ("balls-into-bins model", model * 1e-9),
+            ("ratio", simulated / model),
+        ],
+    )
+    assert 0.4 < simulated / model < 2.5

@@ -1,0 +1,36 @@
+"""Fig. 1 / §II-C — PCM read & write timing characteristics.
+
+Reproduces the asymmetric-latency table the whole paper builds on and
+benchmarks the timing-model hot path.
+"""
+
+from _bench_util import print_table
+
+from repro.config import PAPER_PCM
+from repro.pcm.timing import ALL0, ALL1, MIXED, TimingModel
+
+
+def test_fig01_latency_classes(benchmark):
+    timing = TimingModel(PAPER_PCM)
+
+    def classify_all():
+        return (
+            timing.read_latency(),
+            timing.write_latency(ALL0),
+            timing.write_latency(ALL1),
+            timing.write_latency(MIXED),
+        )
+
+    read, reset, set_, mixed = benchmark(classify_all)
+    print_table(
+        "Fig. 1 / Section II-C: PCM access latencies (paper: READ/RESET "
+        "125 ns, SET 1000 ns)",
+        ["operation", "latency (ns)", "paper (ns)"],
+        [
+            ("READ", read, 125),
+            ("write ALL-0 (RESET)", reset, 125),
+            ("write ALL-1 (SET)", set_, 1000),
+            ("write mixed data", mixed, 1000),
+        ],
+    )
+    assert (read, reset, set_, mixed) == (125.0, 125.0, 1000.0, 1000.0)

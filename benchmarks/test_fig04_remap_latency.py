@@ -1,0 +1,77 @@
+"""Fig. 4 — remapping latencies of RBSG (Start-Gap copy) and SR (swap).
+
+Measured through real controllers, not the timing tables: one ALL-1 line is
+planted and the observed extra latencies on subsequent writes are collected,
+exactly the observation an RTA attacker makes.
+"""
+
+from _bench_util import print_table
+
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.security_refresh import SecurityRefresh
+from repro.wearlevel.startgap import StartGap
+
+
+def observed_extras(scheme_factory, writes, plant_all1=True):
+    config = PCMConfig(n_lines=2**8, endurance=1e12)
+    controller = MemoryController(scheme_factory(config.n_lines), config)
+    if plant_all1:
+        controller.write(5, ALL1)
+    extras = set()
+    for _ in range(writes):
+        latency = controller.write(5, ALL1 if plant_all1 else ALL0)
+        base = controller.baseline_write_latency(ALL1 if plant_all1 else ALL0)
+        extra = latency - base
+        if extra > 0:
+            extras.add(round(extra, 1))
+    return extras
+
+
+def test_fig04a_startgap_copy_latencies(benchmark):
+    extras = benchmark.pedantic(
+        lambda: observed_extras(lambda n: StartGap(n, remap_interval=1), 600),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Fig. 4(a): RBSG remap movement latencies (paper: 250 / 1125 ns)",
+        ["observed extra (ns)", "meaning"],
+        sorted(
+            [(v, "copy of ALL-0 line" if v == 250.0 else "copy of ALL-1 line")
+             for v in extras]
+        ),
+    )
+    assert extras == {250.0, 1125.0}
+
+
+def test_fig04b_sr_swap_latencies(benchmark):
+    def run():
+        config = PCMConfig(n_lines=2**6, endurance=1e12)
+        controller = MemoryController(
+            SecurityRefresh(config.n_lines, remap_interval=1, rng=3), config
+        )
+        # Make half the lines ALL-1 so all three swap classes occur.
+        for la in range(0, config.n_lines, 2):
+            controller.write(la, ALL1)
+        extras = set()
+        for i in range(4000):
+            latency = controller.write(1, ALL0)
+            extra = latency - controller.baseline_write_latency(ALL0)
+            if extra > 0:
+                extras.add(round(extra, 1))
+        return extras
+
+    extras = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Fig. 4(b): Security Refresh swap latencies "
+        "(paper: 500 / 1375 / 2250 ns)",
+        ["observed extra (ns)", "meaning"],
+        [
+            (500.0, "swap ALL-0 with ALL-0"),
+            (1375.0, "swap ALL-0 with ALL-1"),
+            (2250.0, "swap ALL-1 with ALL-1"),
+        ],
+    )
+    assert extras <= {500.0, 1375.0, 2250.0}
+    assert len(extras) >= 2  # at least two swap classes observed

@@ -1,0 +1,75 @@
+"""Fig. 13 — average lifetime of two-level Security Refresh under RAA.
+
+Analytic (balls-into-bins) sweep at paper scale — headline ~105 months,
+322x the RTA lifetime — cross-validated against the dwell-granularity
+simulator at a scaled geometry.
+"""
+
+import pytest
+from _bench_util import DAY_NS, MONTH_NS, print_table
+
+from repro.analysis.lifetime import (
+    ideal_lifetime_ns,
+    raa_two_level_sr_lifetime_ns,
+    rta_two_level_sr_lifetime_ns,
+)
+from repro.config import (
+    PAPER_PCM,
+    SR_SUGGESTED,
+    TABLE_I_INNER_INTERVALS,
+    TABLE_I_SUBREGIONS,
+    PCMConfig,
+    SRConfig,
+)
+from repro.sim.roundsim import TwoLevelSRRAASim
+
+
+def test_fig13_paper_scale(benchmark):
+    def sweep():
+        rows = []
+        for subregions in TABLE_I_SUBREGIONS:
+            for inner in TABLE_I_INNER_INTERVALS:
+                cfg = SRConfig(subregions, inner, 128)
+                days = raa_two_level_sr_lifetime_ns(PAPER_PCM, cfg) / DAY_NS
+                rows.append((subregions, inner, 128, days))
+        return rows
+
+    rows = benchmark(sweep)
+    ideal_days = ideal_lifetime_ns(PAPER_PCM) / DAY_NS
+    print_table(
+        f"Fig. 13: two-level SR lifetime under RAA (days; ideal = "
+        f"{ideal_days:.0f}) — paper: ~105 months = ~3200 days at 512/64/128",
+        ["sub-regions", "inner", "outer", "RAA lifetime (days)"],
+        rows,
+    )
+    months = raa_two_level_sr_lifetime_ns(PAPER_PCM, SR_SUGGESTED) / MONTH_NS
+    assert months == pytest.approx(105, rel=0.05)
+    ratio = raa_two_level_sr_lifetime_ns(
+        PAPER_PCM, SR_SUGGESTED
+    ) / rta_two_level_sr_lifetime_ns(PAPER_PCM, SR_SUGGESTED)
+    assert ratio == pytest.approx(322, rel=0.05)
+
+
+def test_fig13_scaled_simulation_crosscheck(benchmark):
+    pcm = PCMConfig(n_lines=2**14, endurance=1e5)
+    cfg = SRConfig(n_subregions=32, inner_interval=16, outer_interval=32)
+
+    def run():
+        return [
+            TwoLevelSRRAASim(pcm, cfg, rng=seed).run_until_failure()
+            for seed in range(3)
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    simulated = sum(r.lifetime_ns for r in results) / len(results)
+    model = raa_two_level_sr_lifetime_ns(pcm, cfg)
+    print_table(
+        "Fig. 13 cross-check at N=2^14, E=1e5 (dwell-granularity sim)",
+        ["quantity", "value"],
+        [
+            ("simulated mean lifetime (s)", simulated * 1e-9),
+            ("balls-into-bins model (s)", model * 1e-9),
+            ("ratio", simulated / model),
+        ],
+    )
+    assert 0.4 < simulated / model < 2.5

@@ -1,0 +1,105 @@
+"""Fig. 15 — average lifetime of Security RBSG under RAA across Table I.
+
+Paper-scale values from the windowed balls-into-bins model (headline:
+>108 months at the suggested configuration, slightly above two-level SR,
+67.2% of ideal), plus a measured sweep with the round-granularity simulator
+at a scaled geometry showing the same trends — including the paper's
+signature "lifetime *increases* with the outer interval", opposite to
+two-level SR.
+"""
+
+import numpy as np
+import pytest
+from _bench_util import DAY_NS, MONTH_NS, print_table
+
+from repro.analysis.lifetime import (
+    ideal_lifetime_ns,
+    raa_security_rbsg_lifetime_ns,
+    raa_two_level_sr_lifetime_ns,
+)
+from repro.config import (
+    PAPER_PCM,
+    SECURITY_RBSG_RECOMMENDED,
+    SR_SUGGESTED,
+    TABLE_I_INNER_INTERVALS,
+    TABLE_I_OUTER_INTERVALS,
+    TABLE_I_SUBREGIONS,
+    PCMConfig,
+    SecurityRBSGConfig,
+)
+from repro.sim.roundsim import SecurityRBSGRAASim
+
+
+def test_fig15_paper_scale(benchmark):
+    def sweep():
+        rows = []
+        for subregions in TABLE_I_SUBREGIONS:
+            for inner in TABLE_I_INNER_INTERVALS:
+                for outer in TABLE_I_OUTER_INTERVALS:
+                    cfg = SecurityRBSGConfig(subregions, inner, outer, 7)
+                    days = (
+                        raa_security_rbsg_lifetime_ns(PAPER_PCM, cfg) / DAY_NS
+                    )
+                    rows.append((subregions, inner, outer, days))
+        return rows
+
+    rows = benchmark(sweep)
+    ideal_days = ideal_lifetime_ns(PAPER_PCM) / DAY_NS
+    print_table(
+        f"Fig. 15: Security RBSG lifetime under RAA (days; ideal = "
+        f"{ideal_days:.0f}) — paper: >108 months at 512/64/128, 7 stages",
+        ["sub-regions", "inner", "outer", "RAA lifetime (days)"],
+        rows,
+    )
+    months = (
+        raa_security_rbsg_lifetime_ns(PAPER_PCM, SECURITY_RBSG_RECOMMENDED)
+        / MONTH_NS
+    )
+    assert months > 100
+    # "Comparable wear-leveling efficiency as two-level SR" — at paper
+    # scale the two models agree to within a fraction of a percent (the
+    # window-contiguity advantage is second order there).
+    assert raa_security_rbsg_lifetime_ns(
+        PAPER_PCM, SECURITY_RBSG_RECOMMENDED
+    ) >= 0.99 * raa_two_level_sr_lifetime_ns(PAPER_PCM, SR_SUGGESTED)
+    # Signature trend: lifetime increases with the outer interval.
+    series = [
+        raa_security_rbsg_lifetime_ns(
+            PAPER_PCM, SecurityRBSGConfig(512, 64, outer, 7)
+        )
+        for outer in TABLE_I_OUTER_INTERVALS
+    ]
+    assert series == sorted(series)
+
+
+def test_fig15_scaled_simulation_sweep(benchmark):
+    """Measured (round-granularity, real Feistel) mini-sweep."""
+    pcm = PCMConfig(n_lines=2**15, endurance=4e5)
+
+    def run():
+        rows = []
+        for subregions in (16, 32):
+            for outer in (32, 64, 128):
+                cfg = SecurityRBSGConfig(subregions, 32, outer, 7)
+                sims = [
+                    SecurityRBSGRAASim(pcm, cfg, "raa", rng=seed)
+                    .run_until_failure().lifetime_ns
+                    for seed in (0, 1)
+                ]
+                rows.append(
+                    (subregions, 32, outer,
+                     float(np.mean(sims)) / pcm.ideal_lifetime_ns)
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Fig. 15 measured mini-sweep at N=2^15, E=4e5 "
+        "(fraction of ideal lifetime)",
+        ["sub-regions", "inner", "outer", "fraction of ideal"],
+        rows,
+    )
+    # Outer-interval trend holds in the measured data per sub-region count.
+    for subregions in (16, 32):
+        series = [r[3] for r in rows if r[0] == subregions]
+        assert series[-1] > series[0] * 0.95  # rising (noise-tolerant)

@@ -1,0 +1,71 @@
+"""Library micro-benchmarks — throughput guards for the hot paths.
+
+Unlike the figure benches (one-shot experiments), these use
+pytest-benchmark's repeated timing to track the simulator's own speed:
+per-write controller throughput per scheme, vectorized Feistel encryption,
+and round-granularity simulation rate.  Regressions here make the paper
+experiments slow long before they make them wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig, SecurityRBSGConfig
+from repro.core.feistel import FeistelNetwork
+from repro.core.security_rbsg import SecurityRBSG
+from repro.pcm.timing import ALL1
+from repro.sim.memory_system import MemoryController
+from repro.sim.roundsim import SecurityRBSGRAASim
+from repro.wearlevel.security_refresh import SecurityRefresh
+from repro.wearlevel.startgap import StartGap
+
+N_LINES = 2**10
+CONFIG = PCMConfig(n_lines=N_LINES, endurance=1e15)
+
+
+def _drive(controller, n=2000):
+    for i in range(n):
+        controller.write(i % N_LINES, ALL1)
+    return controller.total_writes
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("startgap", lambda: StartGap(N_LINES, 16)),
+        ("security-refresh", lambda: SecurityRefresh(N_LINES, 16, rng=0)),
+        ("security-rbsg", lambda: SecurityRBSG(N_LINES, 8, 16, 32, 7, rng=0)),
+    ],
+)
+def test_controller_write_throughput(benchmark, name, factory):
+    def run():
+        return _drive(MemoryController(factory(), CONFIG))
+
+    total = benchmark(run)
+    assert total >= 2000
+
+
+def test_feistel_vector_encrypt_throughput(benchmark):
+    network = FeistelNetwork.random(22, 7, rng=0)
+    addresses = np.arange(1 << 16, dtype=np.uint64)
+
+    def run():
+        return network.encrypt(addresses)
+
+    out = benchmark(run)
+    assert len(out) == 1 << 16
+
+
+def test_roundsim_round_rate(benchmark):
+    pcm = PCMConfig(n_lines=2**16, endurance=1e30)
+    cfg = SecurityRBSGConfig(64, 64, 128, 7)
+
+    def run():
+        sim = SecurityRBSGRAASim(pcm, cfg, rng=0)
+        for _ in range(50):
+            sim.step_round()
+        return sim.total_writes
+
+    writes = benchmark(run)
+    # 50 rounds simulate 50 * N * psi_outer writes.
+    assert writes == 50 * 2**16 * 128

@@ -1,0 +1,64 @@
+"""§V-C3 — hardware overhead of Security RBSG.
+
+Reproduces the paper's storage / logic accounting: ~2 KB of registers for
+the recommended 1 GB-bank configuration, 0.5 MB of isRemap SRAM, one spare
+line per sub-region plus one, and (3/8)*S*B^2 gates of cubing logic.
+"""
+
+import pytest
+from _bench_util import print_table
+
+from repro.analysis.overhead import security_rbsg_overhead
+from repro.config import (
+    PAPER_PCM,
+    SECURITY_RBSG_RECOMMENDED,
+    SecurityRBSGConfig,
+)
+
+
+def test_overhead_table(benchmark):
+    overhead = benchmark(
+        security_rbsg_overhead, PAPER_PCM, SECURITY_RBSG_RECOMMENDED
+    )
+    print_table(
+        "Section V-C3: hardware overhead, recommended config "
+        "(paper: ~2 KB registers, 0.5 MB SRAM, (3/8)*7*22^2 = 1270 gates)",
+        ["resource", "value", "paper"],
+        [
+            ("registers (bits)", overhead.register_bits, "~16K (2 KB)"),
+            ("registers (KB)", overhead.register_bytes / 1024, "~2"),
+            ("isRemap SRAM (MB)", overhead.isremap_sram_bytes / 2**20, "0.5"),
+            ("spare PCM lines", overhead.spare_lines, "R+1 = 513 (*)"),
+            ("spare PCM (KB)", overhead.spare_bytes / 1024, "128 (*)"),
+            ("cubing gates", overhead.cubing_gates, "1270"),
+        ],
+    )
+    assert overhead.register_bytes == pytest.approx(2048, rel=0.05)
+    assert overhead.isremap_sram_bytes == 0.5 * 2**20
+    assert overhead.cubing_gates == 1270
+
+
+def test_overhead_stage_scaling(benchmark):
+    def sweep():
+        return [
+            (
+                stages,
+                security_rbsg_overhead(
+                    PAPER_PCM, SecurityRBSGConfig(n_stages=stages)
+                ),
+            )
+            for stages in (3, 5, 7, 10, 15, 20)
+        ]
+
+    results = benchmark(sweep)
+    print_table(
+        "Section V-C3: overhead vs DFN stages (the security/overhead "
+        "trade-off knob)",
+        ["stages", "registers (KB)", "cubing gates"],
+        [
+            (stages, o.register_bytes / 1024, o.cubing_gates)
+            for stages, o in results
+        ],
+    )
+    gates = [o.cubing_gates for _, o in results]
+    assert gates == sorted(gates)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Configuration advisor: let the library pick your Security RBSG config.
+
+Feeds the paper's 1 GB device through the design-space explorer
+(`repro.analysis.tradeoff`): every (sub-regions, inner, outer, stages)
+combination is auto-sized for security, filtered by a write-overhead
+budget (5 % here — the paper's strict §II-A 1 % budget needs intervals
+beyond the Table-I sweep), scored by modeled RAA lifetime, and reduced to
+a Pareto front over (lifetime, register bits, logic gates).
+
+Run:  python examples/configuration_advisor.py
+"""
+
+from repro.analysis.tradeoff import explore_design_space, pareto_front, recommend
+from repro.config import PAPER_PCM
+from repro.util.ascii_plot import bar_chart
+
+feasible = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+front = pareto_front(feasible)
+best = recommend(PAPER_PCM, max_write_overhead=0.05)
+
+print(f"device: 1 GB bank, {PAPER_PCM.n_lines} lines, E={PAPER_PCM.endurance:g}")
+print(f"candidates evaluated: feasible={len(feasible)}, "
+      f"Pareto-optimal={len(front)}\n")
+
+print("Pareto front (lifetime vs hardware cost):")
+print(f"{'R':>5} {'inner':>6} {'outer':>6} {'S':>3} | {'lifetime':>9} "
+      f"{'overhead':>9} | {'registers':>10} {'gates':>6}")
+print("-" * 66)
+for point in front:
+    cfg = point.config
+    print(f"{cfg.n_subregions:>5} {cfg.inner_interval:>6} "
+          f"{cfg.outer_interval:>6} {cfg.n_stages:>3} | "
+          f"{point.lifetime_fraction:>8.1%} "
+          f"{point.write_overhead:>8.2%} | "
+          f"{point.overhead.register_bits:>10} "
+          f"{point.overhead.cubing_gates:>6}")
+
+print("\nrecommended (most durable feasible):")
+cfg = best.config
+print(f"  {cfg.n_subregions} sub-regions, inner {cfg.inner_interval}, "
+      f"outer {cfg.outer_interval}, {cfg.n_stages} stages "
+      f"-> {best.lifetime_fraction:.1%} of ideal lifetime, "
+      f"{best.write_overhead:.2%} write overhead")
+
+print("\nlifetime across the front:")
+labels = [
+    f"R={p.config.n_subregions},i={p.config.inner_interval},"
+    f"o={p.config.outer_interval}"
+    for p in front[:8]
+]
+print(bar_chart(labels, [round(p.lifetime_fraction, 3) for p in front[:8]],
+                width=40))
+
+print("\n(The paper's recommended 512/64/128 with 7 stages sits inside the "
+      "feasible set; the explorer prefers smaller inner intervals when the "
+      "overhead budget allows, trading write overhead for uniformity.)")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Defense in depth: stacking every protection layer the library offers.
+
+Builds the same small PCM bank four ways and hammers each with a Repeated
+Address Attack under the same budget:
+
+1. bare (no protection),
+2. delayed-write buffer only,
+3. Security RBSG only,
+4. the full stack: delayed-write buffer + Security RBSG + online attack
+   detector with rate escalation + failed-line sparing.
+
+Run:  python examples/defense_in_depth.py
+"""
+
+from repro import ALL1, MemoryController, NoWearLeveling, PCMConfig, SecurityRBSG
+from repro.defense import (
+    AdaptiveWearLeveler,
+    DelayedWriteController,
+    OnlineAttackDetector,
+)
+from repro.pcm.sparing import SparesExhausted, SparingController
+
+N_LINES = 2**9
+ENDURANCE = 1e4
+BUDGET = 30_000_000
+
+
+def hammer(controller, description):
+    """Cycle a tiny address set (defeats any coalescing buffer) to death."""
+    writes = 0
+    try:
+        while writes < BUDGET:
+            controller.write(writes % 12, ALL1)
+            writes += 1
+    except Exception as failure:
+        kind = type(failure).__name__
+        print(f"  {description:<46}: dead after {writes:>9} writes ({kind})")
+        return writes
+    print(f"  {description:<46}: SURVIVED the {BUDGET} write budget")
+    return writes
+
+
+def make_secrbsg(seed=11):
+    return SecurityRBSG(
+        N_LINES, n_subregions=8, inner_interval=16, outer_interval=32,
+        n_stages=7, rng=seed,
+    )
+
+
+config = PCMConfig(n_lines=N_LINES, endurance=ENDURANCE)
+print(f"device: {N_LINES} lines, endurance {ENDURANCE:g}; "
+      f"attacker cycles 12 addresses\n")
+
+# 1. bare
+hammer(MemoryController(NoWearLeveling(N_LINES), config), "bare")
+
+# 2. delayed-write buffer only (8 lines: 12 > 8, so wear leaks through)
+hammer(
+    DelayedWriteController(NoWearLeveling(N_LINES), config, buffer_lines=8),
+    "delayed-write buffer (8 lines)",
+)
+
+# 3. Security RBSG only
+hammer(MemoryController(make_secrbsg(), config), "Security RBSG")
+
+# 4. the full stack
+# top_k sized above the attacker's rotation set (12 lines) so the pooled
+# concentration reaches ~100 % while zipf-benign traffic stays below 50 %.
+detector = OnlineAttackDetector(window=256, threshold=0.5, top_k=16)
+adaptive = AdaptiveWearLeveler(make_secrbsg(), detector, escalation=4)
+sparing = SparingController(adaptive, config, n_spares=16)
+
+
+class _BufferedSparing:
+    """Delayed-write buffer in front of the sparing controller."""
+
+    def __init__(self, inner, buffer_lines=8):
+        from collections import OrderedDict
+
+        self.inner = inner
+        self.buffer_lines = buffer_lines
+        self._buf = OrderedDict()
+
+    def write(self, la, data):
+        if la in self._buf:
+            self._buf.move_to_end(la)
+            self._buf[la] = data
+            return 0.0
+        self._buf[la] = data
+        if len(self._buf) <= self.buffer_lines:
+            return 0.0
+        victim = self._buf.popitem(last=False)
+        return self.inner.write(*victim)
+
+
+stacked = _BufferedSparing(sparing)
+writes = hammer(stacked, "buffer + Security RBSG + detector + 16 spares")
+print(f"\n  full stack detail: detector alarms={detector.alarms > 0}, "
+      f"escalations={adaptive.escalations}, spares left="
+      f"{sparing.spares_left}/16")
+print(
+    "\nTake-aways: each layer multiplies the attacker's cost; sparing "
+    "converts first-failure into graceful degradation. Note that rate "
+    "escalation is not free — extra remap copies add their own wear "
+    "(and, per the paper's §III-B, escalation actively *helps* a "
+    "Remapping Timing Attacker), so it pays off mainly against "
+    "balls-into-bins attackers on SR-style schemes."
+)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline numbers from the analytic models.
+
+Every quantity the evaluation section quotes, computed at full paper scale
+(1 GB bank, 256 B lines, endurance 1e8, SET 1000 ns / RESET 125 ns).
+
+Run:  python examples/paper_numbers.py
+"""
+
+from repro.analysis import (
+    ideal_lifetime_ns,
+    min_secure_stages,
+    raa_nowl_lifetime_ns,
+    raa_rbsg_lifetime_ns,
+    raa_security_rbsg_lifetime_ns,
+    raa_two_level_sr_lifetime_ns,
+    rta_rbsg_lifetime_ns,
+    rta_two_level_sr_lifetime_ns,
+    security_rbsg_overhead,
+)
+from repro.config import (
+    PAPER_PCM,
+    RBSG_RECOMMENDED,
+    SECURITY_RBSG_RECOMMENDED,
+    SR_SUGGESTED,
+)
+
+DAY = 86_400e9
+HOUR = 3_600e9
+MONTH = 30.44 * DAY
+
+rows = []
+
+rows.append(("ideal lifetime",
+             f"{ideal_lifetime_ns(PAPER_PCM) / DAY:.0f} days",
+             "~4850 days (Figs. 12-15 ceiling)"))
+rows.append(("RAA vs no wear leveling",
+             f"{raa_nowl_lifetime_ns(PAPER_PCM) * 1e-9:.0f} s",
+             "'unusable in one minute' scale"))
+
+rta = rta_rbsg_lifetime_ns(PAPER_PCM, RBSG_RECOMMENDED)
+raa = raa_rbsg_lifetime_ns(PAPER_PCM, RBSG_RECOMMENDED)
+rows.append(("RBSG under RTA (R=32, psi=100)", f"{rta * 1e-9:.0f} s", "478 s"))
+rows.append(("RBSG RAA/RTA speed-up", f"{raa / rta:.0f}x", "27435x"))
+
+sr_rta = rta_two_level_sr_lifetime_ns(PAPER_PCM, SR_SUGGESTED)
+sr_raa = raa_two_level_sr_lifetime_ns(PAPER_PCM, SR_SUGGESTED)
+rows.append(("two-level SR under RTA", f"{sr_rta / HOUR:.0f} h",
+             "178.8 h (we: uniform 1 us/write accounting)"))
+rows.append(("two-level SR under RAA", f"{sr_raa / MONTH:.0f} months",
+             "~105 months"))
+rows.append(("two-level SR RAA/RTA", f"{sr_raa / sr_rta:.0f}x", "322x"))
+
+srbsg = raa_security_rbsg_lifetime_ns(PAPER_PCM, SECURITY_RBSG_RECOMMENDED)
+rows.append(("Security RBSG under RAA", f"{srbsg / MONTH:.0f} months",
+             ">108 months"))
+rows.append(("  ... as fraction of ideal",
+             f"{srbsg / ideal_lifetime_ns(PAPER_PCM):.1%}", "67.2%"))
+
+rows.append(("min secure DFN stages (psi_o=128)",
+             str(min_secure_stages(PAPER_PCM, 128)), "6"))
+
+overhead = security_rbsg_overhead(PAPER_PCM, SECURITY_RBSG_RECOMMENDED)
+rows.append(("register overhead",
+             f"{overhead.register_bytes / 1024:.2f} KB", "~2 KB"))
+rows.append(("isRemap SRAM", f"{overhead.isremap_sram_bytes / 2**20:.1f} MB",
+             "0.5 MB"))
+rows.append(("cubing logic", f"{overhead.cubing_gates} gates",
+             "(3/8)*7*22^2 = 1270"))
+
+width = max(len(r[0]) for r in rows)
+print(f"{'quantity':<{width}} | {'this repo':>22} | paper")
+print("-" * (width + 60))
+for name, ours, paper in rows:
+    print(f"{name:<{width}} | {ours:>22} | {paper}")

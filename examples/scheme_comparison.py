@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare every wear-leveling scheme under hostile traffic.
+
+Runs the Repeated Address Attack and the Birthday Paradox Attack against
+all seven schemes on identical scaled-down hardware and prints the
+resulting lifetimes plus wear-uniformity statistics — the library as a
+wear-leveling workbench.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro import (
+    MemoryController,
+    MultiWaySR,
+    NoWearLeveling,
+    PCMConfig,
+    RegionBasedStartGap,
+    SecurityRBSG,
+    SecurityRefresh,
+    StartGap,
+    TableBasedWearLeveling,
+    TwoLevelSecurityRefresh,
+)
+from repro.attacks import BirthdayParadoxAttack, RepeatedAddressAttack
+from repro.pcm.stats import WearStats
+
+N_LINES = 2**9
+ENDURANCE = 1e4
+BUDGET = 60_000_000
+
+SCHEMES = {
+    "none": lambda: NoWearLeveling(N_LINES),
+    "Start-Gap": lambda: StartGap(N_LINES, remap_interval=16),
+    "table-based": lambda: TableBasedWearLeveling(N_LINES, swap_interval=16),
+    "RBSG": lambda: RegionBasedStartGap(
+        N_LINES, n_regions=8, remap_interval=16, rng=1
+    ),
+    "SR (1-level)": lambda: SecurityRefresh(N_LINES, remap_interval=16, rng=1),
+    "Multi-Way SR": lambda: MultiWaySR(
+        N_LINES, n_subregions=8, remap_interval=16, rng=1
+    ),
+    "2-level SR": lambda: TwoLevelSecurityRefresh(
+        N_LINES, n_subregions=8, inner_interval=16, outer_interval=32, rng=1
+    ),
+    "Security RBSG": lambda: SecurityRBSG(
+        N_LINES, n_subregions=8, inner_interval=16, outer_interval=32,
+        n_stages=7, rng=1,
+    ),
+}
+
+
+def run(attack_cls, factory, **kwargs):
+    config = PCMConfig(n_lines=N_LINES, endurance=ENDURANCE)
+    controller = MemoryController(factory(), config)
+    result = attack_cls(controller, **kwargs).run(max_writes=BUDGET)
+    gini = WearStats.from_wear(controller.array.wear).gini
+    return result, gini
+
+
+print(f"device: {N_LINES} lines, endurance {ENDURANCE:g}, "
+      f"attack budget {BUDGET:g} writes")
+print(f"{'scheme':>14} | {'RAA lifetime (s)':>17} | "
+      f"{'BPA lifetime (s)':>17} | {'wear gini':>9}")
+print("-" * 68)
+for name, factory in SCHEMES.items():
+    raa, gini_raa = run(RepeatedAddressAttack, factory, target_la=5)
+    bpa, _ = run(BirthdayParadoxAttack, factory, rng=3)
+    raa_s = f"{raa.lifetime_seconds:.4f}" if raa.failed else "survived"
+    bpa_s = f"{bpa.lifetime_seconds:.4f}" if bpa.failed else "survived"
+    print(f"{name:>14} | {raa_s:>17} | {bpa_s:>17} | {gini_raa:9.3f}")
+
+print("\nReading guide: 'none' dies in E writes (the paper's 100-second "
+      "bank); randomized schemes (SR family, Security RBSG) push RAA "
+      "lifetime toward the ideal and keep wear Gini near 0.")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The Remapping Timing Attack, end to end (paper Section III).
+
+Runs the real attacks against real schemes at a laptop-scale geometry.
+The attackers observe nothing but write latencies, yet:
+
+* against RBSG they recover the hidden physically-adjacent address chain
+  (checked against the scheme's ground truth) and kill one line,
+* against Security Refresh they recover ``keyc XOR keyp`` exactly,
+* both devices die orders of magnitude faster than under the classic
+  Repeated Address Attack.
+
+Run:  python examples/timing_attack_demo.py
+"""
+
+from repro import MemoryController, PCMConfig, RegionBasedStartGap, SecurityRefresh
+from repro.attacks import RBSGTimingAttack, RepeatedAddressAttack, SRTimingAttack
+
+N_LINES = 2**9
+ENDURANCE = 2e4
+
+
+def fresh(scheme_factory):
+    config = PCMConfig(n_lines=N_LINES, endurance=ENDURANCE)
+    return MemoryController(scheme_factory(), config)
+
+
+# ---------------------------------------------------------------- RBSG ---
+print("=" * 72)
+print("RTA vs Region-Based Start-Gap (8 regions, interval 8)")
+print("=" * 72)
+
+make_rbsg = lambda: RegionBasedStartGap(  # noqa: E731
+    N_LINES, n_regions=8, remap_interval=8, rng=7
+)
+
+controller = fresh(make_rbsg)
+attack = RBSGTimingAttack(controller, target_la=5)
+local_ia = attack.synchronize()
+print(f"[sync]   target LA 5 located at region-local slot {local_ia} "
+      f"(via one 1125 ns observation)")
+
+recovered = attack.detect_sequence(6)
+truth, la = [], 5
+for _ in range(6):
+    la = controller.scheme.physically_previous_la(la)
+    truth.append(la)
+print(f"[detect] recovered chain L(i-1..i-6): {recovered}")
+print(f"[truth ]                              {truth}")
+print(f"[detect] correct: {recovered == truth}, "
+      f"cost: {attack.detection_writes} writes")
+
+result = RBSGTimingAttack(fresh(make_rbsg), target_la=5).run(
+    max_writes=30_000_000
+)
+raa = RepeatedAddressAttack(fresh(make_rbsg), target_la=5).run(
+    max_writes=30_000_000
+)
+print(f"[kill ]  RTA: line {result.failed_pa} dead after "
+      f"{result.user_writes} writes = {result.lifetime_seconds:.3f} s")
+print(f"[kill ]  RAA: line {raa.failed_pa} dead after "
+      f"{raa.user_writes} writes = {raa.lifetime_seconds:.3f} s")
+print(f"[kill ]  RTA is {raa.lifetime_seconds / result.lifetime_seconds:.0f}x "
+      f"faster (paper, full scale: 27435x)")
+
+# ------------------------------------------------------------------ SR ---
+print()
+print("=" * 72)
+print("RTA vs one-level Security Refresh (interval 64)")
+print("=" * 72)
+
+make_sr = lambda: SecurityRefresh(N_LINES // 2, remap_interval=64, rng=11)  # noqa: E731
+
+
+def fresh_sr():
+    config = PCMConfig(n_lines=N_LINES // 2, endurance=ENDURANCE)
+    return MemoryController(make_sr(), config)
+
+
+controller = fresh_sr()
+attack = SRTimingAttack(controller, target_la=3)
+attack.synchronize()
+key_xor = attack.detect_key_xor()
+print(f"[detect] recovered keyc XOR keyp = {key_xor:#06x}, "
+      f"ground truth = {controller.scheme.key_xor:#06x}, "
+      f"match: {key_xor == controller.scheme.key_xor}")
+
+result = SRTimingAttack(fresh_sr(), target_la=3).run(max_writes=50_000_000)
+raa = RepeatedAddressAttack(fresh_sr(), target_la=3).run(
+    max_writes=50_000_000
+)
+print(f"[kill ]  RTA: line {result.failed_pa} dead after "
+      f"{result.user_writes} writes")
+print(f"[kill ]  RAA: dead after {raa.user_writes} writes "
+      f"({raa.user_writes / result.user_writes:.1f}x slower; paper, "
+      f"two-level at full scale: 322x)")

@@ -1,0 +1,86 @@
+"""repro — Security RBSG: PCM wear-leveling attack & defense library.
+
+A full reproduction of *"Security RBSG: Protecting Phase Change Memory with
+Security-Level Adjustable Dynamic Mapping"* (IPDPS 2016):
+
+* PCM device substrate with the asymmetric write-timing side channel,
+* the wear-leveling schemes the paper studies (Start-Gap, RBSG, one- and
+  two-level Security Refresh, Multi-Way SR, table-based, none),
+* the proposed **Security RBSG** scheme (dynamic Feistel network outer
+  level + Start-Gap inner level),
+* the attacks: Repeated Address Attack, Birthday Paradox Attack, and the
+  paper's new **Remapping Timing Attack** against RBSG and Security Refresh,
+* exact / batched simulation engines, analytic lifetime models, a hardware
+  overhead model and a performance-impact model.
+
+Quickstart::
+
+    from repro import MemoryController, PCMConfig, SecurityRBSG
+    from repro.pcm import ALL1
+
+    config = PCMConfig(n_lines=2**12, endurance=1e4)
+    scheme = SecurityRBSG(config.n_lines, n_subregions=8, rng=42)
+    controller = MemoryController(scheme, config)
+    latency_ns = controller.write(la=7, data=ALL1)
+"""
+
+from repro.config import (
+    PAPER_PCM,
+    RBSG_RECOMMENDED,
+    SECURITY_RBSG_RECOMMENDED,
+    SR_SUGGESTED,
+    PCMConfig,
+    RBSGConfig,
+    SecurityRBSGConfig,
+    SRConfig,
+)
+from repro.core import (
+    DynamicFeistelMapper,
+    FeistelNetwork,
+    RandomInvertibleMatrix,
+    SecurityRBSG,
+)
+from repro.pcm import ALL0, ALL1, MIXED, LineData, LineFailure, PCMArray
+from repro.sim import MemoryController, SimulationResult, run_trace
+from repro.wearlevel import (
+    MultiWaySR,
+    NoWearLeveling,
+    RegionBasedStartGap,
+    SecurityRefresh,
+    StartGap,
+    TableBasedWearLeveling,
+    TwoLevelSecurityRefresh,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL0",
+    "ALL1",
+    "MIXED",
+    "DynamicFeistelMapper",
+    "FeistelNetwork",
+    "LineData",
+    "LineFailure",
+    "MemoryController",
+    "MultiWaySR",
+    "NoWearLeveling",
+    "PAPER_PCM",
+    "PCMArray",
+    "PCMConfig",
+    "RBSGConfig",
+    "RBSG_RECOMMENDED",
+    "RandomInvertibleMatrix",
+    "RegionBasedStartGap",
+    "SECURITY_RBSG_RECOMMENDED",
+    "SR_SUGGESTED",
+    "SRConfig",
+    "SecurityRBSG",
+    "SecurityRBSGConfig",
+    "SecurityRefresh",
+    "SimulationResult",
+    "StartGap",
+    "TableBasedWearLeveling",
+    "TwoLevelSecurityRefresh",
+    "run_trace",
+]

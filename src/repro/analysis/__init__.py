@@ -1,0 +1,77 @@
+"""Analytic models: lifetimes, max-load bounds, security sizing, HW overhead.
+
+The lifetime models are closed-form counterparts of the simulation engines,
+validated two ways: against the exact per-write simulator at small scale
+(tests), and against the paper's own headline numbers at full scale
+(478 s / 27435x for RBSG under RTA/RAA, ~105 months for two-level SR under
+RAA, 4.6e3 days ideal — see EXPERIMENTS.md).
+"""
+
+from repro.analysis.ballsbins import (
+    dwells_to_max_load,
+    expected_max_load,
+)
+from repro.analysis.bpa import (
+    bpa_rbsg_lifetime_ns,
+    bpa_safe_region_count,
+    line_vulnerability_factor,
+)
+from repro.analysis.lifetime import (
+    bpa_two_level_sr_lifetime_ns,
+    ideal_lifetime_ns,
+    raa_nowl_lifetime_ns,
+    raa_rbsg_lifetime_ns,
+    raa_security_rbsg_lifetime_ns,
+    raa_two_level_sr_lifetime_ns,
+    rta_rbsg_detection_writes,
+    rta_rbsg_lifetime_ns,
+    rta_two_level_sr_lifetime_ns,
+)
+from repro.analysis.endurance import (
+    expected_min_endurance,
+    spares_to_recover,
+    uniform_lifetime_fraction,
+)
+from repro.analysis.overhead import HardwareOverhead, security_rbsg_overhead
+from repro.analysis.tradeoff import (
+    DesignPoint,
+    evaluate_design,
+    explore_design_space,
+    pareto_front,
+    recommend,
+)
+from repro.analysis.security import (
+    key_detection_writes,
+    min_secure_stages,
+    remapping_round_writes,
+)
+
+__all__ = [
+    "DesignPoint",
+    "HardwareOverhead",
+    "evaluate_design",
+    "explore_design_space",
+    "pareto_front",
+    "recommend",
+    "bpa_rbsg_lifetime_ns",
+    "bpa_safe_region_count",
+    "bpa_two_level_sr_lifetime_ns",
+    "line_vulnerability_factor",
+    "dwells_to_max_load",
+    "expected_max_load",
+    "expected_min_endurance",
+    "spares_to_recover",
+    "uniform_lifetime_fraction",
+    "ideal_lifetime_ns",
+    "key_detection_writes",
+    "min_secure_stages",
+    "raa_nowl_lifetime_ns",
+    "raa_rbsg_lifetime_ns",
+    "raa_security_rbsg_lifetime_ns",
+    "raa_two_level_sr_lifetime_ns",
+    "remapping_round_writes",
+    "rta_rbsg_detection_writes",
+    "rta_rbsg_lifetime_ns",
+    "rta_two_level_sr_lifetime_ns",
+    "security_rbsg_overhead",
+]

@@ -1,0 +1,55 @@
+"""Max-load balls-into-bins estimates for randomized wear leveling.
+
+A scheme that repeatedly re-places an attacked line at a uniformly random
+slot turns a Repeated Address Attack into balls-into-bins: each "dwell"
+(the writes delivered while the mapping holds still) is a ball of weight
+``D`` writes, and the device dies when some bin's total reaches the
+endurance.  For ``m`` balls in ``n`` bins with ``mu = m/n >> ln n``, the
+classical heavily-loaded bound gives
+
+    max_load ≈ mu + sqrt(2 * mu * ln n).
+
+:func:`dwells_to_max_load` inverts this: how many balls until the maximum
+bin holds ``target`` balls — the quantity lifetime models need.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_max_load(n_balls: float, n_bins: int) -> float:
+    """Expected maximum bin occupancy after throwing ``n_balls`` uniformly.
+
+    Uses the heavily-loaded regime approximation
+    ``mu + sqrt(2 mu ln n)`` with ``mu = n_balls / n_bins``; accurate when
+    ``mu`` exceeds ``ln n`` (always the case in these lifetime models).
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if n_balls < 0:
+        raise ValueError("n_balls must be non-negative")
+    if n_bins == 1:
+        return float(n_balls)
+    mu = n_balls / n_bins
+    return mu + math.sqrt(2.0 * mu * math.log(n_bins))
+
+
+def dwells_to_max_load(target: float, n_bins: int) -> float:
+    """Balls needed before the fullest of ``n_bins`` holds ``target`` balls.
+
+    Inverts :func:`expected_max_load`: solves
+    ``mu + sqrt(2 mu ln n) = target`` for ``mu`` (quadratic in
+    ``sqrt(mu)``) and returns ``mu * n_bins``.
+    """
+    if target <= 0:
+        raise ValueError("target must be positive")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if n_bins == 1:
+        return float(target)
+    b = math.sqrt(2.0 * math.log(n_bins))
+    # x^2 + b*x - target = 0,  x = sqrt(mu) >= 0
+    x = (-b + math.sqrt(b * b + 4.0 * target)) / 2.0
+    mu = x * x
+    return mu * n_bins

@@ -1,0 +1,56 @@
+"""Analytic Birthday-Paradox-Attack models (Seznec 2009; paper §II-B).
+
+BPA hammers randomly chosen logical addresses, each for roughly one Line
+Vulnerability Factor (LVF) worth of writes — the longest a line can sit at
+one physical slot.  Against the Start-Gap family every dwell deposits
+``LVF`` writes on one *uniformly random* (thanks to the static randomizer)
+physical slot, which is the same balls-into-bins process as RAA against
+Security Refresh:
+
+    lifetime = dwells_to_max_load(E / LVF, N) * LVF * t_write
+
+The models quantify the paper's §II-B rule of thumb — to resist BPA "the
+LVF should be dozen times less than the endurance" — and provide the
+BPA column of the attack/defense matrix at paper scale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ballsbins import dwells_to_max_load
+from repro.config import PCMConfig, RBSGConfig
+
+
+def line_vulnerability_factor(pcm: PCMConfig, cfg: RBSGConfig) -> float:
+    """Writes a hammered line can absorb before RBSG moves it.
+
+    One full region rotation: ``(N/R + 1) * psi`` region writes.
+    """
+    return (pcm.n_lines / cfg.n_regions + 1) * cfg.remap_interval
+
+
+def bpa_rbsg_lifetime_ns(pcm: PCMConfig, cfg: RBSGConfig) -> float:
+    """BPA against RBSG: random-LA dwells of one LVF each, uniform slots."""
+    lvf = line_vulnerability_factor(pcm, cfg)
+    if lvf >= pcm.endurance:
+        # A single dwell kills a line: expected draws until that line is
+        # chosen dominate; the device dies after ~1 dwell per the paper's
+        # "LVF should be less than the endurance" criterion.
+        return lvf * pcm.set_ns
+    balls = dwells_to_max_load(pcm.endurance / lvf, pcm.n_lines)
+    return balls * lvf * pcm.set_ns
+
+
+def bpa_safe_region_count(pcm: PCMConfig, remap_interval: int,
+                          margin: float = 8.0) -> int:
+    """Smallest region count keeping LVF ``margin``× below the endurance.
+
+    The paper (§V-A): "to resist the BPA, there must be no more than
+    ``Endurance/(8 * psi)`` lines in a region" — i.e. ``margin = 8``.
+    """
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    max_region_lines = pcm.endurance / (margin * remap_interval)
+    regions = 1
+    while pcm.n_lines / regions > max_region_lines:
+        regions *= 2
+    return regions

@@ -1,0 +1,68 @@
+"""Hardware overhead model of Security RBSG (paper Section V-C3).
+
+Storage:
+
+* registers: ``(S+1)*B + log2(psi_outer)`` bits for the outer level (Gap,
+  the Kc/Kp arrays, the write counter) plus
+  ``R * (2*log2(N/R) + log2(psi_inner))`` bits for the per-sub-region
+  Start/Gap registers and write counters — about 2 KB for the recommended
+  1 GB-bank configuration, matching the paper;
+* spare PCM lines: one per sub-region plus one for the outer level,
+  ``(R+1) * line_bytes``  (the paper prints "(S+1) x 256 byte", an apparent
+  typo — spare lines scale with sub-regions, not Feistel stages);
+* isRemap SRAM: one bit per line = ``N`` bits (0.5 MB at 2^22 lines; the
+  paper's value matches, its "log2(N) bit" formula is another typo).
+
+Logic: one cubing circuit per stage at ``(3/8) * B^2`` gates (a squarer at
+``B^2/2`` plus a multiplier at ``B^2``, scaled per the paper's source),
+``(3/8) * S * B^2`` gates total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import PCMConfig, SecurityRBSGConfig
+
+
+@dataclass(frozen=True)
+class HardwareOverhead:
+    """Storage and logic costs of one Security RBSG instance."""
+
+    register_bits: int
+    spare_lines: int
+    spare_bytes: int
+    isremap_sram_bits: int
+    cubing_gates: int
+
+    @property
+    def register_bytes(self) -> float:
+        return self.register_bits / 8.0
+
+    @property
+    def isremap_sram_bytes(self) -> float:
+        return self.isremap_sram_bits / 8.0
+
+
+def security_rbsg_overhead(
+    pcm: PCMConfig, cfg: SecurityRBSGConfig
+) -> HardwareOverhead:
+    """Evaluate the §V-C3 overhead formulas for a configuration."""
+    n = pcm.n_lines
+    b = pcm.address_bits
+    r = cfg.n_subregions
+    subregion = n // r
+    outer_bits = (cfg.n_stages + 1) * b + math.ceil(math.log2(cfg.outer_interval))
+    inner_bits = r * (
+        2 * math.ceil(math.log2(subregion))
+        + math.ceil(math.log2(cfg.inner_interval))
+    )
+    gates = (3 * cfg.n_stages * b * b) // 8
+    return HardwareOverhead(
+        register_bits=outer_bits + inner_bits,
+        spare_lines=r + 1,
+        spare_bytes=(r + 1) * pcm.line_bytes,
+        isremap_sram_bits=n,
+        cubing_gates=gates,
+    )

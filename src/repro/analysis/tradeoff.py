@@ -1,0 +1,140 @@
+"""Design-space advisor: pick a Security RBSG configuration.
+
+Given a device and constraints, enumerate (sub-regions, inner interval,
+outer interval, stages) candidates, score each on the three axes the paper
+trades off (§IV-B, §V-C):
+
+* **security** — the stage count must keep the DFN keys undetectable
+  within one remapping round (``S·B > ψ_outer``), with a configurable
+  safety factor;
+* **lifetime** — RAA lifetime from the analytic model, as a fraction of
+  ideal;
+* **overhead** — wear-leveling write amplification (``≈ 1/ψᵢ + 1/ψₒ``)
+  must stay inside the §II-A budget (1 % by default), plus the register /
+  logic costs from the §V-C3 model.
+
+Returns the feasible set sorted by lifetime, and the Pareto front over
+(lifetime, register bits, gates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.lifetime import (
+    ideal_lifetime_ns,
+    raa_security_rbsg_lifetime_ns,
+)
+from repro.analysis.overhead import HardwareOverhead, security_rbsg_overhead
+from repro.analysis.security import is_secure, min_secure_stages
+from repro.config import PCMConfig, SecurityRBSGConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated Security RBSG configuration."""
+
+    config: SecurityRBSGConfig
+    secure: bool
+    lifetime_fraction: float  #: RAA lifetime / ideal lifetime
+    write_overhead: float  #: extra physical writes per user write
+    overhead: HardwareOverhead
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (lifetime ↑, registers ↓, gates ↓)."""
+        at_least = (
+            self.lifetime_fraction >= other.lifetime_fraction
+            and self.overhead.register_bits <= other.overhead.register_bits
+            and self.overhead.cubing_gates <= other.overhead.cubing_gates
+        )
+        strictly = (
+            self.lifetime_fraction > other.lifetime_fraction
+            or self.overhead.register_bits < other.overhead.register_bits
+            or self.overhead.cubing_gates < other.overhead.cubing_gates
+        )
+        return at_least and strictly
+
+
+def evaluate_design(
+    pcm: PCMConfig,
+    config: SecurityRBSGConfig,
+    security_factor: float = 1.0,
+) -> DesignPoint:
+    """Score one configuration on security / lifetime / overhead."""
+    secure = is_secure(
+        pcm, config.n_stages, int(config.outer_interval * security_factor)
+    )
+    lifetime = raa_security_rbsg_lifetime_ns(pcm, config) / ideal_lifetime_ns(
+        pcm
+    )
+    write_overhead = 1.0 / config.inner_interval + 1.0 / config.outer_interval
+    return DesignPoint(
+        config=config,
+        secure=secure,
+        lifetime_fraction=lifetime,
+        write_overhead=write_overhead,
+        overhead=security_rbsg_overhead(pcm, config),
+    )
+
+
+def explore_design_space(
+    pcm: PCMConfig,
+    subregions: Sequence[int] = (256, 512, 1024),
+    inner_intervals: Sequence[int] = (16, 32, 64, 128),
+    outer_intervals: Sequence[int] = (32, 64, 128, 256),
+    max_write_overhead: float = 0.01,
+    security_factor: float = 1.0,
+) -> List[DesignPoint]:
+    """Enumerate feasible designs, most durable first.
+
+    A design is feasible when it is secure at its (minimal sufficient)
+    stage count and its write overhead fits the budget.  The stage count
+    is auto-sized to ``min_secure_stages`` for each outer interval.
+    """
+    feasible: List[DesignPoint] = []
+    for r in subregions:
+        if pcm.n_lines % r != 0:
+            continue
+        for inner in inner_intervals:
+            for outer in outer_intervals:
+                stages = min_secure_stages(
+                    pcm, int(outer * security_factor)
+                )
+                config = SecurityRBSGConfig(r, inner, outer, stages)
+                point = evaluate_design(pcm, config, security_factor)
+                if point.secure and point.write_overhead <= max_write_overhead:
+                    feasible.append(point)
+    feasible.sort(key=lambda p: p.lifetime_fraction, reverse=True)
+    return feasible
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset on (lifetime ↑, registers ↓, gates ↓)."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    front.sort(key=lambda p: p.lifetime_fraction, reverse=True)
+    return front
+
+
+def recommend(
+    pcm: PCMConfig,
+    max_write_overhead: float = 0.01,
+    security_factor: float = 1.0,
+) -> DesignPoint:
+    """The single most durable feasible design under the default sweep."""
+    feasible = explore_design_space(
+        pcm,
+        max_write_overhead=max_write_overhead,
+        security_factor=security_factor,
+    )
+    if not feasible:
+        raise ValueError(
+            "no feasible design: relax the write-overhead budget or the "
+            "security factor"
+        )
+    return feasible[0]

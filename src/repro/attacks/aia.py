@@ -1,0 +1,108 @@
+"""Address Inference Attack — the §II-B upper-bound adversary.
+
+The paper's third attack category: an attacker who "can compromise the
+operating system, and thereafter infer the logical addresses that will be
+subsequently mapped to the same physical location based on the knowledge of
+the wear-leveling scheme or the side-channel information".
+
+:class:`AddressInferenceAttack` models the *whole family* with one knob: a
+mapping oracle the attacker may consult only every ``knowledge_interval``
+writes (a fresh full LA→PA snapshot each time).  Between refreshes it
+hammers whatever LA last mapped to its target physical line:
+
+* ``knowledge_interval = 1``   — an omniscient adversary: the information-
+  theoretic worst case any wear-leveling scheme can face (lifetime ≈ E
+  writes, like no wear leveling at all);
+* larger intervals — staler knowledge; the scheme's remapping outruns the
+  attacker and writes leak off-target.
+
+This is the right yardstick for a *defense*: Security RBSG's claim is not
+that an omniscient attacker fails (none can), but that the timing side
+channel cannot keep ``knowledge_interval`` anywhere near small enough —
+the DFN keys rotate first (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackResult
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import ALL1, LineData
+from repro.sim.memory_system import MemoryController
+
+
+class AddressInferenceAttack:
+    """Oracle-driven hammering with configurable knowledge staleness."""
+
+    name = "AIA"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        target_pa: Optional[int] = None,
+        knowledge_interval: int = 1,
+        data: LineData = ALL1,
+    ):
+        if knowledge_interval < 1:
+            raise ValueError("knowledge_interval must be >= 1")
+        self.controller = controller
+        self.knowledge_interval = knowledge_interval
+        self.data = data
+        scheme = controller.scheme
+        self.target_pa = (
+            scheme.translate(0) if target_pa is None else target_pa
+        )
+        if not 0 <= self.target_pa < scheme.n_physical:
+            raise ValueError("target_pa outside the physical space")
+        self.oracle_queries = 0
+
+    def _consult_oracle(self):
+        """Full-knowledge lookup: the LA at the target, plus the nearest.
+
+        Returns ``(holder, nearest)`` where ``holder`` is the LA currently
+        mapped to the target (or None when the target is a gap/spare slot)
+        and ``nearest`` is the LA whose physical slot is closest — the
+        right line to write while the target is vacant, because it keeps
+        the target's own region rotating (writes elsewhere would freeze
+        the local gap on the target indefinitely).
+        """
+        self.oracle_queries += 1
+        scheme = self.controller.scheme
+        holder = None
+        nearest, nearest_distance = 0, None
+        for la in range(scheme.n_lines):
+            pa = scheme.translate(la)
+            if pa == self.target_pa:
+                holder = la
+            distance = abs(pa - self.target_pa)
+            if nearest_distance is None or distance < nearest_distance:
+                nearest, nearest_distance = la, distance
+        return holder, nearest
+
+    def run(self, max_writes: int = 100_000_000) -> AttackResult:
+        """Hammer the freshest-known holder of the target line."""
+        writes = 0
+        holder, nearest = self._consult_oracle()
+        try:
+            while writes < max_writes:
+                target = holder if holder is not None else nearest
+                burst = min(self.knowledge_interval, max_writes - writes)
+                for _ in range(burst):
+                    self.controller.write(target, self.data)
+                    writes += 1
+                holder, nearest = self._consult_oracle()
+        except LineFailure as failure:
+            return AttackResult(
+                attack=self.name,
+                user_writes=writes + 1,
+                elapsed_ns=self.controller.elapsed_ns,
+                failed=True,
+                failed_pa=failure.pa,
+            )
+        return AttackResult(
+            attack=self.name,
+            user_writes=writes,
+            elapsed_ns=self.controller.elapsed_ns,
+            failed=False,
+        )

@@ -1,0 +1,28 @@
+"""Shared attack result type and driver conventions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of running an attack to device failure (or a write budget)."""
+
+    attack: str  #: attack name
+    user_writes: int  #: logical writes the attacker issued
+    elapsed_ns: float  #: simulated time until stopping
+    failed: bool  #: True if the attack wore a line out
+    failed_pa: Optional[int] = None  #: the physical line that failed
+    detection_writes: int = 0  #: writes spent on side-channel detection
+
+    @property
+    def lifetime_seconds(self) -> float:
+        """Device lifetime under this attack, in simulated seconds."""
+        return self.elapsed_ns * 1e-9
+
+    @property
+    def lifetime_days(self) -> float:
+        """Device lifetime under this attack, in simulated days."""
+        return self.lifetime_seconds / 86_400.0

@@ -1,0 +1,82 @@
+"""Birthday Paradox Attack (Seznec 2009; paper Section II-B).
+
+Pick logical addresses at random; hammer each one until the wear-leveling
+scheme moves it away (approximated by a fixed per-address dwell budget),
+then pick another.  By the birthday paradox, some physical line is revisited
+often enough to accumulate wear far faster than uniform traffic would
+suggest — the reason a scheme's Line Vulnerability Factor must be "dozen
+times less than the endurance".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackResult
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import ALL1, LineData
+from repro.sim.memory_system import MemoryController
+from repro.util.rng import SeedLike, as_generator
+
+
+class BirthdayParadoxAttack:
+    """Random-address hammering with a per-address dwell."""
+
+    name = "BPA"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        dwell_writes: Optional[int] = None,
+        data: LineData = ALL1,
+        rng: SeedLike = None,
+    ):
+        """``dwell_writes`` defaults to a Start-Gap-style Line Vulnerability
+        Factor estimate: enough writes that a typical scheme has moved the
+        line once (``n_lines`` writes if the scheme exposes no interval)."""
+        self.controller = controller
+        self.data = data
+        self._rng = as_generator(rng)
+        if dwell_writes is None:
+            dwell_writes = self._default_dwell()
+        if dwell_writes < 1:
+            raise ValueError("dwell_writes must be >= 1")
+        self.dwell_writes = dwell_writes
+
+    def _default_dwell(self) -> int:
+        scheme = self.controller.scheme
+        n_lines = scheme.n_lines
+        interval = getattr(scheme, "remap_interval", None)
+        if interval is None:
+            interval = getattr(scheme, "inner_interval", 1)
+        regions = getattr(scheme, "n_regions", None)
+        if regions is None:
+            regions = getattr(scheme, "n_subregions", 1)
+        # One full region rotation: the longest a line can stay put.
+        return max(1, (n_lines // regions) * interval)
+
+    def run(self, max_writes: int = 100_000_000) -> AttackResult:
+        """Hammer random addresses until a line fails or the budget ends."""
+        n_lines = self.controller.scheme.n_lines
+        writes = 0
+        try:
+            while writes < max_writes:
+                target = int(self._rng.integers(0, n_lines))
+                burst = min(self.dwell_writes, max_writes - writes)
+                for _ in range(burst):
+                    self.controller.write(target, self.data)
+                    writes += 1
+        except LineFailure as failure:
+            return AttackResult(
+                attack=self.name,
+                user_writes=writes + 1,
+                elapsed_ns=self.controller.elapsed_ns,
+                failed=True,
+                failed_pa=failure.pa,
+            )
+        return AttackResult(
+            attack=self.name,
+            user_writes=writes,
+            elapsed_ns=self.controller.elapsed_ns,
+            failed=False,
+        )

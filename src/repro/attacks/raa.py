@@ -1,0 +1,51 @@
+"""Repeated Address Attack: hammer one logical address (Section II-B)."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import ALL1, LineData
+from repro.sim.memory_system import MemoryController
+
+
+class RepeatedAddressAttack:
+    """Write a single logical address until the device fails.
+
+    Needs no knowledge whatsoever; defeats the no-wear-leveling baseline in
+    ``endurance`` writes, and any scheme whose Line Vulnerability Factor is
+    too large.
+    """
+
+    name = "RAA"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        target_la: int = 0,
+        data: LineData = ALL1,
+    ):
+        self.controller = controller
+        self.target_la = target_la
+        self.data = data
+
+    def run(self, max_writes: int = 100_000_000) -> AttackResult:
+        """Hammer the target until a line fails or the budget runs out."""
+        writes = 0
+        try:
+            while writes < max_writes:
+                self.controller.write(self.target_la, self.data)
+                writes += 1
+        except LineFailure as failure:
+            return AttackResult(
+                attack=self.name,
+                user_writes=writes + 1,
+                elapsed_ns=self.controller.elapsed_ns,
+                failed=True,
+                failed_pa=failure.pa,
+            )
+        return AttackResult(
+            attack=self.name,
+            user_writes=writes,
+            elapsed_ns=self.controller.elapsed_ns,
+            failed=False,
+        )

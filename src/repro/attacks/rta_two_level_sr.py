@@ -1,0 +1,239 @@
+"""Remapping Timing Attack against two-level Security Refresh (Section III-E).
+
+Tracking both levels' keys costs more writes than a remapping round, so —
+exactly as the paper argues — the attacker settles for less: it recovers only
+the *high* ``log2(R)`` bits of the outer ``keyc XOR keyp`` each round.  Those
+bits say which logical *block* (contiguous LA range of sub-region size) has
+moved onto the physical sub-region under attack, because the outer XOR
+mapping preserves block structure.  The attacker then sprays that whole
+block, letting the inner SR spread the writes across the one target
+sub-region until some line there exhausts its endurance.
+
+Observation hygiene.  Outer remaps fire on write counts the attacker can
+mirror from boot; inner remaps of the written sub-regions fire on their own
+schedules and can coincide with outer boundaries.  Three defenses keep the
+bit readings clean:
+
+* **value filtering** — a coincident inner+outer observation is a *sum* of
+  two swap latencies (1000/1875/2750/3625/4500 ns), disjoint from the
+  single-swap classes (500/1375/2250 ns), so it is recognised and discarded;
+* **block-alternating probing** — detection writes cycle over one LA per
+  block, so each sub-region's inner remaps fire ``R`` times less often,
+  making an inner-only swap that lands exactly on an outer boundary rare
+  and unsynchronised;
+* **majority voting** — each key bit is decided by several independent
+  observations; a bit with too few votes marks a quiet round (outer
+  ``keyc == keyp``, nothing moved).
+
+Limitation (documented): if a detection pass spills across an outer round
+boundary (possible only in toy configurations where ``log2(R)`` labelling
+sweeps approach the round length ``N * outer_interval``), that round's block
+displacement is lost and the attacker's aim degrades.  The paper's
+configurations (``outer_interval >= 16``, ``R >= 256``) keep detection well
+inside a round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.base import AttackResult
+from repro.attacks.oracle import LatencyOracle
+from repro.attacks.rta_sr import _SRMirror
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import ALL0, ALL1, LineData
+from repro.sim.memory_system import MemoryController
+from repro.util.bitops import bit_length_exact
+from repro.wearlevel.two_level_sr import TwoLevelSecurityRefresh
+
+
+class TwoLevelSRTimingAttack:
+    """RTA against :class:`~repro.wearlevel.two_level_sr.TwoLevelSecurityRefresh`.
+
+    The physical target is the sub-region that held logical block 0 at boot;
+    :attr:`current_block` names the block the attacker believes is mapped
+    there now, updated by XORing in each round's detected high key bits.
+    """
+
+    name = "RTA-2SR"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        votes: int = 5,
+        tolerance_ns: float = 1.0,
+    ):
+        scheme = controller.scheme
+        if not isinstance(scheme, TwoLevelSecurityRefresh):
+            raise TypeError(
+                "TwoLevelSRTimingAttack requires a TwoLevelSecurityRefresh scheme"
+            )
+        if votes < 1 or votes % 2 == 0:
+            raise ValueError("votes must be odd and >= 1")
+        self.controller = controller
+        self.oracle = LatencyOracle(controller, tolerance_ns)
+        self.n_lines = scheme.n_lines
+        self.n_subregions = scheme.n_subregions
+        self.subregion_size = scheme.subregion_size
+        self.s_bits = bit_length_exact(self.subregion_size)
+        self.r_bits = bit_length_exact(self.n_subregions)
+        self.outer_interval = scheme.outer.remap_interval
+        self.mirror = _SRMirror(self.n_lines, self.outer_interval)
+        self.votes = votes
+        self.detection_writes = 0
+        self.current_block = 0  # block mapped onto the target sub-region
+
+    # ------------------------------------------------------------- helpers
+
+    def _bit_pattern(self, la: int, j: int) -> LineData:
+        return ALL1 if (la >> j) & 1 else ALL0
+
+    def _label_sweep(self, bit: int) -> None:
+        """Label every line's content with its LA's bit ``bit``."""
+        for la in range(self.n_lines):
+            self.oracle.write(la, self._bit_pattern(la, bit))
+            self.mirror.count_write()
+
+    def _classify_single(self, extra: float) -> Optional[int]:
+        """Map an extra latency to a key-bit vote, or ``None`` if unusable.
+
+        1 for a mixed swap, 0 for an equal-content swap, None for silence or
+        a coincident (summed) inner+outer observation.
+        """
+        if extra <= self.oracle.tolerance_ns:
+            return None
+        if self.oracle.matches(extra, self.oracle.swap_01):
+            return 1
+        if self.oracle.matches(extra, self.oracle.swap_00) or self.oracle.matches(
+            extra, self.oracle.swap_11
+        ):
+            return 0
+        return None  # coincident inner+outer sum — discard
+
+    # ----------------------------------------------------------- detection
+
+    def detect_high_key_xor(self, budget_boundaries: int = 64) -> int:
+        """Recover the high ``log2(R)`` bits of the outer round's key XOR.
+
+        Returns the *block-level* XOR (already shifted down): the value to
+        XOR into :attr:`current_block`.  A round whose bits all time out is
+        a quiet round (returns 0).
+        """
+        start_writes = self.oracle.user_writes
+        high_xor = 0
+        for j in range(self.s_bits, self.s_bits + self.r_bits):
+            self._label_sweep(j)
+            bit = self._vote_bit(j, budget_boundaries)
+            high_xor |= bit << (j - self.s_bits)
+        self.detection_writes += self.oracle.user_writes - start_writes
+        return high_xor
+
+    def _vote_bit(self, j: int, budget_boundaries: int) -> int:
+        """Collect boundary observations for bit ``j``; majority-vote it."""
+        ones = zeros = 0
+        boundaries_seen = 0
+        block = 0
+        majority = self.votes // 2 + 1
+        while boundaries_seen < budget_boundaries:
+            # Probe with one LA per block, round-robin; content equals the
+            # line's current label so probing perturbs nothing.
+            la = (block << self.s_bits) | 1
+            block = (block + 1) % self.n_subregions
+            extra = self.oracle.write(la, self._bit_pattern(la, j))
+            step = self.mirror.count_write()
+            if step is None:
+                continue
+            boundaries_seen += 1
+            vote = self._classify_single(extra)
+            if vote == 1:
+                ones += 1
+            elif vote == 0:
+                zeros += 1
+            if ones >= majority:
+                return 1
+            if zeros >= majority:
+                return 0
+        # Too few observations: quiet round (outer keys equal) — bit is 0.
+        return 0
+
+    # --------------------------------------------------------------- spray
+
+    def _block_las(self, block: int) -> List[int]:
+        base = block << self.s_bits
+        return [base | offset for offset in range(self.subregion_size)]
+
+    def spray_round(self, prev_block: int, new_block: int, max_writes: int) -> int:
+        """Spray the target sub-region until the next outer round boundary.
+
+        Before the block pair's migration window the old block still holds
+        the target; inside the window lines migrate one by one, so the union
+        of both blocks is sprayed; afterwards the new block holds it.
+        Returns the number of writes issued; raises
+        :class:`~repro.pcm.array.LineFailure` when a target line dies.
+        """
+        if prev_block == new_block:
+            phases = [(self.n_lines, self._block_las(new_block))]
+        else:
+            first = min(prev_block, new_block)
+            win_start = first << self.s_bits
+            win_end = (first + 1) << self.s_bits
+            union = self._block_las(prev_block) + self._block_las(new_block)
+            phases = [
+                (win_start, self._block_las(prev_block)),
+                (win_end, union),
+                (self.n_lines, self._block_las(new_block)),
+            ]
+        writes = 0
+        for crp_limit, las in phases:
+            idx = 0
+            while self.mirror.crp < crp_limit and writes < max_writes:
+                self.oracle.write(las[idx], ALL1)
+                idx = (idx + 1) % len(las)
+                writes += 1
+                step = self.mirror.count_write()
+                if step is not None and step.round_started:
+                    return writes
+        # Finish out the round if the last phase ended by crp_limit.
+        while writes < max_writes:
+            las = self._block_las(new_block)
+            self.oracle.write(las[writes % len(las)], ALL1)
+            writes += 1
+            step = self.mirror.count_write()
+            if step is not None and step.round_started:
+                break
+        return writes
+
+    # ------------------------------------------------------------- driver
+
+    def run(self, max_writes: int = 100_000_000) -> AttackResult:
+        """Alternate per-round key detection and block spraying to failure."""
+        writes_left = max_writes
+        try:
+            while writes_left > 0:
+                rounds_before = self.mirror.rounds
+                high_xor = self.detect_high_key_xor()
+                if self.mirror.rounds != rounds_before:
+                    # Detection spilled over a round boundary (toy configs):
+                    # this round's displacement is unreliable — skip applying
+                    # it and re-detect in the new round.
+                    continue
+                prev_block = self.current_block
+                self.current_block = prev_block ^ high_xor
+                spent = self.spray_round(prev_block, self.current_block, writes_left)
+                writes_left -= spent
+        except LineFailure as failure:
+            return AttackResult(
+                attack=self.name,
+                user_writes=self.oracle.user_writes,
+                elapsed_ns=self.oracle.elapsed_ns,
+                failed=True,
+                failed_pa=failure.pa,
+                detection_writes=self.detection_writes,
+            )
+        return AttackResult(
+            attack=self.name,
+            user_writes=self.oracle.user_writes,
+            elapsed_ns=self.oracle.elapsed_ns,
+            failed=False,
+            detection_writes=self.detection_writes,
+        )

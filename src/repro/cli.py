@@ -1,0 +1,332 @@
+"""Command-line interface: lifetimes, attacks, overhead, performance.
+
+Installed as ``python -m repro``.  Subcommands:
+
+* ``lifetime``  — analytic paper-scale lifetimes for a scheme/attack pair,
+* ``simulate``  — run a real attack on the exact simulator (scaled config),
+* ``overhead``  — the §V-C3 hardware-cost table,
+* ``stages``    — security sizing of the dynamic Feistel network,
+* ``perf``      — the §V-C4 IPC-impact table.
+
+Examples::
+
+    python -m repro lifetime --scheme rbsg --attack rta
+    python -m repro simulate --scheme rbsg --attack rta --lines 512 \
+        --endurance 2e4
+    python -m repro overhead --stages 7
+    python -m repro stages --outer-interval 128
+    python -m repro perf --interval 64 --ops 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.lifetime import (
+    ideal_lifetime_ns,
+    raa_nowl_lifetime_ns,
+    raa_rbsg_lifetime_ns,
+    raa_security_rbsg_lifetime_ns,
+    raa_two_level_sr_lifetime_ns,
+    rta_rbsg_lifetime_ns,
+    rta_two_level_sr_lifetime_ns,
+)
+from repro.analysis.overhead import security_rbsg_overhead
+from repro.analysis.security import is_secure, min_secure_stages
+from repro.config import (
+    PAPER_PCM,
+    PCMConfig,
+    RBSGConfig,
+    SecurityRBSGConfig,
+    SRConfig,
+)
+
+DAY_NS = 86_400e9
+
+
+def _fmt_duration(ns: float) -> str:
+    seconds = ns * 1e-9
+    if seconds < 600:
+        return f"{seconds:.1f} s"
+    if seconds < 86_400 * 3:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86_400:.0f} days"
+
+
+# ------------------------------------------------------------ subcommands
+
+
+def cmd_lifetime(args) -> int:
+    pcm = PAPER_PCM
+    scheme, attack = args.scheme, args.attack
+    if scheme == "none" and attack == "raa":
+        ns = raa_nowl_lifetime_ns(pcm)
+    elif scheme == "rbsg":
+        cfg = RBSGConfig(args.regions, args.interval)
+        ns = (rta_rbsg_lifetime_ns if attack == "rta" else raa_rbsg_lifetime_ns)(
+            pcm, cfg
+        )
+    elif scheme == "two-level-sr":
+        cfg = SRConfig(args.subregions, args.inner, args.outer)
+        fn = (
+            rta_two_level_sr_lifetime_ns
+            if attack == "rta"
+            else raa_two_level_sr_lifetime_ns
+        )
+        ns = fn(pcm, cfg)
+    elif scheme == "security-rbsg":
+        if attack == "rta":
+            print(
+                "Security RBSG resists RTA by design: with a secure stage "
+                "count the DFN keys rotate before detection completes "
+                "(see `python -m repro stages`)."
+            )
+            return 0
+        cfg = SecurityRBSGConfig(args.subregions, args.inner, args.outer,
+                                 args.stages)
+        ns = raa_security_rbsg_lifetime_ns(pcm, cfg)
+    else:
+        print(f"unsupported pair: {scheme} / {attack}", file=sys.stderr)
+        return 2
+    ideal = ideal_lifetime_ns(pcm)
+    print(f"device          : 1 GB bank, E={pcm.endurance:g} "
+          f"(ideal {_fmt_duration(ideal)})")
+    print(f"scheme / attack : {scheme} / {attack.upper()}")
+    print(f"lifetime        : {_fmt_duration(ns)} "
+          f"({ns / ideal:.1%} of ideal)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.attacks import (
+        BirthdayParadoxAttack,
+        RBSGTimingAttack,
+        RepeatedAddressAttack,
+        SRTimingAttack,
+    )
+    from repro.sim.memory_system import MemoryController
+    from repro.wearlevel import (
+        NoWearLeveling,
+        RegionBasedStartGap,
+        SecurityRefresh,
+    )
+    from repro.core.security_rbsg import SecurityRBSG
+
+    pcm = PCMConfig(n_lines=args.lines, endurance=args.endurance)
+    if args.scheme == "none":
+        scheme = NoWearLeveling(args.lines)
+    elif args.scheme == "rbsg":
+        scheme = RegionBasedStartGap(
+            args.lines, n_regions=args.regions,
+            remap_interval=args.interval, rng=args.seed,
+        )
+    elif args.scheme == "sr":
+        scheme = SecurityRefresh(
+            args.lines, remap_interval=args.interval, rng=args.seed
+        )
+    elif args.scheme == "security-rbsg":
+        scheme = SecurityRBSG(
+            args.lines, n_subregions=args.regions,
+            inner_interval=args.interval, outer_interval=2 * args.interval,
+            n_stages=args.stages, rng=args.seed,
+        )
+    else:
+        print(f"unknown scheme {args.scheme}", file=sys.stderr)
+        return 2
+    controller = MemoryController(scheme, pcm)
+
+    if args.attack == "raa":
+        attack = RepeatedAddressAttack(controller, target_la=args.target)
+    elif args.attack == "bpa":
+        attack = BirthdayParadoxAttack(controller, rng=args.seed)
+    elif args.attack == "rta" and args.scheme == "rbsg":
+        attack = RBSGTimingAttack(controller, target_la=args.target)
+    elif args.attack == "rta" and args.scheme == "sr":
+        attack = SRTimingAttack(controller, target_la=max(1, args.target))
+    else:
+        print(f"unsupported pair: {args.scheme} / {args.attack}",
+              file=sys.stderr)
+        return 2
+
+    result = attack.run(max_writes=args.budget)
+    print(f"scheme / attack : {args.scheme} / {result.attack}")
+    print(f"device          : {args.lines} lines, E={args.endurance:g}")
+    if result.failed:
+        print(f"FAILED line {result.failed_pa} after {result.user_writes} "
+              f"attacker writes = {_fmt_duration(result.elapsed_ns)}")
+    else:
+        print(f"survived the {args.budget}-write budget "
+              f"({_fmt_duration(result.elapsed_ns)})")
+    if result.detection_writes:
+        print(f"side-channel detection cost: {result.detection_writes} writes")
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    cfg = SecurityRBSGConfig(
+        args.subregions, args.inner, args.outer, args.stages
+    )
+    overhead = security_rbsg_overhead(PAPER_PCM, cfg)
+    print(f"Security RBSG overhead (1 GB bank, S={args.stages}, "
+          f"R={args.subregions}):")
+    print(f"  registers    : {overhead.register_bits} bits "
+          f"({overhead.register_bytes / 1024:.2f} KB)")
+    print(f"  isRemap SRAM : {overhead.isremap_sram_bytes / 2**20:.2f} MB")
+    print(f"  spare lines  : {overhead.spare_lines} "
+          f"({overhead.spare_bytes / 1024:.1f} KB PCM)")
+    print(f"  cubing logic : {overhead.cubing_gates} gates")
+    return 0
+
+
+def cmd_stages(args) -> int:
+    minimum = min_secure_stages(PAPER_PCM, args.outer_interval)
+    print(f"outer remapping interval {args.outer_interval}, "
+          f"{PAPER_PCM.address_bits} key bits per stage:")
+    print(f"  minimum secure stage count: {minimum}")
+    for stages in range(max(1, minimum - 2), minimum + 3):
+        status = "SECURE" if is_secure(PAPER_PCM, stages,
+                                       args.outer_interval) else "detectable"
+        print(f"  S={stages:2d}: {status}")
+    return 0
+
+
+def cmd_design(args) -> int:
+    from repro.analysis.tradeoff import explore_design_space, pareto_front
+
+    feasible = explore_design_space(
+        PAPER_PCM, max_write_overhead=args.max_overhead
+    )
+    if not feasible:
+        print("no feasible design under these constraints", file=sys.stderr)
+        return 1
+    front = pareto_front(feasible)
+    print(f"feasible designs: {len(feasible)}; Pareto-optimal: {len(front)}")
+    print(f"{'R':>5} {'inner':>6} {'outer':>6} {'S':>3}  "
+          f"{'lifetime':>9} {'overhead':>9} {'reg bits':>9} {'gates':>6}")
+    for point in front[: args.top]:
+        cfg = point.config
+        print(f"{cfg.n_subregions:>5} {cfg.inner_interval:>6} "
+              f"{cfg.outer_interval:>6} {cfg.n_stages:>3}  "
+              f"{point.lifetime_fraction:>8.1%} "
+              f"{point.write_overhead:>8.2%} "
+              f"{point.overhead.register_bits:>9} "
+              f"{point.overhead.cubing_gates:>6}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from repro.experiments import attack_matrix, summarize_matrix
+
+    cells = attack_matrix(
+        n_lines=args.lines,
+        endurance=args.endurance,
+        schemes=args.schemes,
+        attacks=args.attacks,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    print(summarize_matrix(cells))
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.perfmodel import PARSEC_LIKE, SPEC_LIKE
+    from repro.perfmodel.cpu import ipc_degradation_percent
+
+    for label, suite in (("PARSEC-like", PARSEC_LIKE),
+                         ("SPEC-like", SPEC_LIKE)):
+        losses = [
+            ipc_degradation_percent(
+                spec, args.interval, n_mem_ops=args.ops, seed=args.seed
+            )
+            for spec in suite
+        ]
+        print(f"{label:12s}: avg IPC loss {np.mean(losses):5.2f} % "
+              f"(max {np.max(losses):.2f} % on "
+              f"{suite[int(np.argmax(losses))].name})")
+    return 0
+
+
+# ---------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Security RBSG (IPDPS'16) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lifetime", help="analytic paper-scale lifetime")
+    p.add_argument("--scheme", required=True,
+                   choices=["none", "rbsg", "two-level-sr", "security-rbsg"])
+    p.add_argument("--attack", required=True, choices=["raa", "rta"])
+    p.add_argument("--regions", type=int, default=32)
+    p.add_argument("--interval", type=int, default=100)
+    p.add_argument("--subregions", type=int, default=512)
+    p.add_argument("--inner", type=int, default=64)
+    p.add_argument("--outer", type=int, default=128)
+    p.add_argument("--stages", type=int, default=7)
+    p.set_defaults(func=cmd_lifetime)
+
+    p = sub.add_parser("simulate", help="run a real attack (scaled device)")
+    p.add_argument("--scheme", required=True,
+                   choices=["none", "rbsg", "sr", "security-rbsg"])
+    p.add_argument("--attack", required=True, choices=["raa", "bpa", "rta"])
+    p.add_argument("--lines", type=int, default=512)
+    p.add_argument("--endurance", type=float, default=2e4)
+    p.add_argument("--regions", type=int, default=8)
+    p.add_argument("--interval", type=int, default=8)
+    p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--target", type=int, default=5)
+    p.add_argument("--budget", type=int, default=50_000_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("overhead", help="hardware overhead table (§V-C3)")
+    p.add_argument("--subregions", type=int, default=512)
+    p.add_argument("--inner", type=int, default=64)
+    p.add_argument("--outer", type=int, default=128)
+    p.add_argument("--stages", type=int, default=7)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("stages", help="DFN security sizing (§IV-B)")
+    p.add_argument("--outer-interval", type=int, default=128)
+    p.set_defaults(func=cmd_stages)
+
+    p = sub.add_parser("design", help="design-space advisor (Pareto front)")
+    p.add_argument("--max-overhead", type=float, default=0.05)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("matrix", help="attack x scheme matrix (scaled device)")
+    p.add_argument("--schemes", nargs="+", default=["none", "rbsg",
+                                                    "security-rbsg"])
+    p.add_argument("--attacks", nargs="+", default=["raa"])
+    p.add_argument("--lines", type=int, default=2**8)
+    p.add_argument("--endurance", type=float, default=5e3)
+    p.add_argument("--budget", type=int, default=30_000_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser("perf", help="IPC impact (§V-C4)")
+    p.add_argument("--interval", type=int, default=64)
+    p.add_argument("--ops", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_perf)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

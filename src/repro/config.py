@@ -1,0 +1,177 @@
+"""Experiment configuration objects and the paper's reference parameters.
+
+The evaluation section of the paper (Section V) fixes one device
+configuration for all lifetime experiments:
+
+* 1 GB PCM bank with 256 B lines  →  ``N = 2**22`` lines (22-bit addresses),
+* read / RESET latency 125 ns, SET latency 1000 ns,
+* per-line write endurance ``E = 10**8``.
+
+:data:`PAPER_PCM` captures that device.  The scheme-parameter presets
+(:data:`RBSG_RECOMMENDED`, :data:`SR_SUGGESTED`, ...) capture the
+"recommended" configurations the paper quotes headline numbers for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.util.bitops import bit_length_exact, is_power_of_two
+
+#: SET pulse duration in nanoseconds (writing bit '1'), per Section II-C.
+SET_LATENCY_NS = 1000.0
+#: RESET pulse duration in nanoseconds (writing bit '0'), per Section II-C.
+RESET_LATENCY_NS = 125.0
+#: READ latency in nanoseconds, per Section II-C.
+READ_LATENCY_NS = 125.0
+
+
+@dataclass(frozen=True)
+class PCMConfig:
+    """Physical parameters of one PCM bank.
+
+    Parameters
+    ----------
+    n_lines:
+        Number of *data* lines exposed to software.  Must be a power of two
+        (addresses are ``log2(n_lines)`` bits wide); wear-leveling schemes
+        allocate their spare lines on top of this.
+    endurance:
+        Maximum number of writes a line tolerates before a stuck-at fault.
+    read_ns / reset_ns / set_ns:
+        Access latencies.  The asymmetry ``set_ns >> reset_ns`` is the side
+        channel the Remapping Timing Attack exploits.
+    line_bytes:
+        Line (block) size; only used for capacity/overhead reporting.
+    differential_writes:
+        If True, writes only flip changed cells (the PRESET-style
+        optimisation of the paper's ref. [8]): rewriting a line with its
+        current content costs one verify read and causes **no wear**.
+        Default False — the paper's evaluation model.
+    """
+
+    n_lines: int
+    endurance: float = 1e8
+    read_ns: float = READ_LATENCY_NS
+    reset_ns: float = RESET_LATENCY_NS
+    set_ns: float = SET_LATENCY_NS
+    line_bytes: int = 256
+    differential_writes: bool = False
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_lines):
+            raise ValueError(f"n_lines must be a power of two, got {self.n_lines}")
+        if self.endurance <= 0:
+            raise ValueError("endurance must be positive")
+        if min(self.read_ns, self.reset_ns, self.set_ns) <= 0:
+            raise ValueError("latencies must be positive")
+
+    @property
+    def address_bits(self) -> int:
+        """Width of a line address in bits (``B`` in the paper)."""
+        return bit_length_exact(self.n_lines)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity of the bank in bytes."""
+        return self.n_lines * self.line_bytes
+
+    @property
+    def ideal_lifetime_ns(self) -> float:
+        """Lifetime under perfectly uniform wear, writing back-to-back.
+
+        Every line absorbs exactly ``endurance`` writes and each write takes
+        a full SET pulse; this is the "Ideal lifetime" line of Figs. 12-15.
+        """
+        return self.n_lines * self.endurance * self.set_ns
+
+    def scaled(self, n_lines: int | None = None, endurance: float | None = None) -> "PCMConfig":
+        """Return a copy with a smaller geometry for tractable simulation."""
+        return dataclasses.replace(
+            self,
+            n_lines=self.n_lines if n_lines is None else n_lines,
+            endurance=self.endurance if endurance is None else endurance,
+        )
+
+
+@dataclass(frozen=True)
+class RBSGConfig:
+    """Parameters of Region-Based Start-Gap (Section III-A).
+
+    ``n_regions`` contiguous regions in IA space, each with its own gap line;
+    a remap movement fires every ``remap_interval`` writes to a region.
+    """
+
+    n_regions: int = 32
+    remap_interval: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 1:
+            raise ValueError("n_regions must be >= 1")
+        if self.remap_interval < 1:
+            raise ValueError("remap_interval must be >= 1")
+
+
+@dataclass(frozen=True)
+class SRConfig:
+    """Parameters of two-level Security Refresh (Sections III-C/E).
+
+    The suggested configuration in the paper is 512 sub-regions, inner
+    remapping interval 64 and outer remapping interval 128.
+    """
+
+    n_subregions: int = 512
+    inner_interval: int = 64
+    outer_interval: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_subregions < 1:
+            raise ValueError("n_subregions must be >= 1")
+        if self.inner_interval < 1 or self.outer_interval < 1:
+            raise ValueError("remap intervals must be >= 1")
+
+
+@dataclass(frozen=True)
+class SecurityRBSGConfig:
+    """Parameters of the proposed Security RBSG scheme (Section IV).
+
+    ``n_stages`` is the security knob: the number of dynamic Feistel network
+    stages in the outer level.  The paper selects 7 stages for its headline
+    results and shows 6 stages suffice to keep the key un-detectable for
+    outer remapping intervals up to 132.
+    """
+
+    n_subregions: int = 512
+    inner_interval: int = 64
+    outer_interval: int = 128
+    n_stages: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_subregions < 1:
+            raise ValueError("n_subregions must be >= 1")
+        if self.inner_interval < 1 or self.outer_interval < 1:
+            raise ValueError("remap intervals must be >= 1")
+        if self.n_stages < 1:
+            raise ValueError("n_stages must be >= 1")
+
+
+#: The paper's evaluation device: 1 GB bank, 256 B lines, endurance 1e8.
+PAPER_PCM = PCMConfig(n_lines=2**22)
+
+#: RBSG configuration the original Start-Gap paper recommends (32 regions,
+#: remapping interval 100); the "478 s under RTA" headline uses it.
+RBSG_RECOMMENDED = RBSGConfig(n_regions=32, remap_interval=100)
+
+#: Two-level Security Refresh configuration suggested by its authors.
+SR_SUGGESTED = SRConfig(n_subregions=512, inner_interval=64, outer_interval=128)
+
+#: Security RBSG with the paper's chosen 7-stage dynamic Feistel network.
+SECURITY_RBSG_RECOMMENDED = SecurityRBSGConfig(
+    n_subregions=512, inner_interval=64, outer_interval=128, n_stages=7
+)
+
+#: Table I of the paper: the configuration sweep for Figs. 12, 13 and 15.
+TABLE_I_SUBREGIONS = (256, 512, 1024)
+TABLE_I_INNER_INTERVALS = (16, 32, 64, 128)
+TABLE_I_OUTER_INTERVALS = (16, 32, 64, 128, 256)

@@ -1,0 +1,25 @@
+"""The paper's primary contribution and its cryptographic building blocks.
+
+* :mod:`repro.core.feistel` — multi-stage Feistel network with the cubing
+  round function (Section IV-B, Fig. 7), usable as RBSG's static randomizer
+  or as the key-rotated permutation inside the dynamic Feistel network.
+* :mod:`repro.core.randomizer` — the alternative static randomizer RBSG
+  mentions (random invertible binary matrix).
+* :mod:`repro.core.dynamic_feistel` — the Dynamic Feistel Network (DFN)
+  remapping engine (Figs. 8-10): gap-line walk, ``Kc``/``Kp`` key arrays and
+  per-line ``isRemap`` bits.
+* :mod:`repro.core.security_rbsg` — Security RBSG itself: DFN outer level
+  over the whole bank + per-sub-region Start-Gap inner level.
+"""
+
+from repro.core.dynamic_feistel import DynamicFeistelMapper
+from repro.core.feistel import FeistelNetwork
+from repro.core.randomizer import RandomInvertibleMatrix
+from repro.core.security_rbsg import SecurityRBSG
+
+__all__ = [
+    "DynamicFeistelMapper",
+    "FeistelNetwork",
+    "RandomInvertibleMatrix",
+    "SecurityRBSG",
+]

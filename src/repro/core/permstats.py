@@ -1,0 +1,143 @@
+"""Permutation statistics for Feistel networks and their compositions.
+
+The library's two key empirical facts about the cubing Feistel network live
+here as measurable quantities:
+
+* **fixed-input bias** — for a fixed input, `ENC_K(x0)` over random keys is
+  far from uniform at few stages (Fig. 14's mechanism);
+* **low composition order** — `ENC_K1 ∘ DEC_K2` decomposes into many short
+  cycles (the reason the paper's single-cycle DFN walk needed correction —
+  see DESIGN.md).
+
+These functions power the ablation benches, the design docs, and give
+library users the instruments to evaluate alternative round functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.feistel import FeistelNetwork
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CycleStructure:
+    """Cycle decomposition of a permutation."""
+
+    n: int  #: domain size
+    n_cycles: int
+    n_fixed_points: int
+    max_cycle: int
+    lengths: Dict[int, int]  #: cycle length -> count
+
+    @property
+    def mean_cycle(self) -> float:
+        return self.n / self.n_cycles if self.n_cycles else 0.0
+
+
+def cycle_structure(permutation: np.ndarray) -> CycleStructure:
+    """Decompose a permutation (given as an index array) into cycles."""
+    perm = np.asarray(permutation, dtype=np.int64)
+    n = perm.size
+    if n and (sorted(perm.tolist()) != list(range(n))):
+        raise ValueError("input is not a permutation of [0, n)")
+    seen = np.zeros(n, dtype=bool)
+    lengths: Dict[int, int] = {}
+    n_cycles = fixed = longest = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        n_cycles += 1
+        length = 0
+        s = start
+        while not seen[s]:
+            seen[s] = True
+            s = int(perm[s])
+            length += 1
+        lengths[length] = lengths.get(length, 0) + 1
+        longest = max(longest, length)
+        if length == 1:
+            fixed += 1
+    return CycleStructure(
+        n=n,
+        n_cycles=n_cycles,
+        n_fixed_points=fixed,
+        max_cycle=longest,
+        lengths=lengths,
+    )
+
+
+def composition_cycle_structure(
+    n_bits: int, n_stages: int, rng: SeedLike = None
+) -> CycleStructure:
+    """Cycle structure of ``ENC_K1 ∘ DEC_K2`` for fresh random key arrays.
+
+    This is exactly the slot permutation one DFN remapping round must
+    realise; compare its ``n_cycles`` with the ~``ln N`` of a uniformly
+    random permutation to see how structured the composition is.
+    """
+    gen = as_generator(rng)
+    current = FeistelNetwork.random(n_bits, n_stages, gen)
+    previous = FeistelNetwork.random(n_bits, n_stages, gen)
+    domain = np.arange(1 << n_bits, dtype=np.uint64)
+    perm = current.encrypt(previous.decrypt(domain))
+    return cycle_structure(np.asarray(perm, dtype=np.int64))
+
+
+def fixed_input_bias(
+    n_bits: int,
+    n_stages: int,
+    samples: int = 4000,
+    n_bins: int = 64,
+    input_value: int = 5,
+    rng: SeedLike = None,
+) -> float:
+    """Max-bin load of ``ENC_K(x0)`` over random keys, relative to uniform.
+
+    1.0 means indistinguishable from uniform binning; the 2-3 stage cubing
+    network measures in the 5-15x range.
+    """
+    if samples < n_bins:
+        raise ValueError("samples must be >= n_bins")
+    gen = as_generator(rng)
+    shift = n_bits - int(np.log2(n_bins))
+    if shift < 0:
+        raise ValueError("n_bins larger than the domain")
+    out = np.empty(samples, dtype=np.int64)
+    for i in range(samples):
+        network = FeistelNetwork.random(n_bits, n_stages, gen)
+        out[i] = network.encrypt(input_value)
+    counts = np.bincount(out >> shift, minlength=n_bins)
+    return float(counts.max() / (samples / n_bins))
+
+
+def avalanche_coefficient(
+    n_bits: int,
+    n_stages: int,
+    samples: int = 2000,
+    rng: SeedLike = None,
+) -> float:
+    """Mean fraction of output bits flipped by a one-bit input flip.
+
+    0.5 is ideal diffusion; low-stage cubing networks fall well short,
+    another view of why few stages leak structure.
+    """
+    gen = as_generator(rng)
+    network = FeistelNetwork.random(n_bits, n_stages, gen)
+    xs = gen.integers(0, 1 << n_bits, size=samples, dtype=np.uint64)
+    bit_positions = gen.integers(0, n_bits, size=samples)
+    flipped = xs ^ (np.uint64(1) << bit_positions.astype(np.uint64))
+    ya = np.asarray(network.encrypt(xs), dtype=np.uint64)
+    yb = np.asarray(network.encrypt(flipped), dtype=np.uint64)
+    diff = ya ^ yb
+    # popcount via bit tricks (numpy has no vectorized popcount pre-2.0).
+    total_flips = 0
+    value = diff.copy()
+    for _ in range(n_bits):
+        total_flips += int((value & np.uint64(1)).sum())
+        value >>= np.uint64(1)
+    return total_flips / (samples * n_bits)

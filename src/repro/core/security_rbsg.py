@@ -1,0 +1,147 @@
+"""Security Region-Based Start-Gap — the paper's proposed scheme (Section IV).
+
+Two-level, both levels *dynamic*:
+
+* **Outer level** — Security-Level Adjustable Dynamic Mapping: a
+  :class:`~repro.core.dynamic_feistel.DynamicFeistelMapper` transforms
+  LA → IA over the whole bank.  Its keys rotate every remapping round, so
+  the Remapping Timing Attack can never finish recovering them; the number
+  of Feistel stages is the security knob.  One outer remap movement fires
+  every ``outer_interval`` writes to the bank.
+* **Inner level** — the IA space is divided into ``n_subregions`` equal
+  contiguous sub-regions, each wear-leveled by plain Start-Gap
+  (:class:`~repro.wearlevel.startgap.StartGapRegion`); one gap movement per
+  ``inner_interval`` writes to the sub-region.  Start-Gap is cheap and its
+  weak (sequential) remapping rule is harmless here because the outer level
+  already randomizes which IA an attacker can reach.
+
+Physical layout: sub-region ``r`` owns ``subregion_size + 1`` physical lines
+(its gap line included); one extra physical line at the very end backs the
+outer level's spare slot.  Total: ``n_lines + n_subregions + 1`` lines.
+(The paper's overhead accounting says the outer and per-sub-region extra
+lines total "(S+1) x 256 byte"; the count is actually one per sub-region
+plus one for the outer level, i.e. ``R + 1`` lines — an apparent typo we
+document here and in :mod:`repro.analysis.overhead`.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dynamic_feistel import DynamicFeistelMapper
+from repro.util.rng import SeedLike, as_generator
+from repro.wearlevel.base import CopyMove, Move, SwapMove, WearLeveler
+from repro.wearlevel.startgap import StartGapRegion
+
+
+class SecurityRBSG(WearLeveler):
+    """Security RBSG: dynamic-Feistel outer level + Start-Gap inner level.
+
+    Parameters
+    ----------
+    n_lines:
+        Logical lines (power of two).
+    n_subregions:
+        Inner Start-Gap sub-regions; must divide ``n_lines``.
+    inner_interval:
+        Writes to a sub-region per inner gap movement.
+    outer_interval:
+        Writes to the bank per outer DFN movement.
+    n_stages:
+        Feistel stages of the outer DFN (the security level).
+    """
+
+    def __init__(
+        self,
+        n_lines: int,
+        n_subregions: int = 512,
+        inner_interval: int = 64,
+        outer_interval: int = 128,
+        n_stages: int = 7,
+        rng: SeedLike = None,
+    ):
+        if n_subregions < 1 or n_lines % n_subregions != 0:
+            raise ValueError(
+                f"n_subregions ({n_subregions}) must divide n_lines ({n_lines})"
+            )
+        self.n_lines = n_lines
+        self.n_subregions = n_subregions
+        self.subregion_size = n_lines // n_subregions
+        self.inner_interval = inner_interval
+        self.outer_interval = outer_interval
+        self.n_stages = n_stages
+        gen = as_generator(rng)
+        self.outer = DynamicFeistelMapper(n_lines, n_stages=n_stages, rng=gen)
+        self.inners = [
+            StartGapRegion(self.subregion_size, inner_interval)
+            for _ in range(n_subregions)
+        ]
+        # Layout: R regions of (size+1) slots, then the outer spare line.
+        self._region_stride = self.subregion_size + 1
+        self._outer_spare_pa = n_subregions * self._region_stride
+        self.n_physical = n_lines + n_subregions + 1
+        self.outer_write_count = 0
+
+    # ------------------------------------------------------------- mapping
+
+    def _phys_of_ia(self, ia: int) -> int:
+        """IA slot (0..N, N = outer spare) to physical line."""
+        if ia == self.outer.spare_slot:
+            return self._outer_spare_pa
+        region = ia // self.subregion_size
+        local = ia % self.subregion_size
+        return region * self._region_stride + self.inners[region].translate(local)
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return self._phys_of_ia(self.outer.translate(la))
+
+    def subregion_of_la(self, la: int) -> int:
+        """Sub-region the line currently lives in (spare maps to -1)."""
+        ia = self.outer.translate(la)
+        if ia == self.outer.spare_slot:
+            return -1
+        return ia // self.subregion_size
+
+    # -------------------------------------------------------------- writes
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        moves: List[Move] = []
+        # Outer level: one DFN movement per outer_interval bank writes.
+        self.outer_write_count += 1
+        if self.outer_write_count % self.outer_interval == 0:
+            step = self.outer.step()
+            if isinstance(step, CopyMove):
+                moves.append(
+                    CopyMove(
+                        src=self._phys_of_ia(step.src),
+                        dst=self._phys_of_ia(step.dst),
+                    )
+                )
+            elif isinstance(step, SwapMove):
+                moves.append(
+                    SwapMove(
+                        pa_a=self._phys_of_ia(step.pa_a),
+                        pa_b=self._phys_of_ia(step.pa_b),
+                    )
+                )
+            # None = fixed-point remap: no data movement needed.
+        # Inner level: count the write in the sub-region it lands in
+        # (under the post-movement outer mapping).
+        ia = self.outer.translate(la)
+        if ia != self.outer.spare_slot:
+            region = ia // self.subregion_size
+            inner_move = self.inners[region].record_write()
+            if inner_move is not None:
+                base = region * self._region_stride
+                src, dst = inner_move
+                moves.append(CopyMove(src=base + src, dst=base + dst))
+        return moves
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def dfn_round_count(self) -> int:
+        """Completed + in-progress outer remapping rounds so far."""
+        return self.outer.round_count

@@ -1,0 +1,25 @@
+"""Complementary defenses the paper discusses around its main scheme.
+
+* :mod:`repro.defense.attack_detector` — online malicious-write-stream
+  detection (the paper's ref. [15], Qureshi et al. HPCA'11): watches the
+  write stream's address concentration and raises an alarm under
+  hammering-style traffic.
+* :mod:`repro.defense.adaptive` — detector-driven remapping-rate
+  escalation.  §III-B's warning is demonstrable with it: escalating the
+  wear-leveling rate defeats RAA/BPA but *accelerates* the Remapping
+  Timing Attack.
+* :mod:`repro.defense.delayed_write` — the Delayed Write Policy the RBSG
+  paper proposes: a small coalescing write buffer in front of the bank, so
+  an attacker must touch more distinct lines than the buffer holds before
+  any wear reaches PCM.
+"""
+
+from repro.defense.adaptive import AdaptiveWearLeveler
+from repro.defense.attack_detector import OnlineAttackDetector
+from repro.defense.delayed_write import DelayedWriteController
+
+__all__ = [
+    "AdaptiveWearLeveler",
+    "DelayedWriteController",
+    "OnlineAttackDetector",
+]

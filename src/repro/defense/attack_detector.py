@@ -1,0 +1,84 @@
+"""Online detection of malicious write streams (paper ref. [15]).
+
+Benign traffic — even heavily skewed zipf traffic — spreads its writes over
+many lines; wear-out attacks concentrate them on very few.  The detector
+keeps a sliding window of recent write addresses and raises an alarm when
+the hottest address (or the hottest few) exceeds a concentration threshold.
+
+This is deliberately simple (a counting window, not the HPCA'11 paper's
+full multi-queue design) but captures the property the Security-RBSG paper
+leans on: RAA/BPA-style streams are detectable, so a system can escalate
+its wear-leveling rate — which, per §III-B, *helps* RTA rather than
+hurting it (see ``benchmarks/test_ablation_detector.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque
+
+
+class OnlineAttackDetector:
+    """Sliding-window address-concentration alarm.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent writes considered.
+    threshold:
+        Alarm when the hottest ``top_k`` addresses hold more than this
+        fraction of the window.  Wear-out attacks concentrate essentially
+        the whole window on the target set, while even zipf(1.1) benign
+        traffic keeps its top-4 share near 26 % — so 0.5 separates them
+        with margin on both sides.
+    top_k:
+        How many hottest addresses to pool (catches small rotation sets,
+        e.g. a BPA dwell or a delayed-write-buffer-cycling attacker).
+    """
+
+    def __init__(self, window: int = 4096, threshold: float = 0.5,
+                 top_k: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.window = window
+        self.threshold = threshold
+        self.top_k = top_k
+        self._recent: Deque[int] = deque()
+        self._counts: Counter = Counter()
+        self.alarms = 0
+        self.observed = 0
+
+    def record(self, la: int) -> bool:
+        """Feed one write; returns True when the stream looks malicious."""
+        self.observed += 1
+        self._recent.append(la)
+        self._counts[la] += 1
+        if len(self._recent) > self.window:
+            old = self._recent.popleft()
+            self._counts[old] -= 1
+            if self._counts[old] == 0:
+                del self._counts[old]
+        if len(self._recent) < self.window:
+            return False  # not enough evidence yet
+        hot = sum(count for _, count in self._counts.most_common(self.top_k))
+        alarmed = hot > self.threshold * len(self._recent)
+        if alarmed:
+            self.alarms += 1
+        return alarmed
+
+    @property
+    def concentration(self) -> float:
+        """Current hottest-``top_k`` share of the window (diagnostics)."""
+        if not self._recent:
+            return 0.0
+        hot = sum(count for _, count in self._counts.most_common(self.top_k))
+        return hot / len(self._recent)
+
+    def reset(self) -> None:
+        """Clear the window (e.g. after the system responded)."""
+        self._recent.clear()
+        self._counts.clear()

@@ -1,0 +1,166 @@
+"""High-level experiment harness: attack × scheme matrices in one call.
+
+Gives scripts and notebooks a single entry point for the evaluation
+pattern every example repeats by hand: build fresh (scheme, controller)
+pairs, run a set of attacks to failure under a common budget, and collect
+comparable results.
+
+Example::
+
+    from repro.experiments import attack_matrix, SCHEME_FACTORIES
+
+    results = attack_matrix(
+        n_lines=2**9, endurance=2e4,
+        schemes=["rbsg", "security-rbsg"],
+        attacks=["raa", "bpa"],
+        seed=7,
+    )
+    for row in results:
+        print(row.scheme, row.attack, row.result.lifetime_seconds)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks import (
+    AddressInferenceAttack,
+    AttackResult,
+    BirthdayParadoxAttack,
+    RBSGTimingAttack,
+    RepeatedAddressAttack,
+    SRTimingAttack,
+)
+from repro.config import PCMConfig
+from repro.core.security_rbsg import SecurityRBSG
+from repro.pcm.stats import WearStats
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel import (
+    MultiWaySR,
+    RandomSwapWearLeveling,
+    NoWearLeveling,
+    RegionBasedStartGap,
+    SecurityRefresh,
+    StartGap,
+    TableBasedWearLeveling,
+    TwoLevelSecurityRefresh,
+)
+
+#: Scheme constructors keyed by short name; each takes (n_lines, seed).
+SCHEME_FACTORIES: Dict[str, Callable[[int, int], object]] = {
+    "none": lambda n, seed: NoWearLeveling(n),
+    "start-gap": lambda n, seed: StartGap(n, remap_interval=16),
+    "table": lambda n, seed: TableBasedWearLeveling(n, swap_interval=16),
+    "random-swap": lambda n, seed: RandomSwapWearLeveling(
+        n, swap_interval=16, rng=seed
+    ),
+    "rbsg": lambda n, seed: RegionBasedStartGap(
+        n, n_regions=8, remap_interval=16, rng=seed
+    ),
+    "sr": lambda n, seed: SecurityRefresh(n, remap_interval=16, rng=seed),
+    "multiway-sr": lambda n, seed: MultiWaySR(
+        n, n_subregions=8, remap_interval=16, rng=seed
+    ),
+    "two-level-sr": lambda n, seed: TwoLevelSecurityRefresh(
+        n, n_subregions=8, inner_interval=16, outer_interval=32, rng=seed
+    ),
+    "security-rbsg": lambda n, seed: SecurityRBSG(
+        n, n_subregions=8, inner_interval=16, outer_interval=32,
+        n_stages=7, rng=seed,
+    ),
+}
+
+#: Attacks applicable to every scheme.
+GENERIC_ATTACKS = ("raa", "bpa", "aia")
+#: Timing attacks bound to specific scheme types.
+TIMING_ATTACKS = {"rta": {"rbsg": RBSGTimingAttack, "sr": SRTimingAttack}}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (scheme, attack) outcome."""
+
+    scheme: str
+    attack: str
+    result: AttackResult
+    wear_gini: float
+
+    @property
+    def lifetime_seconds(self) -> float:
+        return self.result.lifetime_seconds
+
+
+def _build_attack(name: str, scheme_name: str, controller, seed: int):
+    if name == "raa":
+        return RepeatedAddressAttack(controller, target_la=5)
+    if name == "bpa":
+        return BirthdayParadoxAttack(controller, rng=seed)
+    if name == "aia":
+        return AddressInferenceAttack(controller, knowledge_interval=256)
+    if name == "rta":
+        cls = TIMING_ATTACKS["rta"].get(scheme_name)
+        if cls is None:
+            return None  # no RTA procedure for this scheme
+        if scheme_name == "sr":
+            return cls(controller, target_la=5)
+        return cls(controller, target_la=5)
+    raise ValueError(f"unknown attack {name!r}")
+
+
+def attack_matrix(
+    n_lines: int = 2**9,
+    endurance: float = 2e4,
+    schemes: Optional[Sequence[str]] = None,
+    attacks: Sequence[str] = ("raa",),
+    budget: int = 50_000_000,
+    seed: int = 7,
+) -> List[MatrixCell]:
+    """Run every requested attack against every requested scheme.
+
+    Each cell gets a fresh device; unsupported (scheme, attack) pairs —
+    e.g. RTA against a scheme it has no procedure for — are skipped.
+    """
+    scheme_names = list(schemes or SCHEME_FACTORIES)
+    unknown = set(scheme_names) - set(SCHEME_FACTORIES)
+    if unknown:
+        raise ValueError(f"unknown schemes: {sorted(unknown)}")
+    cells: List[MatrixCell] = []
+    for scheme_name in scheme_names:
+        for attack_name in attacks:
+            config = PCMConfig(n_lines=n_lines, endurance=endurance)
+            scheme = SCHEME_FACTORIES[scheme_name](n_lines, seed)
+            controller = MemoryController(scheme, config)
+            attack = _build_attack(attack_name, scheme_name, controller, seed)
+            if attack is None:
+                continue
+            result = attack.run(max_writes=budget)
+            gini = WearStats.from_wear(controller.array.wear).gini
+            cells.append(
+                MatrixCell(
+                    scheme=scheme_name,
+                    attack=attack_name,
+                    result=result,
+                    wear_gini=gini,
+                )
+            )
+    return cells
+
+
+def summarize_matrix(cells: Sequence[MatrixCell]) -> str:
+    """Render a matrix run as an aligned text table."""
+    if not cells:
+        return "(empty matrix)"
+    header = f"{'scheme':>14} {'attack':>6} {'failed':>6} " \
+             f"{'lifetime (s)':>13} {'writes':>10} {'gini':>6}"
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lifetime = (
+            f"{cell.lifetime_seconds:.4f}" if cell.result.failed else "--"
+        )
+        lines.append(
+            f"{cell.scheme:>14} {cell.attack:>6} "
+            f"{str(cell.result.failed):>6} {lifetime:>13} "
+            f"{cell.result.user_writes:>10} {cell.wear_gini:>6.3f}"
+        )
+    return "\n".join(lines)

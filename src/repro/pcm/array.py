@@ -1,0 +1,283 @@
+"""Wear-tracked PCM line array.
+
+:class:`PCMArray` is the physical substrate every wear-leveling scheme writes
+through.  It tracks, per physical line:
+
+* a wear counter (number of completed writes),
+* the latency class of the stored data (:class:`~repro.pcm.timing.LineData`).
+
+Wear counters live in a single numpy ``int64`` array so bulk operations
+(used by the batched simulation engines) are vectorized slice/fancy-index
+adds rather than Python loops.
+
+Failure model: a line fails when its wear counter reaches the configured
+endurance; by default the array raises :class:`LineFailure` at the first
+failed write, which is how lifetime experiments detect end-of-life.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import PCMConfig
+from repro.pcm.timing import LineData, TimingModel
+
+
+class LineFailure(Exception):
+    """Raised when a write lands on a line whose endurance is exhausted."""
+
+    def __init__(self, pa: int, wear: int, total_writes: int, elapsed_ns: float):
+        self.pa = pa
+        self.wear = wear
+        self.total_writes = total_writes
+        self.elapsed_ns = elapsed_ns
+        super().__init__(
+            f"physical line {pa} failed after {wear} writes "
+            f"({total_writes} total device writes, {elapsed_ns:.0f} ns elapsed)"
+        )
+
+
+class PCMArray:
+    """A bank of ``n_physical`` wear-limited lines.
+
+    Parameters
+    ----------
+    config:
+        Device parameters; ``config.endurance`` is the per-line write budget.
+    n_physical:
+        Number of physical lines.  Wear-leveling schemes typically require
+        spares, so this is at least ``config.n_lines``.
+    initial_data:
+        Latency class the lines start with (default ``ALL0``).
+    raise_on_failure:
+        If True (default), the first write to a worn-out line raises
+        :class:`LineFailure`.  If False, failures are recorded in
+        :attr:`failed` and writes keep succeeding (useful for wear-
+        distribution studies past first failure, e.g. Fig. 16).
+    """
+
+    def __init__(
+        self,
+        config: PCMConfig,
+        n_physical: Optional[int] = None,
+        initial_data: LineData = LineData.ALL0,
+        raise_on_failure: bool = True,
+        endurance_variation: float = 0.0,
+        rng=None,
+    ):
+        self.config = config
+        self.timing = TimingModel(config)
+        self.n_physical = config.n_lines if n_physical is None else int(n_physical)
+        if self.n_physical < config.n_lines:
+            raise ValueError(
+                f"n_physical ({self.n_physical}) must cover the logical space "
+                f"({config.n_lines} lines)"
+            )
+        self.wear = np.zeros(self.n_physical, dtype=np.int64)
+        self.data = np.full(self.n_physical, int(initial_data), dtype=np.int8)
+        self.raise_on_failure = raise_on_failure
+        self.total_writes = 0
+        self.elapsed_ns = 0.0
+        self._first_failure: Optional[LineFailure] = None
+        # Process variation: per-line endurance ~ N(E, cv*E), floored at
+        # 1 % of nominal.  cv = 0 keeps the fast scalar-threshold path.
+        if endurance_variation < 0:
+            raise ValueError("endurance_variation must be >= 0")
+        if endurance_variation > 0:
+            from repro.util.rng import as_generator
+
+            gen = as_generator(rng)
+            draws = gen.normal(
+                config.endurance,
+                endurance_variation * config.endurance,
+                size=self.n_physical,
+            )
+            floor = max(1.0, 0.01 * config.endurance)
+            self.endurance_map: Optional[np.ndarray] = np.maximum(draws, floor)
+        else:
+            self.endurance_map = None
+
+    def _endurance_of(self, pa: int) -> float:
+        if self.endurance_map is None:
+            return self.config.endurance
+        return float(self.endurance_map[pa])
+
+    # ------------------------------------------------------------------ I/O
+
+    def read(self, pa: int) -> LineData:
+        """Read the latency class stored at physical line ``pa``."""
+        self.elapsed_ns += self.timing.read_latency()
+        return LineData(int(self.data[pa]))
+
+    def peek(self, pa: int) -> LineData:
+        """Read without advancing time (for internal bookkeeping/tests)."""
+        return LineData(int(self.data[pa]))
+
+    def write(self, pa: int, data: LineData) -> float:
+        """Write ``data`` to line ``pa``; return this write's latency in ns.
+
+        The latency is also accumulated on :attr:`elapsed_ns`.  Under
+        ``config.differential_writes`` a rewrite of identical content
+        costs a verify read and causes no wear.
+        """
+        old = LineData(int(self.data[pa]))
+        latency, wears = self.timing.write_transition(old, data)
+        self.elapsed_ns += latency
+        if wears:
+            self._apply_wear(pa)
+        self.data[pa] = int(data)
+        return latency
+
+    def copy(self, src: int, dst: int) -> float:
+        """Remap movement: read ``src``, write its content to ``dst``.
+
+        Returns the movement latency (Fig. 4(a) cost).
+        """
+        data = LineData(int(self.data[src]))
+        old = LineData(int(self.data[dst]))
+        write_ns, wears = self.timing.write_transition(old, data)
+        latency = self.timing.read_latency() + write_ns
+        self.elapsed_ns += latency
+        if wears:
+            self._apply_wear(dst)
+        self.data[dst] = int(data)
+        return latency
+
+    def swap(self, pa_a: int, pa_b: int) -> float:
+        """Security-Refresh movement: exchange two lines' contents.
+
+        Returns the swap latency (Fig. 4(b) cost).  Both lines wear by one
+        (unless differential writes skip an identical rewrite).
+        """
+        da = LineData(int(self.data[pa_a]))
+        db = LineData(int(self.data[pa_b]))
+        write_a, wears_a = self.timing.write_transition(da, db)
+        write_b, wears_b = self.timing.write_transition(db, da)
+        latency = 2.0 * self.timing.read_latency() + write_a + write_b
+        self.elapsed_ns += latency
+        if wears_a:
+            self._apply_wear(pa_a)
+        if wears_b:
+            self._apply_wear(pa_b)
+        self.data[pa_a] = int(db)
+        self.data[pa_b] = int(da)
+        return latency
+
+    # --------------------------------------------------------------- wear
+
+    def _apply_wear(self, pa: int) -> None:
+        self.wear[pa] += 1
+        self.total_writes += 1
+        if self.wear[pa] >= self._endurance_of(pa):
+            failure = LineFailure(
+                pa=int(pa),
+                wear=int(self.wear[pa]),
+                total_writes=self.total_writes,
+                elapsed_ns=self.elapsed_ns,
+            )
+            if self._first_failure is None:
+                self._first_failure = failure
+            if self.raise_on_failure:
+                raise failure
+
+    def bulk_wear(
+        self,
+        pas: Union[int, slice, Sequence[int], np.ndarray],
+        counts: Union[int, np.ndarray],
+        write_ns: Optional[float] = None,
+    ) -> None:
+        """Apply ``counts`` writes to ``pas`` in one vectorized operation.
+
+        Used by the batched simulation engines (remap- and round-granularity)
+        where per-write accounting would be prohibitive.  ``counts`` may be a
+        scalar (same count for every addressed line) or an array matching
+        ``pas``.  Time advances by ``total_new_writes * write_ns`` (default:
+        one SET pulse per write, the paper's accounting).
+
+        Note: when ``pas`` contains duplicate indices, ``counts`` must be a
+        scalar (numpy fancy-index ``+=`` does not accumulate duplicates, so
+        we route through ``np.add.at`` only for the array-count case).
+        """
+        if write_ns is None:
+            write_ns = self.config.set_ns
+        if np.isscalar(counts):
+            counts_arr = None
+            if isinstance(pas, slice):
+                n_targets = len(range(*pas.indices(self.n_physical)))
+                self.wear[pas] += int(counts)
+            elif np.isscalar(pas):
+                n_targets = 1
+                self.wear[pas] += int(counts)
+            else:
+                idx = np.asarray(pas)
+                n_targets = idx.size
+                np.add.at(self.wear, idx, int(counts))
+            new_writes = int(counts) * n_targets
+        else:
+            counts_arr = np.asarray(counts, dtype=np.int64)
+            idx = np.asarray(pas)
+            np.add.at(self.wear, idx, counts_arr)
+            new_writes = int(counts_arr.sum())
+        self.total_writes += new_writes
+        self.elapsed_ns += new_writes * write_ns
+        self._check_bulk_failure(pas)
+
+    def _check_bulk_failure(self, pas) -> None:
+        if isinstance(pas, slice) or not np.isscalar(pas):
+            region = self.wear[pas]
+            if self.endurance_map is None:
+                limit = self.config.endurance
+            else:
+                limit = self.endurance_map[pas]
+            over = region >= limit
+            if over.any():
+                local = int(np.argmax(over))
+                if isinstance(pas, slice):
+                    pa = range(*pas.indices(self.n_physical))[local]
+                else:
+                    pa = int(np.asarray(pas)[local])
+            else:
+                return
+        else:
+            if self.wear[pas] < self._endurance_of(int(pas)):
+                return
+            pa = int(pas)
+        failure = LineFailure(
+            pa=pa,
+            wear=int(self.wear[pa]),
+            total_writes=self.total_writes,
+            elapsed_ns=self.elapsed_ns,
+        )
+        if self._first_failure is None:
+            self._first_failure = failure
+        if self.raise_on_failure:
+            raise failure
+
+    # -------------------------------------------------------------- status
+
+    @property
+    def failed(self) -> bool:
+        """True once any line has exhausted its endurance."""
+        return self._first_failure is not None
+
+    @property
+    def first_failure(self) -> Optional[LineFailure]:
+        """Details of the first line failure, if any."""
+        return self._first_failure
+
+    @property
+    def max_wear(self) -> int:
+        """Largest per-line wear count so far."""
+        return int(self.wear.max())
+
+    def remaining_endurance(self) -> np.ndarray:
+        """Per-line writes remaining before failure (clipped at zero)."""
+        limit = (
+            self.config.endurance
+            if self.endurance_map is None
+            else self.endurance_map
+        )
+        remaining = limit - self.wear
+        return np.clip(remaining, 0, None)

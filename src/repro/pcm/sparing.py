@@ -1,0 +1,167 @@
+"""Failed-line sparing and graceful degradation.
+
+The paper ends a device's life at its first line failure — the right metric
+for attack studies (the attacker chooses the weakest point).  Real PCM
+parts pair wear leveling with *line sparing*: a pool of spare lines absorbs
+failures until it runs dry.  :class:`SparingController` wraps a
+:class:`~repro.sim.memory_system.MemoryController` with such a pool, giving
+the library a second, capacity-oriented lifetime definition:
+
+* ``first_failure`` — the paper's metric,
+* ``spares_exhausted`` — device death after ``n_spares + 1`` line failures.
+
+Remapped (spared) lines add one indirection on every access; the remap
+table is the standard content-addressable structure real parts use, here a
+dict.  Spare lines are themselves wear-limited and can fail and be
+re-spared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import PCMConfig
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import LineData
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.base import WearLeveler
+
+
+class SparesExhausted(Exception):
+    """Raised when a line fails and no spare is left to absorb it."""
+
+    def __init__(self, failures: int, total_writes: int, elapsed_ns: float):
+        self.failures = failures
+        self.total_writes = total_writes
+        self.elapsed_ns = elapsed_ns
+        super().__init__(
+            f"spare pool exhausted after {failures} line failures "
+            f"({total_writes} writes, {elapsed_ns:.0f} ns)"
+        )
+
+
+class SparingController:
+    """Memory controller front-end with a failed-line spare pool.
+
+    Parameters
+    ----------
+    scheme / config:
+        As for :class:`~repro.sim.memory_system.MemoryController`.
+    n_spares:
+        Spare lines appended after the scheme's physical space.
+    """
+
+    def __init__(
+        self,
+        scheme: WearLeveler,
+        config: PCMConfig,
+        n_spares: int = 8,
+    ):
+        if n_spares < 0:
+            raise ValueError("n_spares must be >= 0")
+        self.inner = MemoryController(scheme, config, raise_on_failure=True)
+        # Extend the physical array with the spare pool.
+        array = self.inner.array
+        import numpy as np
+
+        extra = n_spares
+        array.wear = np.concatenate(
+            [array.wear, np.zeros(extra, dtype=array.wear.dtype)]
+        )
+        array.data = np.concatenate(
+            [array.data, np.zeros(extra, dtype=array.data.dtype)]
+        )
+        self._spare_base = array.n_physical
+        array.n_physical += extra
+        self.n_spares = n_spares
+        self._next_spare = 0
+        self.remap_table: Dict[int, int] = {}  # failed pa -> replacement pa
+        self.failures = 0
+        self.first_failure_writes: Optional[int] = None
+        self.first_failure_ns: Optional[float] = None
+
+    # ------------------------------------------------------------ plumbing
+
+    def _redirect(self, pa: int) -> int:
+        while pa in self.remap_table:
+            pa = self.remap_table[pa]
+        return pa
+
+    def _spare_out(self, failed_pa: int) -> None:
+        self.failures += 1
+        if self.first_failure_writes is None:
+            self.first_failure_writes = self.inner.array.total_writes
+            self.first_failure_ns = self.inner.array.elapsed_ns
+        if self._next_spare >= self.n_spares:
+            raise SparesExhausted(
+                failures=self.failures,
+                total_writes=self.inner.array.total_writes,
+                elapsed_ns=self.inner.array.elapsed_ns,
+            )
+        replacement = self._spare_base + self._next_spare
+        self._next_spare += 1
+        self.remap_table[failed_pa] = replacement
+        # Salvage the content (a real part does this before marking dead).
+        array = self.inner.array
+        array.data[replacement] = array.data[failed_pa]
+
+    # ----------------------------------------------------------------- API
+
+    def write(self, la: int, data: LineData) -> float:
+        """Write through the scheme, absorbing line failures with spares."""
+        latency = 0.0
+        array = self.inner.array
+        for move in self.inner.scheme.record_write(la):
+            latency += self._execute_move(move)
+        pa = self._redirect(self.inner.scheme.translate(la))
+        while True:
+            try:
+                latency += array.write(pa, data)
+                return latency
+            except LineFailure:
+                self._spare_out(pa)
+                pa = self._redirect(pa)
+
+    def _execute_move(self, move) -> float:
+        from repro.wearlevel.base import CopyMove, SwapMove
+
+        array = self.inner.array
+        while True:
+            try:
+                if isinstance(move, CopyMove):
+                    return array.copy(
+                        self._redirect(move.src), self._redirect(move.dst)
+                    )
+                if isinstance(move, SwapMove):
+                    return array.swap(
+                        self._redirect(move.pa_a), self._redirect(move.pa_b)
+                    )
+                raise TypeError(f"unknown move {move!r}")
+            except LineFailure as failure:
+                self._spare_out(failure.pa)
+
+    def read(self, la: int) -> Tuple[LineData, float]:
+        pa = self._redirect(self.inner.scheme.translate(la))
+        return self.inner.array.read(pa), self.inner.config.read_ns
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def scheme(self) -> WearLeveler:
+        return self.inner.scheme
+
+    @property
+    def array(self):
+        return self.inner.array
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.inner.elapsed_ns
+
+    @property
+    def total_writes(self) -> int:
+        return self.inner.total_writes
+
+    @property
+    def spares_left(self) -> int:
+        return self.n_spares - self._next_spare

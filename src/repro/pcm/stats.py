@@ -1,0 +1,79 @@
+"""Wear-distribution statistics (used for Fig. 16 and uniformity analyses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary statistics of a wear-count vector."""
+
+    total: int
+    mean: float
+    std: float
+    max: int
+    min: int
+    cov: float  #: coefficient of variation (std / mean); 0 = perfectly even
+    gini: float  #: Gini coefficient of the wear distribution
+
+    @classmethod
+    def from_wear(cls, wear: np.ndarray) -> "WearStats":
+        wear = np.asarray(wear, dtype=np.float64)
+        total = float(wear.sum())
+        mean = float(wear.mean())
+        std = float(wear.std())
+        cov = std / mean if mean > 0 else 0.0
+        return cls(
+            total=int(total),
+            mean=mean,
+            std=std,
+            max=int(wear.max()),
+            min=int(wear.min()),
+            cov=cov,
+            gini=gini_coefficient(wear),
+        )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = equal, →1 = skewed).
+
+    Computed with the sorted-weights identity, O(n log n) and vectorized.
+    """
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    n = v.size
+    if n == 0:
+        raise ValueError("empty input")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (ranks * v).sum()) / (n * total) - (n + 1.0) / n)
+
+
+def normalized_accumulated_writes(wear: np.ndarray) -> np.ndarray:
+    """Cumulative wear fraction across the address space (Fig. 16's y-axis).
+
+    Returns ``cumsum(wear) / sum(wear)`` over physical addresses in order;
+    a perfectly uniform distribution yields a straight diagonal.
+    """
+    wear = np.asarray(wear, dtype=np.float64)
+    total = wear.sum()
+    if total == 0:
+        # No writes yet: the flat distribution is the natural convention.
+        return np.linspace(1.0 / wear.size, 1.0, wear.size)
+    return np.cumsum(wear) / total
+
+
+def uniformity_deviation(wear: np.ndarray) -> float:
+    """Max vertical deviation of the Fig. 16 curve from the ideal diagonal.
+
+    A Kolmogorov-Smirnov-style statistic in [0, 1); 0 means the accumulated
+    write curve is exactly linear (perfectly even wear).
+    """
+    curve = normalized_accumulated_writes(wear)
+    n = curve.size
+    diagonal = np.arange(1, n + 1, dtype=np.float64) / n
+    return float(np.abs(curve - diagonal).max())

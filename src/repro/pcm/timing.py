@@ -1,0 +1,99 @@
+"""Asymmetric PCM timing model (Section II-C, Figs. 1 and 4).
+
+PCM writes a '1' with a long SET pulse (~1000 ns) and a '0' with a short
+RESET pulse (~125 ns); reads cost one low-power sense (~125 ns).  A line
+write completes when its slowest cell completes, so the latency of writing a
+line is determined by the "worst" bit in the written data:
+
+* ``ALL0``  — every bit is '0'  →  RESET time,
+* ``ALL1``  — every bit is '1'  →  SET time,
+* ``MIXED`` — ordinary data; with hundreds of bits per line both transitions
+  almost surely occur  →  SET time.
+
+The observable composite latencies the paper derives (Fig. 4) follow:
+
+* Start-Gap remap movement (read + write):   ALL-0 → 250 ns, ALL-1 → 1125 ns.
+* Security Refresh swap (2 reads + 2 writes): ALL-0/ALL-0 → 500 ns,
+  ALL-0/ALL-1 → 1375 ns, ALL-1/ALL-1 → 2250 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.config import PCMConfig
+
+
+class LineData(IntEnum):
+    """Latency class of a line's content."""
+
+    ALL0 = 0  #: every bit is '0' — fastest possible line write (RESET only)
+    ALL1 = 1  #: every bit is '1' — slowest possible line write (SET only)
+    MIXED = 2  #: ordinary data — worst-case bit dominates, same as ALL1
+
+
+#: Module-level aliases so call sites read like the paper ("write ALL-0 ...").
+ALL0 = LineData.ALL0
+ALL1 = LineData.ALL1
+MIXED = LineData.MIXED
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Maps operations on latency-classed data to nanosecond costs."""
+
+    config: PCMConfig
+
+    def read_latency(self) -> float:
+        """Latency of reading one line."""
+        return self.config.read_ns
+
+    def write_latency(self, data: LineData) -> float:
+        """Latency of writing ``data`` to one line.
+
+        The paper's model: the line write is as slow as its slowest cell,
+        so anything containing a '1' costs a full SET pulse.
+        """
+        if data == LineData.ALL0:
+            return self.config.reset_ns
+        return self.config.set_ns
+
+    def write_transition(self, old: LineData, new: LineData):
+        """Latency and wear of writing ``new`` over ``old``.
+
+        Returns ``(latency_ns, wears)``.  In the paper's model (the
+        default) this is just :meth:`write_latency` and always wears.
+        With ``config.differential_writes`` only changed cells are
+        written: rewriting identical ALL-0/ALL-1 content costs a verify
+        read and causes no wear (MIXED content is conservatively assumed
+        to change).
+        """
+        if not self.config.differential_writes:
+            return self.write_latency(new), True
+        if old == new and new != LineData.MIXED:
+            return self.read_latency(), False  # verify only, no cell flips
+        if new == LineData.ALL0:
+            # Only 1->0 transitions remain: RESET time.
+            return self.config.reset_ns, True
+        return self.config.set_ns, True
+
+    def copy_latency(self, data: LineData) -> float:
+        """Latency of one remap movement: read the source, write the target.
+
+        This is the Start-Gap / DFN movement cost of Fig. 4(a):
+        250 ns for ALL-0 data, 1125 ns for ALL-1 (or mixed) data.
+        """
+        return self.read_latency() + self.write_latency(data)
+
+    def swap_latency(self, data_a: LineData, data_b: LineData) -> float:
+        """Latency of a Security Refresh swap: read both lines, write both.
+
+        Fig. 4(b): 500 ns (ALL-0/ALL-0), 1375 ns (ALL-0/ALL-1),
+        2250 ns (ALL-1/ALL-1).
+        """
+        return (
+            2.0 * self.read_latency()
+            + self.write_latency(data_a)
+            + self.write_latency(data_b)
+        )

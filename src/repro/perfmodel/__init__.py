@@ -1,0 +1,46 @@
+"""Performance-impact model — the substitute for the paper's Gem5 setup.
+
+The paper's §V-C4 experiment measures IPC degradation of Security RBSG on
+13 PARSEC and 27 SPEC CPU2006 benchmarks under Gem5 (8 cores @ 1 GHz,
+32 KB L1 / 256 KB L2 / 8 MB L3 DRAM cache, 32-entry FR-FCFS queue, 10 ns
+address translation).  Gem5 and the benchmark suites are not available
+here, so this package builds the same pipeline from scratch:
+
+* :mod:`repro.perfmodel.workloads` — synthetic benchmark suite whose
+  memory intensity / locality / write mix spans the PARSEC ("memory
+  intensive") and SPEC ("sparse") ranges the paper's conclusion relies on;
+* :mod:`repro.perfmodel.cache` — set-associative, LRU, three-level cache
+  hierarchy that turns instruction streams into main-memory requests;
+* :mod:`repro.perfmodel.memqueue` — a PCM bank timing model where
+  wear-leveling remap movements occupy the bank and delay any request that
+  arrives before they finish (they hide in idle gaps otherwise);
+* :mod:`repro.perfmodel.cpu` — an in-order-core IPC model that combines
+  the above and reports IPC relative to a no-wear-leveling baseline.
+
+The substitution preserves what the conclusion depends on: whether remap
+work can be serviced during idle memory periods, which is a function of
+request sparsity — exactly what the synthetic suite controls.
+"""
+
+from repro.perfmodel.cache import Cache, CacheHierarchy
+from repro.perfmodel.cpu import IPCResult, evaluate_benchmark, evaluate_suite
+from repro.perfmodel.memqueue import PCMBankModel
+from repro.perfmodel.workloads import (
+    PARSEC_LIKE,
+    SPEC_LIKE,
+    BenchmarkSpec,
+    generate_trace,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "Cache",
+    "CacheHierarchy",
+    "IPCResult",
+    "PARSEC_LIKE",
+    "PCMBankModel",
+    "SPEC_LIKE",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "generate_trace",
+]

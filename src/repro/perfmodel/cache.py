@@ -1,0 +1,151 @@
+"""Set-associative LRU cache hierarchy (L1 / L2 / L3 DRAM cache).
+
+A straightforward trace-driven model: each level is set-associative with
+true-LRU replacement; lookups walk L1 → L2 → L3, allocating on miss at every
+level (inclusive), and report where the access hit.  Dirty evictions from
+the last level become main-memory *writebacks* — together with L3 write
+misses these are the writes the wear-leveling scheme sees.
+
+The paper's configuration: 32 KB L1, 256 KB L2, 8 MB L3 DRAM cache, 256 B
+lines (the PCM block size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one hierarchy access."""
+
+    level: int  #: 1, 2, 3 = hit level; 4 = main memory
+    writeback: Optional[int] = None  #: dirty line pushed to main memory
+
+
+class Cache:
+    """One set-associative LRU cache level storing line addresses."""
+
+    def __init__(self, capacity_lines: int, associativity: int = 8):
+        if capacity_lines < associativity:
+            raise ValueError("capacity must hold at least one full set")
+        if capacity_lines % associativity != 0:
+            raise ValueError("capacity must be a multiple of associativity")
+        self.n_sets = capacity_lines // associativity
+        self.associativity = associativity
+        # Per set: list of (line, dirty), most-recently-used last.
+        self._sets: List[List[Tuple[int, bool]]] = [
+            [] for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line: int) -> List[Tuple[int, bool]]:
+        return self._sets[line % self.n_sets]
+
+    def access(self, line: int, is_write: bool) -> bool:
+        """Touch ``line``; return True on hit (promotes to MRU)."""
+        ways = self._set_of(line)
+        for i, (resident, dirty) in enumerate(ways):
+            if resident == line:
+                del ways[i]
+                ways.append((line, dirty or is_write))
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Insert ``line``; return the evicted ``(line, dirty)`` if any."""
+        ways = self._set_of(line)
+        victim = None
+        if len(ways) >= self.associativity:
+            victim = ways.pop(0)  # LRU
+        ways.append((line, dirty))
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present (used for inclusive back-invalidation)."""
+        ways = self._set_of(line)
+        for i, (resident, _) in enumerate(ways):
+            if resident == line:
+                del ways[i]
+                return True
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Three-level inclusive hierarchy turning CPU ops into memory traffic."""
+
+    def __init__(
+        self,
+        line_bytes: int = 256,
+        l1_bytes: int = 32 * 1024,
+        l2_bytes: int = 256 * 1024,
+        l3_bytes: int = 8 * 1024 * 1024,
+        associativity: int = 8,
+    ):
+        self.line_bytes = line_bytes
+        self.l1 = Cache(max(associativity, l1_bytes // line_bytes), associativity)
+        self.l2 = Cache(max(associativity, l2_bytes // line_bytes), associativity)
+        self.l3 = Cache(max(associativity, l3_bytes // line_bytes), associativity)
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    def access(self, line: int, is_write: bool) -> AccessOutcome:
+        """Access one line; returns the hit level and any memory writeback."""
+        if self.l1.access(line, is_write):
+            return AccessOutcome(level=1)
+        if self.l2.access(line, is_write):
+            self._fill_l1(line, is_write)
+            return AccessOutcome(level=2)
+        if self.l3.access(line, is_write):
+            self._fill_l2(line, is_write)
+            self._fill_l1(line, is_write)
+            return AccessOutcome(level=3)
+        # Main-memory access; allocate through the hierarchy.
+        self.memory_reads += 1
+        writeback = self._fill_l3(line, is_write)
+        self._fill_l2(line, is_write)
+        self._fill_l1(line, is_write)
+        if writeback is not None:
+            self.memory_writes += 1
+        return AccessOutcome(level=4, writeback=writeback)
+
+    def _fill_l1(self, line: int, dirty: bool) -> None:
+        victim = self.l1.fill(line, dirty)
+        if victim is not None and victim[1]:
+            # Dirty L1 victim merges into L2 (mark dirty there if present).
+            self._mark_dirty(self.l2, victim[0])
+
+    def _fill_l2(self, line: int, dirty: bool) -> None:
+        victim = self.l2.fill(line, dirty)
+        if victim is not None:
+            self.l1.invalidate(victim[0])
+            if victim[1]:
+                self._mark_dirty(self.l3, victim[0])
+
+    def _fill_l3(self, line: int, dirty: bool):
+        victim = self.l3.fill(line, dirty)
+        if victim is not None:
+            self.l2.invalidate(victim[0])
+            self.l1.invalidate(victim[0])
+            if victim[1]:
+                return victim[0]  # dirty eviction → memory writeback
+        return None
+
+    @staticmethod
+    def _mark_dirty(cache: Cache, line: int) -> None:
+        ways = cache._set_of(line)
+        for i, (resident, dirty) in enumerate(ways):
+            if resident == line:
+                ways[i] = (resident, True)
+                return
+        # Victim not resident below (non-inclusive corner): write through.
+        cache.fill(line, True)

@@ -1,0 +1,159 @@
+"""Synthetic benchmark suite standing in for PARSEC and SPEC CPU2006.
+
+Each :class:`BenchmarkSpec` fixes the knobs that determine how much remap
+latency a wear-leveling scheme can hide:
+
+* ``mem_per_kilo_instr`` — memory operations per 1000 instructions
+  (PARSEC-like workloads are denser than most of SPEC, per the paper's
+  observation that sparse access lets remaps hide in idle periods);
+* ``write_fraction`` — fraction of memory operations that are writes;
+* ``working_set_lines`` — footprint in cache lines (drives cache misses);
+* ``hot_fraction`` / ``hot_weight`` — a hot subset absorbing most traffic
+  (temporal locality);
+* ``sequential_fraction`` — streaming accesses (spatial locality).
+
+The numbers are synthetic but span the published characterisation ranges of
+the two suites (PARSEC: streaming/memory-bound; SPEC: mostly cache-resident
+with a few outliers like mcf/lbm).  Traces are generated as numpy arrays:
+``(addresses, is_write, gap_cycles)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Synthetic workload parameters for one benchmark."""
+
+    name: str
+    suite: str  #: "parsec" or "spec"
+    mem_per_kilo_instr: float  #: memory ops per 1000 instructions
+    write_fraction: float  #: P(memory op is a write)
+    working_set_lines: int  #: distinct cache lines touched
+    hot_fraction: float = 0.1  #: fraction of the working set that is hot
+    hot_weight: float = 0.7  #: fraction of accesses hitting the hot set
+    sequential_fraction: float = 0.3  #: fraction of accesses that stream
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mem_per_kilo_instr <= 1000:
+            raise ValueError("mem_per_kilo_instr must be in (0, 1000]")
+        for field in ("write_fraction", "hot_fraction", "hot_weight",
+                      "sequential_fraction"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1]")
+        if self.working_set_lines < 2:
+            raise ValueError("working_set_lines must be >= 2")
+
+
+def _parsec(name: str, mpki: float, wf: float, ws: int, seq: float = 0.4) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name, suite="parsec", mem_per_kilo_instr=mpki,
+        write_fraction=wf, working_set_lines=ws, sequential_fraction=seq,
+    )
+
+
+def _spec(name: str, mpki: float, wf: float, ws: int, seq: float = 0.2) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name, suite="spec", mem_per_kilo_instr=mpki,
+        write_fraction=wf, working_set_lines=ws, sequential_fraction=seq,
+    )
+
+
+#: 13 PARSEC-like benchmarks: denser memory traffic, larger footprints.
+PARSEC_LIKE: Tuple[BenchmarkSpec, ...] = (
+    _parsec("blackscholes", 18, 0.28, 1 << 15),
+    _parsec("bodytrack", 26, 0.31, 1 << 16),
+    _parsec("canneal", 58, 0.34, 1 << 19, seq=0.1),
+    _parsec("dedup", 44, 0.42, 1 << 18),
+    _parsec("facesim", 39, 0.36, 1 << 18),
+    _parsec("ferret", 33, 0.30, 1 << 17),
+    _parsec("fluidanimate", 41, 0.38, 1 << 18),
+    _parsec("freqmine", 29, 0.27, 1 << 17),
+    _parsec("raytrace", 24, 0.22, 1 << 16),
+    _parsec("streamcluster", 62, 0.35, 1 << 19, seq=0.6),
+    _parsec("swaptions", 15, 0.26, 1 << 14),
+    _parsec("vips", 35, 0.33, 1 << 17),
+    _parsec("x264", 30, 0.37, 1 << 17),
+)
+
+#: 27 SPEC-CPU2006-like benchmarks: mostly cache-resident, a few outliers.
+SPEC_LIKE: Tuple[BenchmarkSpec, ...] = (
+    _spec("perlbench", 6, 0.30, 1 << 13),
+    _spec("bzip2", 9, 0.29, 1 << 14),
+    _spec("gcc", 11, 0.33, 1 << 14),
+    _spec("bwaves", 21, 0.21, 1 << 17, seq=0.7),
+    _spec("gamess", 4, 0.24, 1 << 12),
+    _spec("mcf", 48, 0.26, 1 << 19, seq=0.05),
+    _spec("milc", 26, 0.30, 1 << 17, seq=0.5),
+    _spec("zeusmp", 17, 0.28, 1 << 16),
+    _spec("gromacs", 7, 0.27, 1 << 13),
+    _spec("cactusADM", 19, 0.31, 1 << 16),
+    _spec("leslie3d", 23, 0.29, 1 << 17, seq=0.6),
+    _spec("namd", 5, 0.22, 1 << 12),
+    _spec("gobmk", 8, 0.28, 1 << 13),
+    _spec("dealII", 10, 0.27, 1 << 14),
+    _spec("soplex", 27, 0.25, 1 << 17),
+    _spec("povray", 3, 0.25, 1 << 11),
+    _spec("calculix", 6, 0.24, 1 << 13),
+    _spec("hmmer", 7, 0.31, 1 << 13),
+    _spec("sjeng", 5, 0.26, 1 << 12),
+    _spec("GemsFDTD", 24, 0.30, 1 << 17, seq=0.6),
+    _spec("libquantum", 31, 0.23, 1 << 18, seq=0.8),
+    _spec("h264ref", 9, 0.32, 1 << 14),
+    _spec("tonto", 6, 0.26, 1 << 13),
+    _spec("lbm", 38, 0.45, 1 << 18, seq=0.8),
+    _spec("omnetpp", 22, 0.32, 1 << 16, seq=0.1),
+    _spec("astar", 16, 0.27, 1 << 15),
+    _spec("xalancbmk", 14, 0.31, 1 << 15),
+)
+
+ALL_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in PARSEC_LIKE + SPEC_LIKE
+}
+
+
+def generate_trace(
+    spec: BenchmarkSpec,
+    n_mem_ops: int,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate one benchmark's memory-op trace.
+
+    Returns ``(addresses, is_write, gap_cycles)``:
+
+    * ``addresses`` — line addresses within the working set,
+    * ``is_write`` — boolean per op,
+    * ``gap_cycles`` — CPU cycles of non-memory work *before* each op,
+      drawn geometric with mean ``1000 / mem_per_kilo_instr`` (so sparse
+      benchmarks leave long idle gaps between requests).
+    """
+    gen = as_generator(rng)
+    ws = spec.working_set_lines
+    hot_lines = max(1, int(ws * spec.hot_fraction))
+
+    kind = gen.random(n_mem_ops)
+    addresses = np.empty(n_mem_ops, dtype=np.int64)
+    seq_mask = kind < spec.sequential_fraction
+    hot_mask = (~seq_mask) & (kind < spec.sequential_fraction
+                              + (1 - spec.sequential_fraction) * spec.hot_weight)
+    rand_mask = ~(seq_mask | hot_mask)
+    # Streaming: a wrapping sequential cursor.
+    n_seq = int(seq_mask.sum())
+    addresses[seq_mask] = (np.arange(n_seq) * 1) % ws
+    # Hot set: uniform over the first hot_lines addresses.
+    addresses[hot_mask] = gen.integers(0, hot_lines, size=int(hot_mask.sum()))
+    # Cold misses: uniform over the whole working set.
+    addresses[rand_mask] = gen.integers(0, ws, size=int(rand_mask.sum()))
+
+    is_write = gen.random(n_mem_ops) < spec.write_fraction
+    mean_gap = 1000.0 / spec.mem_per_kilo_instr
+    gap_cycles = gen.geometric(p=min(1.0, 1.0 / mean_gap), size=n_mem_ops)
+    return addresses, is_write, gap_cycles

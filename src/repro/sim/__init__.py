@@ -1,0 +1,46 @@
+"""Simulation layer.
+
+Three granularities, trading exactness for reach:
+
+* :mod:`repro.sim.memory_system` + :mod:`repro.sim.engine` — exact per-write
+  simulation through a memory controller; the attacker sees true latencies
+  (the RTA side channel).  Used for tests, examples and small configs.
+* :mod:`repro.sim.roundsim` — remapping-round-granularity vectorized
+  simulators for Repeated Address Attack wear studies at paper scale
+  (Figs. 14-16); validated against the exact engine at small scale.
+* :mod:`repro.analysis.lifetime` (separate package) — closed-form models.
+"""
+
+from repro.sim.engine import SimulationResult, run_trace, run_until_failure
+from repro.sim.memory_system import MemoryController
+from repro.sim.multibank import MultiBankSystem
+from repro.sim.roundsim import (
+    RBSGBPASim,
+    RoundSimResult,
+    SecurityRBSGRAASim,
+    TwoLevelSRRAASim,
+)
+from repro.sim.trace import (
+    TraceEntry,
+    repeated_address_trace,
+    sequential_trace,
+    uniform_random_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "MemoryController",
+    "MultiBankSystem",
+    "RBSGBPASim",
+    "RoundSimResult",
+    "SecurityRBSGRAASim",
+    "SimulationResult",
+    "TraceEntry",
+    "TwoLevelSRRAASim",
+    "repeated_address_trace",
+    "run_trace",
+    "run_until_failure",
+    "sequential_trace",
+    "uniform_random_trace",
+    "zipf_trace",
+]

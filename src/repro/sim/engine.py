@@ -1,0 +1,79 @@
+"""Exact per-write simulation drivers and lifetime measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.pcm.array import LineFailure
+from repro.sim.memory_system import MemoryController
+from repro.sim.trace import TraceEntry
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of driving a controller with a write stream."""
+
+    user_writes: int  #: logical writes issued before stopping
+    total_writes: int  #: physical writes including remap movements
+    elapsed_ns: float  #: simulated time
+    failed: bool  #: True if a line exhausted its endurance
+    failed_pa: Optional[int] = None  #: physical address of the first failure
+
+    @property
+    def lifetime_seconds(self) -> float:
+        """Simulated seconds until the stream ended or the device failed."""
+        return self.elapsed_ns * 1e-9
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical writes per user write (wear-leveling overhead + 1)."""
+        if self.user_writes == 0:
+            return 0.0
+        return self.total_writes / self.user_writes
+
+
+def run_trace(
+    controller: MemoryController,
+    trace: Iterable[TraceEntry],
+    max_writes: Optional[int] = None,
+) -> SimulationResult:
+    """Drive the controller with ``trace`` until it ends, fails, or hits
+    ``max_writes`` user writes."""
+    user_writes = 0
+    try:
+        for entry in trace:
+            if max_writes is not None and user_writes >= max_writes:
+                break
+            controller.write(entry.la, entry.data)
+            user_writes += 1
+    except LineFailure as failure:
+        return SimulationResult(
+            user_writes=user_writes + 1,
+            total_writes=controller.total_writes,
+            elapsed_ns=controller.elapsed_ns,
+            failed=True,
+            failed_pa=failure.pa,
+        )
+    return SimulationResult(
+        user_writes=user_writes,
+        total_writes=controller.total_writes,
+        elapsed_ns=controller.elapsed_ns,
+        failed=False,
+    )
+
+
+def run_until_failure(
+    controller: MemoryController,
+    trace: Iterable[TraceEntry],
+    max_writes: int = 10_000_000,
+) -> SimulationResult:
+    """Like :func:`run_trace` but raises if the stream outlives ``max_writes``
+    without wearing the device out — lifetime experiments must fail."""
+    result = run_trace(controller, trace, max_writes=max_writes)
+    if not result.failed:
+        raise RuntimeError(
+            f"device did not fail within {max_writes} writes; "
+            "increase max_writes or reduce endurance for this experiment"
+        )
+    return result

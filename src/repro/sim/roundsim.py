@@ -1,0 +1,330 @@
+"""Remapping-round-granularity RAA/BPA simulators.
+
+Lifetime experiments at paper scale involve 1e13+ writes — far beyond
+per-write simulation.  Under a Repeated Address Attack, though, the write
+stream between remapping events is perfectly regular, so wear can be applied
+in closed-form chunks:
+
+* **Security RBSG** (:class:`SecurityRBSGRAASim`): within one outer DFN
+  round the hammered LA sits at a fixed intermediate address; the inner
+  Start-Gap walks its physical slot one step per inner rotation, so a round
+  deposits a contiguous *window* of full dwells (``(N/R + 1) * psi_inner``
+  writes per slot).  Each round draws fresh Feistel keys — with the real
+  cubing network, so the stage-count sensitivity of Fig. 14 is *measured*,
+  not assumed.
+* **Two-level SR** (:class:`TwoLevelSRRAASim`): the hammered LA lands in a
+  random sub-region each outer round and on an independent random slot each
+  inner round — vectorized balls-into-bins with ball weight
+  ``(N/R) * psi_inner``.
+
+Both simulators are validated against the exact per-write engine at small
+scale (see ``tests/sim/test_roundsim.py``).  Gap/spare lines are excluded
+from the modelled address space (they absorb a ``1/psi`` fraction of remap
+copies, second-order for lifetime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import PCMConfig, SecurityRBSGConfig, SRConfig
+from repro.core.feistel import FeistelNetwork
+from repro.util.bitops import bit_length_exact
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class RoundSimResult:
+    """Outcome of a round-granularity lifetime run."""
+
+    rounds: int
+    total_writes: float
+    lifetime_ns: float
+    failed: bool
+    max_wear: float
+
+    @property
+    def lifetime_days(self) -> float:
+        return self.lifetime_ns * 1e-9 / 86_400.0
+
+
+class SecurityRBSGRAASim:
+    """RAA/BPA against Security RBSG at outer-round granularity.
+
+    Parameters
+    ----------
+    pcm / cfg:
+        Device and scheme configuration (use scaled-down geometries; the
+        dimensionless shape is set by ``E / dwell`` and ``N``).
+    attack:
+        ``"raa"`` — one fixed hammered LA (window per round, position from
+        the real Feistel, per-round fresh keys);
+        ``"bpa"`` — a fresh random LA per dwell;
+        ``"raa_uniform"`` — RAA with an ideal (uniform) outer randomizer,
+        the stage-count → infinity asymptote.
+    """
+
+    def __init__(
+        self,
+        pcm: PCMConfig,
+        cfg: SecurityRBSGConfig,
+        attack: str = "raa",
+        target_la: int = 0,
+        rng: SeedLike = None,
+    ):
+        if attack not in ("raa", "bpa", "raa_uniform"):
+            raise ValueError(f"unknown attack mode {attack!r}")
+        if pcm.n_lines % cfg.n_subregions != 0:
+            raise ValueError("n_subregions must divide n_lines")
+        self.pcm = pcm
+        self.cfg = cfg
+        self.attack = attack
+        self.target_la = target_la
+        self.rng = as_generator(rng)
+        self.n_bits = bit_length_exact(pcm.n_lines)
+        self.n = pcm.n_lines
+        self.subregion = self.n // cfg.n_subregions
+        self.dwell = (self.subregion + 1) * cfg.inner_interval
+        self.round_writes = self.n * cfg.outer_interval
+        self.wear = np.zeros(self.n, dtype=np.int64)
+        self.rotation = np.zeros(cfg.n_subregions, dtype=np.int64)
+        self.phase = np.zeros(cfg.n_subregions, dtype=np.int64)
+        self.total_writes = 0.0
+        self.rounds = 0
+
+    # ------------------------------------------------------------ one round
+
+    def _target_ia(self, la: int) -> int:
+        if self.attack == "raa_uniform":
+            return int(self.rng.integers(0, self.n))
+        network = FeistelNetwork.random(self.n_bits, self.cfg.n_stages, self.rng)
+        return int(network.encrypt(la))
+
+    def _deposit_walk(self, region: int, local: int, writes: int) -> int:
+        """Deposit ``writes`` hammer writes as a Start-Gap window walk.
+
+        Returns the maximum wear among the touched slots.
+        """
+        base = region * self.subregion
+        size = self.subregion
+        dwell = self.dwell
+        pos = (local + int(self.rotation[region])) % size
+        # Finish the in-progress dwell of this region first.
+        first = min(writes, dwell - int(self.phase[region]))
+        self.wear[base + pos] += first
+        touched_max = int(self.wear[base + pos])
+        remaining = writes - first
+        if remaining == 0 and int(self.phase[region]) + first < dwell:
+            self.phase[region] += first
+            return touched_max
+        # pos's dwell completed: one shift, then full dwells, then a tail.
+        shifts = 1
+        n_full = remaining // dwell
+        tail = remaining % dwell
+        if n_full:
+            shifts += n_full
+            lapped = n_full >= size
+            if lapped:
+                # The window laps the region whole times, plus a remainder.
+                whole, n_full = divmod(n_full, size)
+                self.wear[base : base + size] += whole * dwell
+            if n_full:
+                offsets = base + (pos + 1 + np.arange(n_full)) % size
+                np.add.at(self.wear, offsets, dwell)
+            if lapped:
+                touched_max = max(
+                    touched_max, int(self.wear[base : base + size].max())
+                )
+            else:
+                touched_max = max(touched_max, int(self.wear[offsets].max()))
+        if tail:
+            tail_pos = base + (pos + shifts) % size
+            self.wear[tail_pos] += tail
+            touched_max = max(touched_max, int(self.wear[tail_pos]))
+        self.rotation[region] += shifts
+        self.phase[region] = tail
+        return touched_max
+
+    def step_round(self) -> int:
+        """Simulate one outer remapping round; return max wear touched."""
+        self.rounds += 1
+        self.total_writes += self.round_writes
+        if self.attack in ("raa", "raa_uniform"):
+            ia = self._target_ia(self.target_la)
+            region, local = divmod(ia, self.subregion)
+            return self._deposit_walk(region, local, self.round_writes)
+        # BPA: a fresh random LA per dwell.  The Feistel network is a
+        # bijection, so a uniformly random LA maps to an exactly uniform IA
+        # regardless of keys or stage count — BPA is provably insensitive to
+        # the number of stages (the flat line of Fig. 14) and the network
+        # need not be evaluated here.
+        remaining = self.round_writes
+        touched_max = 0
+        while remaining > 0:
+            chunk = min(remaining, self.dwell)
+            ia = int(self.rng.integers(0, self.n))
+            region, local = divmod(ia, self.subregion)
+            touched_max = max(
+                touched_max, self._deposit_walk(region, local, chunk)
+            )
+            remaining -= chunk
+        return touched_max
+
+    # -------------------------------------------------------------- drivers
+
+    def run_until_failure(self, max_rounds: int = 10_000_000) -> RoundSimResult:
+        """Advance rounds until some line's wear reaches the endurance."""
+        endurance = self.pcm.endurance
+        for _ in range(max_rounds):
+            touched_max = self.step_round()
+            if touched_max >= endurance:
+                return self._result(failed=True)
+        return self._result(failed=False)
+
+    def run_writes(
+        self, checkpoints: Sequence[float]
+    ) -> List[Tuple[float, np.ndarray]]:
+        """Run to each write-count checkpoint, snapshotting wear (Fig. 16)."""
+        snapshots: List[Tuple[float, np.ndarray]] = []
+        for target in sorted(checkpoints):
+            while self.total_writes < target:
+                self.step_round()
+            snapshots.append((self.total_writes, self.wear.copy()))
+        return snapshots
+
+    def _result(self, failed: bool) -> RoundSimResult:
+        return RoundSimResult(
+            rounds=self.rounds,
+            total_writes=self.total_writes,
+            lifetime_ns=self.total_writes * self.pcm.set_ns,
+            failed=failed,
+            max_wear=float(self.wear.max()),
+        )
+
+
+class RBSGBPASim:
+    """Birthday Paradox Attack against RBSG at dwell granularity.
+
+    Each dwell hammers a random LA for one Line Vulnerability Factor
+    (``(N/R + 1) * psi`` writes), all landing on the LA's current physical
+    slot.  The static randomizer is a real Feistel network (fixed keys, as
+    RBSG specifies); region rotations advance with the writes delivered to
+    them.  Validates :func:`repro.analysis.bpa.bpa_rbsg_lifetime_ns`.
+    """
+
+    def __init__(
+        self,
+        pcm: PCMConfig,
+        n_regions: int,
+        remap_interval: int,
+        rng: SeedLike = None,
+    ):
+        if pcm.n_lines % n_regions != 0:
+            raise ValueError("n_regions must divide n_lines")
+        self.pcm = pcm
+        self.n = pcm.n_lines
+        self.n_regions = n_regions
+        self.region_size = self.n // n_regions
+        self.remap_interval = remap_interval
+        self.rng = as_generator(rng)
+        self.randomizer = FeistelNetwork.random(
+            bit_length_exact(self.n), 3, self.rng
+        )
+        self.dwell = (self.region_size + 1) * remap_interval
+        self.wear = np.zeros(self.n, dtype=np.int64)
+        self.rotation = np.zeros(n_regions, dtype=np.int64)
+        self.phase = np.zeros(n_regions, dtype=np.int64)
+        self.total_writes = 0.0
+
+    def step_dwell(self) -> int:
+        """One BPA dwell: hammer a fresh random LA for one LVF."""
+        la = int(self.rng.integers(0, self.n))
+        ia = int(self.randomizer.encrypt(la))
+        region, local = divmod(ia, self.region_size)
+        # Current slot of this IA under the region's rotation; the dwell is
+        # sized to end as the line moves, so deposit it on one slot and
+        # advance the region by one rotation step.
+        slot = (local + int(self.rotation[region])) % self.region_size
+        index = region * self.region_size + slot
+        self.wear[index] += self.dwell
+        self.rotation[region] += 1
+        self.total_writes += self.dwell
+        return int(self.wear[index])
+
+    def run_until_failure(self, max_dwells: int = 50_000_000) -> RoundSimResult:
+        endurance = self.pcm.endurance
+        dwells = 0
+        failed = False
+        for _ in range(max_dwells):
+            dwells += 1
+            if self.step_dwell() >= endurance:
+                failed = True
+                break
+        return RoundSimResult(
+            rounds=dwells,
+            total_writes=self.total_writes,
+            lifetime_ns=self.total_writes * self.pcm.set_ns,
+            failed=failed,
+            max_wear=float(self.wear.max()),
+        )
+
+
+class TwoLevelSRRAASim:
+    """RAA against two-level Security Refresh at dwell granularity."""
+
+    def __init__(
+        self,
+        pcm: PCMConfig,
+        cfg: SRConfig,
+        rng: SeedLike = None,
+    ):
+        if pcm.n_lines % cfg.n_subregions != 0:
+            raise ValueError("n_subregions must divide n_lines")
+        self.pcm = pcm
+        self.cfg = cfg
+        self.rng = as_generator(rng)
+        self.n = pcm.n_lines
+        self.subregion = self.n // cfg.n_subregions
+        self.dwell = self.subregion * cfg.inner_interval
+        self.round_writes = self.n * cfg.outer_interval
+        self.wear = np.zeros(self.n, dtype=np.int64)
+        self.total_writes = 0.0
+        self.rounds = 0
+
+    def step_round(self) -> int:
+        """One outer round: random sub-region, random slot per inner round."""
+        self.rounds += 1
+        self.total_writes += self.round_writes
+        region = int(self.rng.integers(0, self.cfg.n_subregions))
+        base = region * self.subregion
+        n_dwells, tail = divmod(self.round_writes, self.dwell)
+        slots = self.rng.integers(0, self.subregion, size=int(n_dwells))
+        np.add.at(self.wear, base + slots, self.dwell)
+        if tail:
+            self.wear[base + int(self.rng.integers(0, self.subregion))] += int(tail)
+        return int(self.wear[base : base + self.subregion].max())
+
+    def run_until_failure(self, max_rounds: int = 10_000_000) -> RoundSimResult:
+        endurance = self.pcm.endurance
+        for _ in range(max_rounds):
+            touched_max = self.step_round()
+            if touched_max >= endurance:
+                break
+        else:
+            return RoundSimResult(
+                rounds=self.rounds,
+                total_writes=self.total_writes,
+                lifetime_ns=self.total_writes * self.pcm.set_ns,
+                failed=False,
+                max_wear=float(self.wear.max()),
+            )
+        return RoundSimResult(
+            rounds=self.rounds,
+            total_writes=self.total_writes,
+            lifetime_ns=self.total_writes * self.pcm.set_ns,
+            failed=True,
+            max_wear=float(self.wear.max()),
+        )

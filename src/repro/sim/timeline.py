@@ -1,0 +1,102 @@
+"""Latency-timeline instrumentation: the side channel, recorded.
+
+:class:`LatencyRecorder` wraps a controller and logs every write's
+``(index, la, latency)`` into growable numpy buffers, then classifies the
+stream into the Fig. 4 latency classes.  Useful for:
+
+* visualising what a timing attacker actually sees,
+* asserting side-channel properties in tests (how often each remap class
+  appears, whether a defense changes the signature),
+* exporting traces for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.pcm.timing import LineData
+
+
+@dataclass(frozen=True)
+class LatencyHistogram:
+    """Counts of observed write latencies (exact-value bins)."""
+
+    values: np.ndarray  #: distinct latencies, sorted
+    counts: np.ndarray  #: occurrences per latency
+
+    def as_dict(self) -> Dict[float, int]:
+        return {float(v): int(c) for v, c in zip(self.values, self.counts)}
+
+
+class LatencyRecorder:
+    """Write-through recorder over any controller-like object.
+
+    Works with :class:`~repro.sim.memory_system.MemoryController`,
+    :class:`~repro.sim.multibank.MultiBankSystem`, or the defense wrappers —
+    anything exposing ``write(la, data) -> latency``.
+    """
+
+    def __init__(self, controller, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.controller = controller
+        self._las = np.empty(capacity, dtype=np.int64)
+        self._latencies = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+
+    # ----------------------------------------------------------------- API
+
+    def write(self, la: int, data: LineData) -> float:
+        latency = self.controller.write(la, data)
+        if self._n == self._las.size:
+            self._grow()
+        self._las[self._n] = la
+        self._latencies[self._n] = latency
+        self._n += 1
+        return latency
+
+    def read(self, la: int):
+        return self.controller.read(la)
+
+    def _grow(self) -> None:
+        self._las = np.concatenate([self._las, np.empty_like(self._las)])
+        self._latencies = np.concatenate(
+            [self._latencies, np.empty_like(self._latencies)]
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def las(self) -> np.ndarray:
+        """Logical addresses written, in order."""
+        return self._las[: self._n]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Observed latencies (ns), in order."""
+        return self._latencies[: self._n]
+
+    def histogram(self) -> LatencyHistogram:
+        """Exact-value histogram of the observed latencies."""
+        values, counts = np.unique(self.latencies, return_counts=True)
+        return LatencyHistogram(values=values, counts=counts)
+
+    def extras(self, baseline_ns: float) -> np.ndarray:
+        """Latency beyond ``baseline_ns`` per write (0 = no remap)."""
+        return np.maximum(self.latencies - baseline_ns, 0.0)
+
+    def remap_rate(self, baseline_ns: float) -> float:
+        """Fraction of writes that carried remap work."""
+        if self._n == 0:
+            return 0.0
+        return float((self.latencies > baseline_ns + 1e-9).mean())
+
+    def window(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Slice of the recording: ``(las, latencies)``."""
+        return self._las[start:stop].copy(), self._latencies[start:stop].copy()

@@ -1,0 +1,90 @@
+"""Synthetic write-trace generators.
+
+Traces are lazy iterators of :class:`TraceEntry` so arbitrarily long streams
+cost O(1) memory.  They model the workload classes the paper's discussion
+relies on: benign uniform / skewed (zipf) / sequential traffic, and the
+degenerate single-address stream of a Repeated Address Attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.pcm.timing import ALL1, LineData
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One logical write: target address and the data latency class."""
+
+    la: int
+    data: LineData = ALL1
+
+
+def repeated_address_trace(
+    la: int, n_writes: Optional[int] = None, data: LineData = ALL1
+) -> Iterator[TraceEntry]:
+    """The RAA stream: hammer one logical address forever (or n_writes)."""
+    count = 0
+    while n_writes is None or count < n_writes:
+        yield TraceEntry(la=la, data=data)
+        count += 1
+
+
+def sequential_trace(
+    n_lines: int, n_writes: Optional[int] = None, data: LineData = ALL1
+) -> Iterator[TraceEntry]:
+    """Round-robin over the address space (streaming workload)."""
+    count = 0
+    while n_writes is None or count < n_writes:
+        yield TraceEntry(la=count % n_lines, data=data)
+        count += 1
+
+
+def uniform_random_trace(
+    n_lines: int,
+    n_writes: Optional[int] = None,
+    data: LineData = ALL1,
+    rng: SeedLike = None,
+    batch: int = 4096,
+) -> Iterator[TraceEntry]:
+    """Uniformly random addresses (drawn in batches for speed)."""
+    gen = as_generator(rng)
+    count = 0
+    while n_writes is None or count < n_writes:
+        size = batch if n_writes is None else min(batch, n_writes - count)
+        for la in gen.integers(0, n_lines, size=size):
+            yield TraceEntry(la=int(la), data=data)
+        count += size
+
+
+def zipf_trace(
+    n_lines: int,
+    n_writes: Optional[int] = None,
+    alpha: float = 1.2,
+    data: LineData = ALL1,
+    rng: SeedLike = None,
+    batch: int = 4096,
+) -> Iterator[TraceEntry]:
+    """Zipf-skewed addresses — the non-uniform traffic that motivates
+    wear leveling in the first place (Section I).
+
+    Rank ``r`` (0-based) is written with probability proportional to
+    ``(r+1)**-alpha``; ranks are identity-mapped to addresses so address 0
+    is the hottest line.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    gen = as_generator(rng)
+    weights = (np.arange(1, n_lines + 1, dtype=np.float64)) ** (-alpha)
+    probabilities = weights / weights.sum()
+    count = 0
+    while n_writes is None or count < n_writes:
+        size = batch if n_writes is None else min(batch, n_writes - count)
+        for la in gen.choice(n_lines, size=size, p=probabilities):
+            yield TraceEntry(la=int(la), data=data)
+        count += size

@@ -1,0 +1,101 @@
+"""Write-trace persistence: save / load / summarise traces as ``.npz``.
+
+Lets experiments decouple workload generation from replay: generate once
+(or capture a :class:`~repro.sim.timeline.LatencyRecorder` session), store
+compactly, replay anywhere.  The on-disk format is a numpy ``.npz`` with
+two arrays (``las`` int64, ``data`` int8 — the LineData class per write)
+and a tiny JSON-ish metadata array.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.pcm.timing import LineData
+from repro.sim.trace import TraceEntry
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Cheap statistics of a stored trace."""
+
+    n_writes: int
+    n_distinct: int
+    hottest_la: int
+    hottest_share: float
+    write_class_counts: Dict[str, int]
+
+
+def save_trace(
+    path: PathLike,
+    entries: Iterable[TraceEntry],
+    metadata: Optional[Dict[str, str]] = None,
+) -> int:
+    """Persist a trace; returns the number of entries written.
+
+    ``entries`` may be any iterable (generators included) — it is fully
+    materialised, so bound it with ``n_writes`` when generating.
+    """
+    las, classes = [], []
+    for entry in entries:
+        las.append(entry.la)
+        classes.append(int(entry.data))
+    header = dict(metadata or {})
+    header["format_version"] = str(_FORMAT_VERSION)
+    np.savez_compressed(
+        Path(path),
+        las=np.asarray(las, dtype=np.int64),
+        data=np.asarray(classes, dtype=np.int8),
+        meta=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+    return len(las)
+
+
+def load_trace(path: PathLike) -> Iterator[TraceEntry]:
+    """Stream a stored trace back as :class:`TraceEntry` objects."""
+    with np.load(Path(path)) as archive:
+        las = archive["las"]
+        classes = archive["data"]
+    for la, cls in zip(las, classes):
+        yield TraceEntry(la=int(la), data=LineData(int(cls)))
+
+
+def load_metadata(path: PathLike) -> Dict[str, str]:
+    """Read a stored trace's metadata header."""
+    with np.load(Path(path)) as archive:
+        raw = archive["meta"].tobytes().decode()
+    return json.loads(raw)
+
+
+def summarize_trace(path: PathLike) -> TraceSummary:
+    """Compute summary statistics without building TraceEntry objects."""
+    with np.load(Path(path)) as archive:
+        las = archive["las"]
+        classes = archive["data"]
+    if las.size == 0:
+        return TraceSummary(0, 0, -1, 0.0, {})
+    values, counts = np.unique(las, return_counts=True)
+    hottest = int(np.argmax(counts))
+    class_values, class_counts = np.unique(classes, return_counts=True)
+    class_names = {
+        int(v): LineData(int(v)).name for v in class_values
+    }
+    return TraceSummary(
+        n_writes=int(las.size),
+        n_distinct=int(values.size),
+        hottest_la=int(values[hottest]),
+        hottest_share=float(counts[hottest] / las.size),
+        write_class_counts={
+            class_names[int(v)]: int(c)
+            for v, c in zip(class_values, class_counts)
+        },
+    )

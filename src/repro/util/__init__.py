@@ -1,0 +1,19 @@
+"""Small shared utilities: bit manipulation, validation, RNG plumbing."""
+
+from repro.util.bitops import (
+    bit_length_exact,
+    get_bit,
+    is_power_of_two,
+    mask,
+    set_bit,
+)
+from repro.util.rng import as_generator
+
+__all__ = [
+    "as_generator",
+    "bit_length_exact",
+    "get_bit",
+    "is_power_of_two",
+    "mask",
+    "set_bit",
+]

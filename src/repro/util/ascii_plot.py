@@ -1,0 +1,87 @@
+"""Terminal plotting helpers for examples and CLI output.
+
+No plotting stack is assumed (the library's only runtime dependency is
+numpy), so examples render their figures as text: horizontal bar charts,
+inline sparklines, and a fixed-grid line plot good enough to show a
+Fig. 16-style curve in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{str(label):>{label_width}} | "
+            f"{'#' * filled}{' ' * (width - filled)} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a series."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    low, high = float(data.min()), float(data.max())
+    if high == low:
+        return _SPARK_LEVELS[0] * data.size
+    scaled = (data - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def line_plot(
+    ys: Sequence[float],
+    xs: Optional[Sequence[float]] = None,
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Fixed-grid dot plot of one series (downsampled to ``width``)."""
+    y = np.asarray(list(ys), dtype=np.float64)
+    if y.size == 0:
+        return title
+    if xs is not None and len(xs) != y.size:
+        raise ValueError("xs and ys must have equal length")
+    # Downsample/interpolate onto the character grid.
+    grid_x = np.linspace(0, y.size - 1, width)
+    grid_y = np.interp(grid_x, np.arange(y.size), y)
+    low, high = float(grid_y.min()), float(grid_y.max())
+    span = high - low if high > low else 1.0
+    rows = [[" "] * width for _ in range(height)]
+    for column, value in enumerate(grid_y):
+        row = int(round((value - low) / span * (height - 1)))
+        rows[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.3g} ┤" + "".join(rows[0]))
+    for row in rows[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.3g} ┤" + "".join(rows[-1]))
+    if xs is not None:
+        lines.append(
+            " " * 12 + f"{float(xs[0]):<.3g}".ljust(width // 2)
+            + f"{float(xs[-1]):>.3g}".rjust(width // 2)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Bit-manipulation helpers used throughout address-mapping code.
+
+All wear-leveling schemes in this library operate on line addresses that are
+small non-negative integers (at paper scale, 22 bits for a 1 GB bank with
+256 B lines).  These helpers centralise the masking / bit-extraction idioms
+so the scheme implementations read like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def bit_length_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def mask(nbits: int) -> int:
+    """Return an ``nbits``-wide all-ones mask (``mask(3) == 0b111``)."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be non-negative, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def get_bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit`` (0 or 1)."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    cleared = value & ~(1 << index)
+    return cleared | (bit << index)

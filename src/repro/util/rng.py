@@ -1,0 +1,27 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component (key generation, attack address selection,
+workload synthesis) accepts a ``seed`` argument that may be ``None``, an
+integer, or an existing :class:`numpy.random.Generator`.  Centralising the
+coercion keeps experiments reproducible: passing the same integer seed to a
+top-level experiment reproduces the identical run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    An existing generator is returned unchanged (shared state), so a single
+    generator threaded through an experiment yields one reproducible stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,84 @@
+"""Common interface for wear-leveling schemes.
+
+The split of responsibilities mirrors a real memory controller:
+
+* the *scheme* owns the address mapping and its registers/counters;
+* the *controller* (:class:`repro.sim.memory_system.MemoryController`) owns
+  the PCM array and executes the data movements the scheme requests,
+  accounting wear and — crucially for the Remapping Timing Attack — latency.
+
+``record_write`` returns the movements triggered by one logical write.  The
+scheme's mapping state is already updated when the movements are returned,
+so the caller must execute them (in order) before translating the write.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Union
+
+
+@dataclass(frozen=True)
+class CopyMove:
+    """Copy the content of physical line ``src`` to physical line ``dst``.
+
+    Cost model (Fig. 4a): one read of ``src`` plus one write of ``dst`` with
+    ``src``'s data — 250 ns for ALL-0 content, 1125 ns otherwise.
+    """
+
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class SwapMove:
+    """Exchange the contents of two physical lines (Security Refresh).
+
+    Cost model (Fig. 4b): two reads plus two writes — 500/1375/2250 ns
+    depending on the two contents.
+    """
+
+    pa_a: int
+    pa_b: int
+
+
+Move = Union[CopyMove, SwapMove]
+
+
+class WearLeveler(abc.ABC):
+    """Base class for all wear-leveling schemes.
+
+    Attributes
+    ----------
+    n_lines:
+        Number of logical lines the scheme exposes.
+    n_physical:
+        Number of physical lines the scheme requires (logical lines plus
+        any gap/spare lines).
+    """
+
+    n_lines: int
+    n_physical: int
+
+    @abc.abstractmethod
+    def translate(self, la: int) -> int:
+        """Map logical address ``la`` to its current physical address."""
+
+    @abc.abstractmethod
+    def record_write(self, la: int) -> List[Move]:
+        """Account one logical write to ``la``; return triggered movements.
+
+        The returned movements reflect remappings whose effect is *already*
+        visible through :meth:`translate`.
+        """
+
+    # ------------------------------------------------------------- helpers
+
+    def _check_la(self, la: int) -> None:
+        if not 0 <= la < self.n_lines:
+            raise ValueError(f"logical address {la} outside [0, {self.n_lines})")
+
+    def mapping_snapshot(self) -> "list[int]":
+        """Full LA→PA table under the current state (tests / small configs)."""
+        return [self.translate(la) for la in range(self.n_lines)]

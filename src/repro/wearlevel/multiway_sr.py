@@ -1,0 +1,68 @@
+"""Multi-Way Security Refresh (Yu & Du, IEEE TC 2014; paper Section III-E).
+
+The paper characterises the scheme family this way: the memory space is
+divided into many sub-regions *by the address sequence* (contiguous LA
+ranges) and wear leveling runs independently inside each sub-region.  Our
+implementation gives each contiguous LA range its own one-level SR region.
+
+This family inherits the vulnerability discussed in Section III-E: once the
+attacker locates a sub-region (free — the split is by address sequence, so
+the high LA bits name the sub-region directly), it takes at most
+``(2N/R) * log2(R)`` writes to track its remapping, after which the whole
+sub-region can be worn out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.bitops import bit_length_exact
+from repro.util.rng import SeedLike, as_generator
+from repro.wearlevel.base import Move, SwapMove, WearLeveler
+from repro.wearlevel.security_refresh import SRRegion
+
+
+class MultiWaySR(WearLeveler):
+    """Independent per-sub-region Security Refresh over contiguous LA ranges."""
+
+    def __init__(
+        self,
+        n_lines: int,
+        n_subregions: int = 512,
+        remap_interval: int = 64,
+        rng: SeedLike = None,
+    ):
+        if n_subregions < 1 or n_lines % n_subregions != 0:
+            raise ValueError(
+                f"n_subregions ({n_subregions}) must divide n_lines ({n_lines})"
+            )
+        self.n_lines = n_lines
+        self.n_physical = n_lines
+        self.n_subregions = n_subregions
+        self.subregion_size = n_lines // n_subregions
+        bit_length_exact(self.subregion_size)  # must be a power of two
+        gen = as_generator(rng)
+        self.regions = [
+            SRRegion(self.subregion_size, remap_interval, gen)
+            for _ in range(n_subregions)
+        ]
+
+    def subregion_of(self, la: int) -> int:
+        """Sub-region index — directly the high bits of the logical address."""
+        return la // self.subregion_size
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        region = self.subregion_of(la)
+        local = la % self.subregion_size
+        base = region * self.subregion_size
+        return base + self.regions[region].translate(local)
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        region = self.subregion_of(la)
+        base = region * self.subregion_size
+        swap = self.regions[region].record_write()
+        if swap is None:
+            return []
+        return [SwapMove(pa_a=base + swap[0], pa_b=base + swap[1])]

@@ -1,0 +1,30 @@
+"""Identity mapping — the unprotected baseline.
+
+Under no wear leveling a Repeated Address Attack wears out one line in
+``endurance × set_ns`` time: 100 seconds for the paper's device ("an
+adversary can render a memory line unusable in one minute", Section II-B).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wearlevel.base import Move, WearLeveler
+
+
+class NoWearLeveling(WearLeveler):
+    """LA == PA; never remaps anything."""
+
+    def __init__(self, n_lines: int):
+        if n_lines < 1:
+            raise ValueError("n_lines must be >= 1")
+        self.n_lines = n_lines
+        self.n_physical = n_lines
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return la
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        return []

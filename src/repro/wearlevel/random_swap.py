@@ -1,0 +1,76 @@
+"""Randomized table-based swap wear leveling (Seznec 2009 category, ref [6]).
+
+The scheme family the paper credits with fixing RBSG's Birthday-Paradox
+weakness via tables: keep an explicit LA→PA table and, every
+``swap_interval`` writes, swap the *currently written* line with a line
+chosen uniformly at random.  Because the placement is random rather than
+write-count-driven, the §II-B determinism complaint against plain
+table-based schemes does not apply — an attacker cannot predict where a
+line lands next.
+
+Costs and residual exposure:
+
+* table storage (the reason the paper prefers algebraic mapping),
+* a hammered line still dwells ``swap_interval`` writes per placement, so
+  the balls-into-bins analysis of `repro.analysis.ballsbins` applies with
+  ``D = swap_interval`` — a *small* interval is cheap protection here
+  because each remap is one swap regardless of region geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.wearlevel.base import Move, SwapMove, WearLeveler
+
+
+class RandomSwapWearLeveling(WearLeveler):
+    """Table-tracked uniform random swaps on a write-count trigger."""
+
+    def __init__(
+        self,
+        n_lines: int,
+        swap_interval: int = 32,
+        rng: SeedLike = None,
+    ):
+        if n_lines < 2:
+            raise ValueError("n_lines must be >= 2")
+        if swap_interval < 1:
+            raise ValueError("swap_interval must be >= 1")
+        self.n_lines = n_lines
+        self.n_physical = n_lines
+        self.swap_interval = swap_interval
+        self._rng = as_generator(rng)
+        self.table = np.arange(n_lines, dtype=np.int64)  # LA -> PA
+        self.inverse = np.arange(n_lines, dtype=np.int64)  # PA -> LA
+        self.write_count = 0
+        self.total_swaps = 0
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return int(self.table[la])
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        self.write_count += 1
+        if self.write_count % self.swap_interval != 0:
+            return []
+        # Swap the written line with a uniformly random partner: the
+        # hammered line cannot stay put longer than one interval, and its
+        # next home is unpredictable.
+        pa_a = int(self.table[la])
+        pa_b = int(self._rng.integers(0, self.n_lines))
+        if pa_a == pa_b:
+            return []
+        self._swap_physical(pa_a, pa_b)
+        self.total_swaps += 1
+        return [SwapMove(pa_a=pa_a, pa_b=pa_b)]
+
+    def _swap_physical(self, pa_a: int, pa_b: int) -> None:
+        la_a = int(self.inverse[pa_a])
+        la_b = int(self.inverse[pa_b])
+        self.table[la_a], self.table[la_b] = pa_b, pa_a
+        self.inverse[pa_a], self.inverse[pa_b] = la_b, la_a

@@ -1,0 +1,133 @@
+"""Security Refresh (Seong et al., ISCA 2010; paper Section III-C).
+
+One SR region dynamically remaps its lines by XORing with a random key.
+Two key registers (``keyc`` for the in-progress round, ``keyp`` for the
+previous, completed round) plus the Current Refresh Pointer (``CRP``) define
+the mapping at any instant:
+
+* line ``la`` has been remapped this round iff ``min(la, pair(la)) < CRP``
+  where ``pair(la) = la XOR keyc XOR keyp``;
+* its physical slot is ``la XOR keyc`` if remapped, else ``la XOR keyp``.
+
+Remapping exploits SR's pairwise property: the new slot of ``la`` is the old
+slot of ``pair(la)`` and vice versa, so each remap is a single swap of two
+physical lines — no gap line needed (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.util.bitops import bit_length_exact
+from repro.util.rng import SeedLike, as_generator
+from repro.wearlevel.base import Move, SwapMove, WearLeveler
+
+
+class SRRegion:
+    """One Security Refresh region over ``n_lines`` (a power of two).
+
+    Region-local: addresses and returned swap pairs are in ``[0, n_lines)``.
+    Shared by the one-level scheme, the two-level scheme and Multi-Way SR.
+    """
+
+    def __init__(self, n_lines: int, remap_interval: int, rng: SeedLike = None):
+        self.n_bits = bit_length_exact(n_lines)
+        if remap_interval < 1:
+            raise ValueError("remap_interval must be >= 1")
+        self.n_lines = n_lines
+        self.remap_interval = remap_interval
+        self._rng = as_generator(rng)
+        initial_key = self._draw_key()
+        self.keyc = initial_key
+        self.keyp = initial_key  # boot state: one completed round with keyc
+        self.crp = 0
+        self.write_count = 0
+        self.round_count = 0
+        self.total_swaps = 0
+
+    def _draw_key(self) -> int:
+        return int(self._rng.integers(0, self.n_lines))
+
+    # ------------------------------------------------------------- mapping
+
+    def pair_of(self, la: int) -> int:
+        """``paired(la)``: the line whose slot ``la`` moves into this round."""
+        return la ^ self.keyc ^ self.keyp
+
+    def is_remapped(self, la: int) -> bool:
+        """Has ``la`` been remapped in the current round?"""
+        return min(la, self.pair_of(la)) < self.crp
+
+    def translate(self, la: int) -> int:
+        if not 0 <= la < self.n_lines:
+            raise ValueError(f"address {la} outside region [0, {self.n_lines})")
+        key = self.keyc if self.is_remapped(la) else self.keyp
+        return la ^ key
+
+    # -------------------------------------------------------------- remaps
+
+    def record_write(self) -> Optional[Tuple[int, int]]:
+        """Count one write; return a local slot swap ``(a, b)`` if triggered.
+
+        Returns ``None`` either when no remap fires or when the fired remap
+        needs no data movement (its pair was already handled, Fig. 5(c)).
+        """
+        self.write_count += 1
+        if self.write_count % self.remap_interval != 0:
+            return None
+        return self.remap_step()
+
+    def remap_step(self) -> Optional[Tuple[int, int]]:
+        """Advance the CRP by one candidate; swap lines if needed."""
+        la = self.crp
+        pair = self.pair_of(la)
+        swap: Optional[Tuple[int, int]] = None
+        if pair > la:
+            # Not yet remapped: move la's data from its old slot to its new
+            # slot, which is exactly pair's old slot — one swap does both.
+            old_slot = la ^ self.keyp
+            new_slot = la ^ self.keyc
+            if old_slot != new_slot:
+                swap = (old_slot, new_slot)
+                self.total_swaps += 1
+        # pair <= la: already swapped when CRP passed `pair` (or identity).
+        self.crp += 1
+        if self.crp == self.n_lines:
+            self._finish_round()
+        return swap
+
+    def _finish_round(self) -> None:
+        self.keyp = self.keyc
+        self.keyc = self._draw_key()
+        self.crp = 0
+        self.round_count += 1
+
+    @property
+    def writes_until_next_remap(self) -> int:
+        """Writes remaining before the CRP advances again."""
+        return self.remap_interval - (self.write_count % self.remap_interval)
+
+
+class SecurityRefresh(WearLeveler):
+    """One-level Security Refresh over the whole logical space."""
+
+    def __init__(self, n_lines: int, remap_interval: int = 64, rng: SeedLike = None):
+        self.n_lines = n_lines
+        self.n_physical = n_lines  # swap-based: no spare lines
+        self.region = SRRegion(n_lines, remap_interval, rng)
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return self.region.translate(la)
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        swap = self.region.record_write()
+        if swap is None:
+            return []
+        return [SwapMove(pa_a=swap[0], pa_b=swap[1])]
+
+    @property
+    def key_xor(self) -> int:
+        """Ground truth ``keyc XOR keyp`` — what the RTA tries to recover."""
+        return self.region.keyc ^ self.region.keyp

@@ -1,0 +1,95 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009; paper Section III-A).
+
+A region of ``n`` data lines owns ``n + 1`` physical slots; the extra slot is
+the *GapLine*.  Two registers drive an algebraic mapping:
+
+* ``start`` — how many full rotations the region has completed,
+* ``gap`` — the slot currently left empty.
+
+Mapping: ``pa = (ia + start) mod n``, then ``pa += 1`` if ``pa >= gap``.
+
+Every ``remap_interval`` writes to the region, one *gap movement* copies the
+line above the gap into the gap (``[gap-1] → [gap]``) and decrements ``gap``;
+when the gap wraps below slot 0 it re-enters at slot ``n`` and ``start``
+advances, completing one remapping round exactly as in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.wearlevel.base import CopyMove, Move, WearLeveler
+
+
+class StartGapRegion:
+    """The per-region Start-Gap engine, operating on region-local slots.
+
+    Used standalone by :class:`StartGap`, and as the building block of
+    Region-Based Start-Gap and of Security RBSG's inner level.  Slot indices
+    are local (``0 .. n_lines``, slot ``n_lines`` being the initial gap).
+    """
+
+    def __init__(self, n_lines: int, remap_interval: int):
+        if n_lines < 1:
+            raise ValueError("n_lines must be >= 1")
+        if remap_interval < 1:
+            raise ValueError("remap_interval must be >= 1")
+        self.n_lines = n_lines
+        self.remap_interval = remap_interval
+        self.start = 0
+        self.gap = n_lines  # gap starts at the spare slot
+        self.write_count = 0
+        self.total_movements = 0
+
+    def translate(self, ia: int) -> int:
+        """Map region-local intermediate address to region-local slot."""
+        if not 0 <= ia < self.n_lines:
+            raise ValueError(f"intermediate address {ia} outside region")
+        pa = (ia + self.start) % self.n_lines
+        if pa >= self.gap:
+            pa += 1
+        return pa
+
+    def record_write(self) -> Optional[Tuple[int, int]]:
+        """Count one write; return a local ``(src, dst)`` copy if triggered."""
+        self.write_count += 1
+        if self.write_count % self.remap_interval != 0:
+            return None
+        return self.gap_movement()
+
+    def gap_movement(self) -> Tuple[int, int]:
+        """Perform one gap movement; return the local ``(src, dst)`` copy."""
+        n_slots = self.n_lines + 1
+        src = (self.gap - 1) % n_slots
+        dst = self.gap
+        self.gap = src
+        if self.gap == self.n_lines:  # wrapped: one full round completed
+            self.start = (self.start + 1) % self.n_lines
+        self.total_movements += 1
+        return src, dst
+
+    @property
+    def writes_until_next_movement(self) -> int:
+        """Writes remaining before the next gap movement fires."""
+        return self.remap_interval - (self.write_count % self.remap_interval)
+
+
+class StartGap(WearLeveler):
+    """Single-region Start-Gap over the whole logical space."""
+
+    def __init__(self, n_lines: int, remap_interval: int = 100):
+        self.n_lines = n_lines
+        self.n_physical = n_lines + 1
+        self.region = StartGapRegion(n_lines, remap_interval)
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return self.region.translate(la)
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        move = self.region.record_write()
+        if move is None:
+            return []
+        src, dst = move
+        return [CopyMove(src=src, dst=dst)]

@@ -1,0 +1,63 @@
+"""Table-based hot/cold-swap wear leveling (paper Section II-A motivation).
+
+Table-based schemes track per-line write counts and periodically swap the
+hottest line with the coldest one through an explicit mapping table.  The
+paper cites them as the straw-man whose determinism makes them easy to
+attack ("the location of the mapped line can be guessed easily") and whose
+table costs motivate the algebraic schemes.
+
+This implementation keeps an LA→PA table plus the inverse, counts writes per
+*physical* line, and every ``swap_interval`` writes swaps the most-written
+physical line's resident data with the least-written line's.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.wearlevel.base import Move, SwapMove, WearLeveler
+
+
+class TableBasedWearLeveling(WearLeveler):
+    """Hot/cold swap driven by per-line write counts."""
+
+    def __init__(self, n_lines: int, swap_interval: int = 64):
+        if n_lines < 2:
+            raise ValueError("n_lines must be >= 2")
+        if swap_interval < 1:
+            raise ValueError("swap_interval must be >= 1")
+        self.n_lines = n_lines
+        self.n_physical = n_lines
+        self.swap_interval = swap_interval
+        self.table = np.arange(n_lines, dtype=np.int64)  # LA -> PA
+        self.inverse = np.arange(n_lines, dtype=np.int64)  # PA -> LA
+        self.write_counts = np.zeros(n_lines, dtype=np.int64)  # per PA
+        self.write_count = 0
+        self.total_swaps = 0
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return int(self.table[la])
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        pa = int(self.table[la])
+        self.write_counts[pa] += 1
+        self.write_count += 1
+        if self.write_count % self.swap_interval != 0:
+            return []
+        hot = int(np.argmax(self.write_counts))
+        cold = int(np.argmin(self.write_counts))
+        if hot == cold:
+            return []
+        self._swap_physical(hot, cold)
+        self.total_swaps += 1
+        return [SwapMove(pa_a=hot, pa_b=cold)]
+
+    def _swap_physical(self, pa_a: int, pa_b: int) -> None:
+        la_a = int(self.inverse[pa_a])
+        la_b = int(self.inverse[pa_b])
+        self.table[la_a], self.table[la_b] = pa_b, pa_a
+        self.inverse[pa_a], self.inverse[pa_b] = la_b, la_a

@@ -1,0 +1,116 @@
+"""Two-level (hierarchical) Security Refresh (paper Section III-C/E).
+
+The outer SR region spans the whole LA space and remaps LA → IA; the IA
+space is then divided into equal-size contiguous sub-regions, each managed
+by an inner SR region translating IA → PA within the sub-region.  "Both
+levels apply the SR scheme, but are transparent and independent to each
+other":
+
+* the outer write counter counts *all* writes to the bank
+  (``outer_interval`` per remap),
+* each inner write counter counts writes landing *in that sub-region*
+  (``inner_interval`` per remap).
+
+An outer remap swaps two IAs; physically this swaps the lines the two IAs
+currently occupy *through* the inner mapping.  An inner remap swaps two
+slots inside one sub-region.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.bitops import bit_length_exact
+from repro.util.rng import SeedLike, as_generator
+from repro.wearlevel.base import Move, SwapMove, WearLeveler
+from repro.wearlevel.security_refresh import SRRegion
+
+
+class TwoLevelSecurityRefresh(WearLeveler):
+    """Hierarchical Security Refresh.
+
+    Parameters
+    ----------
+    n_lines:
+        Logical lines (power of two).
+    n_subregions:
+        Number of inner SR sub-regions; must divide ``n_lines`` with a
+        power-of-two quotient.
+    inner_interval / outer_interval:
+        Remapping intervals of the two levels (the paper's suggested
+        configuration is 512 sub-regions, inner 64, outer 128).
+    """
+
+    def __init__(
+        self,
+        n_lines: int,
+        n_subregions: int = 512,
+        inner_interval: int = 64,
+        outer_interval: int = 128,
+        rng: SeedLike = None,
+    ):
+        if n_subregions < 1 or n_lines % n_subregions != 0:
+            raise ValueError(
+                f"n_subregions ({n_subregions}) must divide n_lines ({n_lines})"
+            )
+        self.n_lines = n_lines
+        self.n_physical = n_lines
+        self.n_subregions = n_subregions
+        self.subregion_size = n_lines // n_subregions
+        bit_length_exact(self.subregion_size)  # validates power of two
+        gen = as_generator(rng)
+        self.outer = SRRegion(n_lines, outer_interval, gen)
+        self.inners = [
+            SRRegion(self.subregion_size, inner_interval, gen)
+            for _ in range(n_subregions)
+        ]
+
+    # ------------------------------------------------------------- mapping
+
+    def subregion_of(self, ia: int) -> int:
+        """Sub-region index of an intermediate address."""
+        return ia // self.subregion_size
+
+    def _phys_of_ia(self, ia: int) -> int:
+        region = self.subregion_of(ia)
+        local = ia % self.subregion_size
+        return region * self.subregion_size + self.inners[region].translate(local)
+
+    def translate(self, la: int) -> int:
+        self._check_la(la)
+        return self._phys_of_ia(self.outer.translate(la))
+
+    # -------------------------------------------------------------- writes
+
+    def record_write(self, la: int) -> List[Move]:
+        self._check_la(la)
+        moves: List[Move] = []
+        # Outer level counts every write to the bank.
+        outer_swap = self.outer.record_write()
+        if outer_swap is not None:
+            ia_a, ia_b = outer_swap
+            pa_a = self._phys_of_ia(ia_a)
+            pa_b = self._phys_of_ia(ia_b)
+            if pa_a != pa_b:
+                moves.append(SwapMove(pa_a=pa_a, pa_b=pa_b))
+        # Inner level counts writes landing in the target sub-region
+        # (computed under the post-outer-remap mapping).
+        ia = self.outer.translate(la)
+        region = self.subregion_of(ia)
+        base = region * self.subregion_size
+        inner_swap = self.inners[region].record_write()
+        if inner_swap is not None:
+            moves.append(SwapMove(pa_a=base + inner_swap[0], pa_b=base + inner_swap[1]))
+        return moves
+
+    # ------------------------------------------------------------- oracles
+
+    @property
+    def outer_key_xor(self) -> int:
+        """Ground truth outer ``keyc XOR keyp`` (RTA recovery target)."""
+        return self.outer.keyc ^ self.outer.keyp
+
+    def inner_key_xor(self, region: int) -> int:
+        """Ground truth inner ``keyc XOR keyp`` of one sub-region."""
+        inner = self.inners[region]
+        return inner.keyc ^ inner.keyp

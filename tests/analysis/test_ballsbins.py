@@ -1,0 +1,76 @@
+"""Tests for the max-load balls-into-bins estimates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ballsbins import dwells_to_max_load, expected_max_load
+
+
+class TestExpectedMaxLoad:
+    def test_formula(self):
+        mu = 100.0
+        n = 1024
+        expected = mu + math.sqrt(2 * mu * math.log(n))
+        assert expected_max_load(mu * n, n) == pytest.approx(expected)
+
+    def test_single_bin(self):
+        assert expected_max_load(42, 1) == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_load(10, 0)
+        with pytest.raises(ValueError):
+            expected_max_load(-1, 10)
+
+    def test_against_monte_carlo(self):
+        """The heavily-loaded bound tracks simulated maxima within ~10 %."""
+        rng = np.random.default_rng(0)
+        n_bins, n_balls = 512, 200_000
+        maxima = [
+            rng.multinomial(n_balls, np.full(n_bins, 1 / n_bins)).max()
+            for _ in range(20)
+        ]
+        predicted = expected_max_load(n_balls, n_bins)
+        assert np.mean(maxima) == pytest.approx(predicted, rel=0.1)
+
+
+class TestDwellsToMaxLoad:
+    def test_inverts_expected_max_load(self):
+        n = 4096
+        for target in (50, 500, 5000):
+            balls = dwells_to_max_load(target, n)
+            assert expected_max_load(balls, n) == pytest.approx(target)
+
+    def test_single_bin(self):
+        assert dwells_to_max_load(7, 1) == 7
+
+    def test_monotone_in_target(self):
+        assert dwells_to_max_load(100, 256) < dwells_to_max_load(200, 256)
+
+    def test_less_than_uniform_total(self):
+        """Reaching max load T needs fewer than T*n balls (the deviation
+        term): randomized wear-leveling loses lifetime vs ideal."""
+        n = 1 << 20
+        target = 200.0
+        assert dwells_to_max_load(target, n) < target * n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dwells_to_max_load(0, 10)
+        with pytest.raises(ValueError):
+            dwells_to_max_load(10, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        target=st.floats(1.0, 1e6),
+        n_bits=st.integers(1, 24),
+    )
+    def test_roundtrip_property(self, target, n_bits):
+        n = 1 << n_bits
+        balls = dwells_to_max_load(target, n)
+        assert balls >= 0
+        assert expected_max_load(balls, n) == pytest.approx(target, rel=1e-6)

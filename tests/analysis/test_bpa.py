@@ -1,0 +1,73 @@
+"""Tests for the analytic BPA models."""
+
+import pytest
+
+from repro.analysis.bpa import (
+    bpa_rbsg_lifetime_ns,
+    bpa_safe_region_count,
+    line_vulnerability_factor,
+)
+from repro.analysis.lifetime import ideal_lifetime_ns, raa_rbsg_lifetime_ns
+from repro.config import PAPER_PCM, PCMConfig, RBSGConfig
+
+
+class TestLVF:
+    def test_formula(self):
+        cfg = RBSGConfig(n_regions=32, remap_interval=100)
+        assert line_vulnerability_factor(PAPER_PCM, cfg) == (
+            (2**22 / 32 + 1) * 100
+        )
+
+    def test_shrinks_with_regions_and_interval(self):
+        big = line_vulnerability_factor(PAPER_PCM, RBSGConfig(32, 100))
+        more_regions = line_vulnerability_factor(PAPER_PCM, RBSGConfig(128, 100))
+        faster = line_vulnerability_factor(PAPER_PCM, RBSGConfig(32, 16))
+        assert more_regions < big
+        assert faster < big
+
+
+class TestBPALifetime:
+    def test_below_ideal(self):
+        lifetime = bpa_rbsg_lifetime_ns(PAPER_PCM, RBSGConfig(128, 16))
+        assert lifetime < ideal_lifetime_ns(PAPER_PCM)
+
+    def test_improves_with_smaller_lvf(self):
+        worse = bpa_rbsg_lifetime_ns(PAPER_PCM, RBSGConfig(32, 100))
+        better = bpa_rbsg_lifetime_ns(PAPER_PCM, RBSGConfig(1024, 16))
+        assert better > worse
+
+    def test_degenerate_lvf_exceeds_endurance(self):
+        """One dwell kills a line when LVF >= E — the §II-B criterion."""
+        pcm = PCMConfig(n_lines=2**20, endurance=1e4)
+        cfg = RBSGConfig(n_regions=1, remap_interval=100)  # LVF >> E
+        lifetime = bpa_rbsg_lifetime_ns(pcm, cfg)
+        lvf = line_vulnerability_factor(pcm, cfg)
+        assert lifetime == lvf * pcm.set_ns
+
+    def test_bpa_beats_raa_against_rbsg(self):
+        """The reason RBSG alone is insufficient (Seznec's observation):
+        BPA kills it far faster than ideal wear would suggest, though RAA
+        is even faster per §V-A's region sizing rule."""
+        cfg = RBSGConfig(32, 100)
+        bpa = bpa_rbsg_lifetime_ns(PAPER_PCM, cfg)
+        raa = raa_rbsg_lifetime_ns(PAPER_PCM, cfg)
+        ideal = ideal_lifetime_ns(PAPER_PCM)
+        assert raa < bpa < ideal
+
+
+class TestSafeRegionCount:
+    def test_paper_rule(self):
+        """§V-A: no more than Endurance/(8*psi) lines per region."""
+        regions = bpa_safe_region_count(PAPER_PCM, remap_interval=100)
+        assert PAPER_PCM.n_lines / regions <= PAPER_PCM.endurance / (8 * 100)
+        # ... and it is the smallest power-of-two such count.
+        assert PAPER_PCM.n_lines / (regions // 2) > PAPER_PCM.endurance / 800
+
+    def test_larger_interval_needs_more_regions(self):
+        few = bpa_safe_region_count(PAPER_PCM, remap_interval=16)
+        many = bpa_safe_region_count(PAPER_PCM, remap_interval=128)
+        assert many >= few
+
+    def test_margin_validated(self):
+        with pytest.raises(ValueError):
+            bpa_safe_region_count(PAPER_PCM, 100, margin=0)

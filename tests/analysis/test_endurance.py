@@ -1,0 +1,87 @@
+"""Tests for endurance-variation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.endurance import (
+    expected_min_endurance,
+    spares_to_recover,
+    uniform_lifetime_fraction,
+)
+from repro.config import PCMConfig
+
+
+class TestExpectedMinEndurance:
+    def test_no_variation(self):
+        pcm = PCMConfig(n_lines=2**12, endurance=1e6)
+        assert expected_min_endurance(pcm, 0.0) == 1e6
+
+    def test_matches_monte_carlo(self):
+        pcm = PCMConfig(n_lines=2**12, endurance=1e6)
+        cv = 0.2
+        rng = np.random.default_rng(0)
+        minima = [
+            rng.normal(1e6, cv * 1e6, size=pcm.n_lines).min()
+            for _ in range(30)
+        ]
+        approx = expected_min_endurance(pcm, cv)
+        assert approx == pytest.approx(np.mean(minima), rel=0.08)
+
+    def test_monotone_in_cv_and_n(self):
+        small = PCMConfig(n_lines=2**10, endurance=1e6)
+        large = PCMConfig(n_lines=2**22, endurance=1e6)
+        assert expected_min_endurance(small, 0.1) > expected_min_endurance(
+            small, 0.3
+        )
+        assert expected_min_endurance(large, 0.2) < expected_min_endurance(
+            small, 0.2
+        )
+
+    def test_floor(self):
+        pcm = PCMConfig(n_lines=2**22, endurance=1e6)
+        assert expected_min_endurance(pcm, 10.0) == 0.01 * 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_min_endurance(PCMConfig(n_lines=16), -0.1)
+
+
+class TestLifetimeFraction:
+    def test_fraction_matches_simulated_example(self):
+        """The benign_workloads example observes ~22 % of ideal at cv=0.25
+        on a 512-line device — the model should land nearby."""
+        pcm = PCMConfig(n_lines=2**9, endurance=2e4)
+        fraction = uniform_lifetime_fraction(pcm, 0.25)
+        assert 0.1 < fraction < 0.4
+
+    def test_bounds(self):
+        pcm = PCMConfig(n_lines=2**12)
+        assert uniform_lifetime_fraction(pcm, 0.0) == 1.0
+        assert 0.0 < uniform_lifetime_fraction(pcm, 0.3) < 1.0
+
+
+class TestSparesToRecover:
+    def test_zero_variation_needs_none(self):
+        assert spares_to_recover(PCMConfig(n_lines=2**12), 0.0, 0.9) == 0
+
+    def test_more_margin_needs_fewer(self):
+        pcm = PCMConfig(n_lines=2**12)
+        strict = spares_to_recover(pcm, 0.2, 0.95)
+        lenient = spares_to_recover(pcm, 0.2, 0.7)
+        assert lenient < strict
+
+    def test_matches_tail_count(self):
+        pcm = PCMConfig(n_lines=2**14, endurance=1e6)
+        cv, target = 0.2, 0.8
+        rng = np.random.default_rng(1)
+        draws = rng.normal(1e6, cv * 1e6, size=pcm.n_lines)
+        measured = int((draws < target * 1e6).sum())
+        predicted = spares_to_recover(pcm, cv, target)
+        assert predicted == pytest.approx(measured, rel=0.2)
+
+    def test_validation(self):
+        pcm = PCMConfig(n_lines=16)
+        with pytest.raises(ValueError):
+            spares_to_recover(pcm, 0.2, 0.0)
+        with pytest.raises(ValueError):
+            spares_to_recover(pcm, -1.0, 0.5)

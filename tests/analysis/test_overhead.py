@@ -1,0 +1,67 @@
+"""Tests for the §V-C3 hardware overhead model."""
+
+import pytest
+
+from repro.analysis.overhead import security_rbsg_overhead
+from repro.config import (
+    PAPER_PCM,
+    SECURITY_RBSG_RECOMMENDED,
+    PCMConfig,
+    SecurityRBSGConfig,
+)
+
+
+class TestPaperNumbers:
+    @pytest.fixture
+    def overhead(self):
+        return security_rbsg_overhead(PAPER_PCM, SECURITY_RBSG_RECOMMENDED)
+
+    def test_registers_about_2kb(self, overhead):
+        # "it costs about 2KB register for a 1GB bank"
+        assert overhead.register_bytes == pytest.approx(2 * 1024, rel=0.05)
+
+    def test_register_formula(self, overhead):
+        # (S+1)*B + log2(psi_o) + R*(2*log2(N/R) + log2(psi_i))
+        expected = (7 + 1) * 22 + 7 + 512 * (2 * 13 + 6)
+        assert overhead.register_bits == expected
+
+    def test_isremap_sram_half_megabyte(self, overhead):
+        # One bit per line: 2^22 bits = 0.5 MB (the paper's value; its
+        # printed "log2(N) bit" formula is a typo).
+        assert overhead.isremap_sram_bits == 2**22
+        assert overhead.isremap_sram_bytes == 0.5 * 2**20
+
+    def test_spare_lines_scale_with_subregions(self, overhead):
+        # R + 1 spare lines (the paper prints "(S+1) x 256 byte", a typo:
+        # spares are per sub-region plus the outer one).
+        assert overhead.spare_lines == 513
+        assert overhead.spare_bytes == 513 * 256
+
+    def test_cubing_gates(self, overhead):
+        # (3/8) * S * B^2 gates.
+        assert overhead.cubing_gates == (3 * 7 * 22 * 22) // 8
+
+
+class TestScaling:
+    def test_more_stages_more_gates_and_registers(self):
+        small = security_rbsg_overhead(
+            PAPER_PCM, SecurityRBSGConfig(n_stages=3)
+        )
+        large = security_rbsg_overhead(
+            PAPER_PCM, SecurityRBSGConfig(n_stages=12)
+        )
+        assert large.cubing_gates > small.cubing_gates
+        assert large.register_bits > small.register_bits
+        # Spare lines and SRAM are stage-independent.
+        assert large.spare_lines == small.spare_lines
+        assert large.isremap_sram_bits == small.isremap_sram_bits
+
+    def test_small_device(self):
+        pcm = PCMConfig(n_lines=2**10)
+        cfg = SecurityRBSGConfig(
+            n_subregions=8, inner_interval=4, outer_interval=8, n_stages=3
+        )
+        overhead = security_rbsg_overhead(pcm, cfg)
+        assert overhead.register_bits == (4 * 10 + 3) + 8 * (2 * 7 + 2)
+        assert overhead.spare_lines == 9
+        assert overhead.isremap_sram_bits == 1024

@@ -1,0 +1,59 @@
+"""Tests for the DFN stage-count security sizing (§IV-B)."""
+
+import pytest
+
+from repro.analysis.security import (
+    is_secure,
+    key_detection_writes,
+    min_secure_stages,
+    remapping_round_writes,
+)
+from repro.config import PAPER_PCM, PCMConfig
+
+
+class TestPaperSizing:
+    def test_six_stages_for_interval_128(self):
+        # "a 128-bit length of key array will make the detection fail,
+        # which is a 6-stage DFN in the case."
+        assert min_secure_stages(PAPER_PCM, 128) == 6
+
+    def test_interval_132_boundary(self):
+        # "K >= 6 is capable ... when the outer-level remapping interval is
+        # not larger than 132" (6 stages * 22 bits = 132).
+        assert is_secure(PAPER_PCM, 6, 132 - 1)
+        assert not is_secure(PAPER_PCM, 6, 132)
+        assert min_secure_stages(PAPER_PCM, 132) == 7
+
+    def test_seven_stages_cover_recommended(self):
+        assert is_secure(PAPER_PCM, 7, 128)
+
+
+class TestFormulas:
+    def test_key_detection_writes(self):
+        # One bit per N/R writes.
+        assert key_detection_writes(PAPER_PCM, 512, 10) == 10 * (2**22 / 512)
+
+    def test_round_writes(self):
+        assert remapping_round_writes(PAPER_PCM, 512, 128) == (2**22 / 512) * 128
+
+    def test_security_condition_consistency(self):
+        """is_secure ⇔ detection needs more writes than one round offers."""
+        pcm = PCMConfig(n_lines=2**16)
+        for stages in (1, 3, 5, 8):
+            for interval in (16, 64, 128, 200):
+                secure = is_secure(pcm, stages, interval)
+                detection = key_detection_writes(
+                    pcm, 512, stages * pcm.address_bits
+                )
+                round_writes = remapping_round_writes(pcm, 512, interval)
+                assert secure == (detection > round_writes)
+
+    def test_min_stages_monotone_in_interval(self):
+        values = [min_secure_stages(PAPER_PCM, psi) for psi in (16, 64, 128, 256)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_secure_stages(PAPER_PCM, 0)
+        with pytest.raises(ValueError):
+            key_detection_writes(PAPER_PCM, 512, -1)

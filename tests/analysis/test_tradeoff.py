@@ -1,0 +1,95 @@
+"""Tests for the design-space advisor."""
+
+import pytest
+
+from repro.analysis.security import is_secure
+from repro.analysis.tradeoff import (
+    DesignPoint,
+    evaluate_design,
+    explore_design_space,
+    pareto_front,
+    recommend,
+)
+from repro.config import PAPER_PCM, PCMConfig, SecurityRBSGConfig
+
+
+class TestEvaluateDesign:
+    def test_recommended_config_scores(self):
+        point = evaluate_design(
+            PAPER_PCM, SecurityRBSGConfig(512, 64, 128, 7)
+        )
+        assert point.secure
+        assert point.lifetime_fraction == pytest.approx(0.672, abs=0.03)
+        assert point.write_overhead == pytest.approx(1 / 64 + 1 / 128)
+
+    def test_insecure_stage_count_flagged(self):
+        point = evaluate_design(
+            PAPER_PCM, SecurityRBSGConfig(512, 64, 256, 3)
+        )
+        assert not point.secure
+
+
+class TestExploreDesignSpace:
+    def test_all_feasible_meet_constraints(self):
+        points = explore_design_space(
+            PAPER_PCM, max_write_overhead=0.05
+        )
+        assert points
+        for point in points:
+            assert point.secure
+            assert point.write_overhead <= 0.05
+            assert is_secure(
+                PAPER_PCM, point.config.n_stages, point.config.outer_interval
+            )
+
+    def test_sorted_by_lifetime(self):
+        points = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+        fractions = [p.lifetime_fraction for p in points]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_tight_budget_prunes(self):
+        generous = explore_design_space(PAPER_PCM, max_write_overhead=0.10)
+        tight = explore_design_space(PAPER_PCM, max_write_overhead=0.01)
+        assert len(tight) < len(generous)
+        for point in tight:
+            assert point.config.inner_interval >= 128 or (
+                point.write_overhead <= 0.01
+            )
+
+    def test_non_dividing_subregions_skipped(self):
+        points = explore_design_space(
+            PCMConfig(n_lines=2**12),
+            subregions=(3, 8),  # 3 does not divide 2^12
+            max_write_overhead=0.05,
+        )
+        assert all(p.config.n_subregions == 8 for p in points)
+
+
+class TestParetoFront:
+    def test_front_is_non_dominated(self):
+        points = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_front_subset(self):
+        points = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+        front = pareto_front(points)
+        assert len(front) <= len(points)
+
+    def test_dominance_relation(self):
+        points = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+        a, b = points[0], points[-1]
+        assert not (a.dominates(b) and b.dominates(a))
+
+
+class TestRecommend:
+    def test_returns_most_durable(self):
+        best = recommend(PAPER_PCM, max_write_overhead=0.05)
+        everything = explore_design_space(PAPER_PCM, max_write_overhead=0.05)
+        assert best.lifetime_fraction == everything[0].lifetime_fraction
+
+    def test_impossible_constraints_raise(self):
+        with pytest.raises(ValueError):
+            recommend(PAPER_PCM, max_write_overhead=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the generic Address Inference Attack."""
+
+import pytest
+
+from repro.attacks.aia import AddressInferenceAttack
+from repro.config import PCMConfig
+from repro.core.security_rbsg import SecurityRBSG
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.rbsg import RegionBasedStartGap
+
+
+def make_controller(scheme, endurance=5e3, n_lines=2**7):
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    return MemoryController(scheme, config)
+
+
+class TestOmniscient:
+    def test_kills_any_scheme_in_about_endurance_writes(self):
+        """knowledge_interval=1 is the information-theoretic worst case:
+        every write lands on the target, wear leveling notwithstanding."""
+        endurance = 2e3
+        for scheme in (
+            NoWearLeveling(2**7),
+            RegionBasedStartGap(2**7, 4, 8, rng=0),
+            SecurityRBSG(2**7, 4, 4, 8, 5, rng=0),
+        ):
+            controller = make_controller(scheme, endurance=endurance)
+            result = AddressInferenceAttack(
+                controller, knowledge_interval=1
+            ).run(max_writes=1_000_000)
+            assert result.failed, type(scheme).__name__
+            # Remap copies contribute a little wear; user writes stay
+            # within a small factor of E.
+            assert result.user_writes <= 1.6 * endurance
+
+    def test_oracle_query_count(self):
+        controller = make_controller(NoWearLeveling(2**7), endurance=100)
+        attack = AddressInferenceAttack(controller, knowledge_interval=10)
+        attack.run(max_writes=1_000)
+        assert attack.oracle_queries >= 10
+
+
+class TestStaleness:
+    def test_stale_knowledge_leaks_writes_off_target(self):
+        """Against a fast-remapping scheme, stale knowledge wastes writes:
+        lifetime grows with the knowledge interval."""
+        def writes_to_kill(interval):
+            scheme = SecurityRBSG(2**7, 4, 2, 4, 5, rng=1)
+            controller = make_controller(scheme, endurance=2e3)
+            result = AddressInferenceAttack(
+                controller, knowledge_interval=interval
+            ).run(max_writes=3_000_000)
+            assert result.failed
+            return result.user_writes
+
+        fresh = writes_to_kill(1)
+        stale = writes_to_kill(2048)
+        assert stale > 1.5 * fresh
+
+    def test_validation(self):
+        controller = make_controller(NoWearLeveling(16), n_lines=16)
+        with pytest.raises(ValueError):
+            AddressInferenceAttack(controller, knowledge_interval=0)
+        with pytest.raises(ValueError):
+            AddressInferenceAttack(controller, target_pa=99)

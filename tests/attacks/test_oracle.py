@@ -1,0 +1,53 @@
+"""Tests for the latency oracle (the attacker's only sensor)."""
+
+import pytest
+
+from repro.attacks.oracle import LatencyOracle
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.startgap import StartGap
+
+
+def make_oracle(scheme=None, n_lines=16):
+    config = PCMConfig(n_lines=n_lines, endurance=1e12)
+    controller = MemoryController(scheme or NoWearLeveling(n_lines), config)
+    return LatencyOracle(controller)
+
+
+class TestLatencyOracle:
+    def test_no_remap_zero_extra(self):
+        oracle = make_oracle()
+        assert oracle.write(0, ALL1) == 0.0
+        assert oracle.write(0, ALL0) == 0.0
+
+    def test_remap_extra_isolated(self):
+        oracle = make_oracle(StartGap(16, remap_interval=2))
+        assert oracle.write(0, ALL0) == 0.0
+        extra = oracle.write(0, ALL0)
+        assert extra == pytest.approx(250.0)  # copy of an ALL-0 line
+
+    def test_reference_values(self):
+        oracle = make_oracle()
+        assert oracle.copy_all0 == 250.0
+        assert oracle.copy_all1 == 1125.0
+        assert oracle.swap_00 == 500.0
+        assert oracle.swap_01 == 1375.0
+        assert oracle.swap_11 == 2250.0
+
+    def test_matches_tolerance(self):
+        oracle = make_oracle()
+        assert oracle.matches(250.5, 250.0)
+        assert not oracle.matches(253.0, 250.0)
+
+    def test_counts_user_writes(self):
+        oracle = make_oracle()
+        for _ in range(5):
+            oracle.write(1, ALL0)
+        assert oracle.user_writes == 5
+
+    def test_elapsed_mirrors_controller(self):
+        oracle = make_oracle()
+        oracle.write(0, ALL1)
+        assert oracle.elapsed_ns == 1000.0

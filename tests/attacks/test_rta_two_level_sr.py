@@ -1,0 +1,88 @@
+"""Tests for the Remapping Timing Attack against two-level SR (§III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.rta_two_level_sr import TwoLevelSRTimingAttack
+from repro.config import PCMConfig
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.two_level_sr import TwoLevelSecurityRefresh
+
+
+def make_controller(n_lines=2**8, subregions=4, inner=16, outer=40, seed=5,
+                    endurance=1e12):
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    scheme = TwoLevelSecurityRefresh(
+        n_lines, n_subregions=subregions, inner_interval=inner,
+        outer_interval=outer, rng=seed,
+    )
+    return MemoryController(scheme, config)
+
+
+class TestConstruction:
+    def test_requires_two_level_sr(self):
+        config = PCMConfig(n_lines=16, endurance=1e12)
+        controller = MemoryController(NoWearLeveling(16), config)
+        with pytest.raises(TypeError):
+            TwoLevelSRTimingAttack(controller)
+
+    def test_votes_must_be_odd(self):
+        controller = make_controller()
+        with pytest.raises(ValueError):
+            TwoLevelSRTimingAttack(controller, votes=4)
+
+
+class TestHighKeyDetection:
+    @pytest.mark.parametrize("seed", [5, 9])
+    def test_recovers_outer_high_bits_over_rounds(self, seed):
+        controller = make_controller(seed=seed)
+        scheme = controller.scheme
+        attack = TwoLevelSRTimingAttack(controller, votes=5)
+        correct = 0
+        for _ in range(4):
+            high = attack.detect_high_key_xor()
+            truth = scheme.outer_key_xor >> attack.s_bits
+            if high == truth:
+                correct += 1
+            # Drain the rest of the round by spraying in place.
+            attack.spray_round(attack.current_block, attack.current_block,
+                               10_000_000)
+        assert correct == 4
+
+    def test_sum_values_filtered(self):
+        attack = TwoLevelSRTimingAttack(make_controller(), votes=5)
+        # Coincident inner+outer latencies (sums) are discarded.
+        assert attack._classify_single(1000.0) is None
+        assert attack._classify_single(1875.0) is None
+        assert attack._classify_single(2750.0) is None
+        assert attack._classify_single(0.0) is None
+        # Singles classify.
+        assert attack._classify_single(1375.0) == 1
+        assert attack._classify_single(500.0) == 0
+        assert attack._classify_single(2250.0) == 0
+
+
+class TestFullAttack:
+    def test_wear_concentrates_in_target_subregion(self):
+        controller = make_controller(endurance=4e3, seed=5)
+        attack = TwoLevelSRTimingAttack(controller, votes=5)
+        result = attack.run(max_writes=5_000_000)
+        assert result.failed
+        by_region = controller.array.wear.reshape(4, -1).sum(axis=1)
+        target = int(np.argmax(by_region))
+        others = np.delete(by_region, target)
+        assert by_region[target] > 4 * others.max()
+
+    def test_fails_whole_subregion_scale(self):
+        """Failure cost ~ (N/R) * E writes, the §III-E capacity argument."""
+        n_lines, subregions, endurance = 2**8, 4, 4e3
+        controller = make_controller(
+            n_lines=n_lines, subregions=subregions, endurance=endurance, seed=5
+        )
+        result = TwoLevelSRTimingAttack(controller, votes=5).run(
+            max_writes=5_000_000
+        )
+        assert result.failed
+        capacity = (n_lines // subregions) * endurance
+        assert result.user_writes < 3 * capacity

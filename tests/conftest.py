@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+
+
+@pytest.fixture
+def small_pcm() -> PCMConfig:
+    """A 256-line device with practically infinite endurance."""
+    return PCMConfig(n_lines=2**8, endurance=1e12)
+
+
+@pytest.fixture
+def tiny_pcm() -> PCMConfig:
+    """A 16-line device for exhaustive walkthroughs."""
+    return PCMConfig(n_lines=16, endurance=1e12)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def drive_and_shadow(controller, writes, rng, probe_every=13):
+    """Drive random writes through a controller, shadowing logical contents.
+
+    Returns the shadow dict.  Asserts on every probe that a read returns the
+    last value written to that logical address — the fundamental
+    correctness property of any wear-leveling scheme: remapping must never
+    lose or corrupt data.
+    """
+    from repro.pcm.timing import ALL0, ALL1
+
+    n = controller.scheme.n_lines
+    shadow = {}
+    for i in range(writes):
+        la = int(rng.integers(0, n))
+        data = ALL1 if rng.random() < 0.5 else ALL0
+        controller.write(la, data)
+        shadow[la] = data
+        if i % probe_every == 0 and shadow:
+            keys = list(shadow)
+            probe = keys[int(rng.integers(0, len(keys)))]
+            got, _ = controller.read(probe)
+            assert got == shadow[probe], (
+                f"data corruption at LA {probe}: wrote {shadow[probe]}, read {got}"
+            )
+    return shadow

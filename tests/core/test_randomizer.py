@@ -1,0 +1,76 @@
+"""Tests for the random invertible GF(2) matrix randomizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.randomizer import RandomInvertibleMatrix, _gf2_inverse
+
+
+class TestGF2Inverse:
+    def test_identity(self):
+        eye = np.eye(4, dtype=np.uint8)
+        np.testing.assert_array_equal(_gf2_inverse(eye), eye)
+
+    def test_known_2x2(self):
+        m = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        inv = _gf2_inverse(m)
+        product = (m @ inv) % 2
+        np.testing.assert_array_equal(product, np.eye(2, dtype=np.uint8))
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            _gf2_inverse(np.array([[1, 1], [1, 1]], dtype=np.uint8))
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            _gf2_inverse(np.zeros((3, 3), dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(2, 10))
+    def test_inverse_property(self, seed, n):
+        matrix = RandomInvertibleMatrix.random(n, rng=seed).matrix
+        inv = _gf2_inverse(matrix)
+        product = (matrix.astype(int) @ inv.astype(int)) % 2
+        np.testing.assert_array_equal(product, np.eye(n, dtype=int))
+
+
+class TestRandomInvertibleMatrix:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            RandomInvertibleMatrix(np.ones((2, 3), dtype=np.uint8))
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 10])
+    def test_is_bijection(self, bits):
+        mapping = RandomInvertibleMatrix.random(bits, rng=5)
+        table = mapping.permutation()
+        assert sorted(table.tolist()) == list(range(1 << bits))
+
+    def test_roundtrip_scalar(self):
+        mapping = RandomInvertibleMatrix.random(8, rng=1)
+        for x in range(256):
+            assert mapping.decrypt(mapping.encrypt(x)) == x
+
+    def test_scalar_matches_vector(self):
+        mapping = RandomInvertibleMatrix.random(8, rng=2)
+        xs = np.arange(256, dtype=np.uint64)
+        ys = mapping.encrypt(xs)
+        for x in (0, 17, 255):
+            assert mapping.encrypt(x) == int(ys[x])
+
+    def test_zero_maps_to_zero(self):
+        """Linear map: 0 is always a fixed point (a known weakness RBSG
+        accepts for its *static* randomizer)."""
+        mapping = RandomInvertibleMatrix.random(6, rng=3)
+        assert mapping.encrypt(0) == 0
+
+    def test_linearity(self):
+        mapping = RandomInvertibleMatrix.random(10, rng=4)
+        a, b = 37, 555
+        assert mapping.encrypt(a ^ b) == mapping.encrypt(a) ^ mapping.encrypt(b)
+
+    def test_domain_checked(self):
+        mapping = RandomInvertibleMatrix.random(4, rng=0)
+        with pytest.raises(ValueError):
+            mapping.encrypt(16)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLifetime:
+    def test_rbsg_rta_headline(self, capsys):
+        assert main(["lifetime", "--scheme", "rbsg", "--attack", "rta"]) == 0
+        out = capsys.readouterr().out
+        assert "477.7 s" in out
+
+    def test_rbsg_raa(self, capsys):
+        assert main(["lifetime", "--scheme", "rbsg", "--attack", "raa"]) == 0
+        assert "152 days" in capsys.readouterr().out
+
+    def test_two_level_sr(self, capsys):
+        assert main(
+            ["lifetime", "--scheme", "two-level-sr", "--attack", "raa"]
+        ) == 0
+        assert "3263 days" in capsys.readouterr().out
+
+    def test_security_rbsg_raa(self, capsys):
+        assert main(
+            ["lifetime", "--scheme", "security-rbsg", "--attack", "raa"]
+        ) == 0
+        assert "67." in capsys.readouterr().out  # fraction of ideal
+
+    def test_security_rbsg_rta_message(self, capsys):
+        assert main(
+            ["lifetime", "--scheme", "security-rbsg", "--attack", "rta"]
+        ) == 0
+        assert "resists RTA" in capsys.readouterr().out
+
+    def test_none_raa(self, capsys):
+        assert main(["lifetime", "--scheme", "none", "--attack", "raa"]) == 0
+        assert "100.0 s" in capsys.readouterr().out
+
+    def test_unsupported_pair(self, capsys):
+        assert main(["lifetime", "--scheme", "none", "--attack", "rta"]) == 2
+
+
+class TestSimulate:
+    def test_raa_none(self, capsys):
+        code = main([
+            "simulate", "--scheme", "none", "--attack", "raa",
+            "--lines", "64", "--endurance", "500", "--budget", "10000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAILED line 5 after 500" in out
+
+    def test_rta_rbsg(self, capsys):
+        code = main([
+            "simulate", "--scheme", "rbsg", "--attack", "rta",
+            "--lines", "512", "--endurance", "2e4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAILED line" in out
+        assert "detection cost" in out
+
+    def test_survival(self, capsys):
+        code = main([
+            "simulate", "--scheme", "sr", "--attack", "raa",
+            "--lines", "64", "--endurance", "1e9", "--budget", "5000",
+        ])
+        assert code == 0
+        assert "survived" in capsys.readouterr().out
+
+    def test_unsupported_pair(self):
+        assert main([
+            "simulate", "--scheme", "security-rbsg", "--attack", "rta",
+        ]) == 2
+
+
+class TestOtherCommands:
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "2.02 KB" in out
+        assert "1270 gates" in out
+
+    def test_stages(self, capsys):
+        assert main(["stages", "--outer-interval", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum secure stage count: 6" in out
+        assert "S= 6: SECURE" in out
+
+    def test_perf(self, capsys):
+        assert main(["perf", "--interval", "64", "--ops", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "PARSEC-like" in out and "SPEC-like" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,38 @@
+"""Tests for the design / matrix CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesignCommand:
+    def test_prints_front(self, capsys):
+        assert main(["design", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+        assert "%" in out
+
+    def test_impossible_budget(self, capsys):
+        assert main(["design", "--max-overhead", "1e-9"]) == 1
+        assert "no feasible design" in capsys.readouterr().err
+
+
+class TestMatrixCommand:
+    def test_runs_matrix(self, capsys):
+        code = main([
+            "matrix", "--schemes", "none", "--attacks", "raa",
+            "--lines", "128", "--endurance", "1e3", "--budget", "100000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "none" in out and "raa" in out and "True" in out
+
+    def test_multiple_schemes(self, capsys):
+        code = main([
+            "matrix", "--schemes", "none", "start-gap",
+            "--attacks", "raa", "--lines", "128",
+            "--endurance", "1e3", "--budget", "2000000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "start-gap" in out

@@ -1,0 +1,79 @@
+"""Tests for configuration objects and paper presets."""
+
+import pytest
+
+from repro.config import (
+    PAPER_PCM,
+    RBSG_RECOMMENDED,
+    SECURITY_RBSG_RECOMMENDED,
+    SR_SUGGESTED,
+    TABLE_I_INNER_INTERVALS,
+    TABLE_I_OUTER_INTERVALS,
+    TABLE_I_SUBREGIONS,
+    PCMConfig,
+    RBSGConfig,
+    SecurityRBSGConfig,
+    SRConfig,
+)
+
+
+class TestPCMConfig:
+    def test_paper_device(self):
+        assert PAPER_PCM.n_lines == 2**22
+        assert PAPER_PCM.address_bits == 22
+        assert PAPER_PCM.capacity_bytes == 2**30  # 1 GB
+        assert PAPER_PCM.endurance == 1e8
+        assert PAPER_PCM.set_ns == 1000.0
+        assert PAPER_PCM.reset_ns == 125.0
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            PCMConfig(n_lines=1000)
+
+    def test_positive_params(self):
+        with pytest.raises(ValueError):
+            PCMConfig(n_lines=16, endurance=0)
+        with pytest.raises(ValueError):
+            PCMConfig(n_lines=16, set_ns=-1)
+
+    def test_scaled(self):
+        scaled = PAPER_PCM.scaled(n_lines=2**12, endurance=1e4)
+        assert scaled.n_lines == 2**12
+        assert scaled.endurance == 1e4
+        assert scaled.set_ns == PAPER_PCM.set_ns  # timing preserved
+
+    def test_ideal_lifetime(self):
+        pcm = PCMConfig(n_lines=16, endurance=10)
+        assert pcm.ideal_lifetime_ns == 16 * 10 * 1000.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PCM.n_lines = 8
+
+
+class TestSchemePresets:
+    def test_rbsg_recommended(self):
+        assert RBSG_RECOMMENDED.n_regions == 32
+        assert RBSG_RECOMMENDED.remap_interval == 100
+
+    def test_sr_suggested(self):
+        assert SR_SUGGESTED.n_subregions == 512
+        assert SR_SUGGESTED.inner_interval == 64
+        assert SR_SUGGESTED.outer_interval == 128
+
+    def test_security_rbsg_recommended(self):
+        assert SECURITY_RBSG_RECOMMENDED.n_stages == 7
+        assert SECURITY_RBSG_RECOMMENDED.n_subregions == 512
+
+    def test_table_i(self):
+        assert TABLE_I_SUBREGIONS == (256, 512, 1024)
+        assert TABLE_I_INNER_INTERVALS == (16, 32, 64, 128)
+        assert TABLE_I_OUTER_INTERVALS == (16, 32, 64, 128, 256)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBSGConfig(n_regions=0)
+        with pytest.raises(ValueError):
+            SRConfig(inner_interval=0)
+        with pytest.raises(ValueError):
+            SecurityRBSGConfig(n_stages=0)

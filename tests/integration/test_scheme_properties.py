@@ -1,0 +1,106 @@
+"""Cross-scheme integration properties.
+
+Every wear-leveling scheme, whatever its mechanism, must uphold the same
+contract: translation is a bijection into the physical space, data is never
+lost or corrupted by remapping, and heavy traffic gets spread.  These tests
+run the full matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PCMConfig
+from repro.core.security_rbsg import SecurityRBSG
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel import (
+    MultiWaySR,
+    NoWearLeveling,
+    RandomSwapWearLeveling,
+    RegionBasedStartGap,
+    SecurityRefresh,
+    StartGap,
+    TableBasedWearLeveling,
+    TwoLevelSecurityRefresh,
+)
+
+N_LINES = 2**6
+
+
+def all_schemes(seed=0):
+    return [
+        NoWearLeveling(N_LINES),
+        StartGap(N_LINES, remap_interval=3),
+        RegionBasedStartGap(N_LINES, n_regions=4, remap_interval=3, rng=seed),
+        SecurityRefresh(N_LINES, remap_interval=3, rng=seed),
+        TwoLevelSecurityRefresh(
+            N_LINES, n_subregions=4, inner_interval=3, outer_interval=5,
+            rng=seed,
+        ),
+        MultiWaySR(N_LINES, n_subregions=4, remap_interval=3, rng=seed),
+        TableBasedWearLeveling(N_LINES, swap_interval=5),
+        RandomSwapWearLeveling(N_LINES, swap_interval=5, rng=seed),
+        SecurityRBSG(
+            N_LINES, n_subregions=4, inner_interval=3, outer_interval=5,
+            n_stages=4, rng=seed,
+        ),
+    ]
+
+
+SCHEME_IDS = [type(s).__name__ for s in all_schemes()]
+
+
+@pytest.mark.parametrize("index", range(len(SCHEME_IDS)), ids=SCHEME_IDS)
+class TestSchemeContract:
+    def test_bijection_maintained_under_traffic(self, index):
+        scheme = all_schemes(seed=1)[index]
+        rng = np.random.default_rng(1)
+        for step in range(600):
+            scheme.record_write(int(rng.integers(0, N_LINES)))
+            if step % 37 == 0:
+                snapshot = scheme.mapping_snapshot()
+                assert len(set(snapshot)) == N_LINES
+                assert all(0 <= pa < scheme.n_physical for pa in snapshot)
+
+    def test_no_data_loss(self, index):
+        scheme = all_schemes(seed=2)[index]
+        config = PCMConfig(n_lines=N_LINES, endurance=1e12)
+        controller = MemoryController(scheme, config)
+        rng = np.random.default_rng(2)
+        shadow = {}
+        for _ in range(1500):
+            la = int(rng.integers(0, N_LINES))
+            data = ALL1 if rng.random() < 0.5 else ALL0
+            controller.write(la, data)
+            shadow[la] = data
+        for la, data in shadow.items():
+            got, _ = controller.read(la)
+            assert got == data
+
+    def test_wear_spreads_or_is_identity(self, index):
+        scheme = all_schemes(seed=3)[index]
+        config = PCMConfig(n_lines=N_LINES, endurance=1e12)
+        controller = MemoryController(scheme, config)
+        for _ in range(8000):
+            controller.write(0, ALL1)
+        max_share = controller.array.wear.max() / controller.array.total_writes
+        if isinstance(scheme, NoWearLeveling):
+            assert max_share > 0.99
+        else:
+            assert max_share < 0.6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), writes=st.integers(1, 400))
+def test_write_amplification_bounded(seed, writes):
+    """Remap traffic never exceeds ~2 physical writes per user write for
+    any scheme at these intervals (wear-leveling overhead sanity)."""
+    rng = np.random.default_rng(seed)
+    for scheme in all_schemes(seed=seed):
+        config = PCMConfig(n_lines=N_LINES, endurance=1e12)
+        controller = MemoryController(scheme, config)
+        for _ in range(writes):
+            controller.write(int(rng.integers(0, N_LINES)), ALL1)
+        assert controller.total_writes <= 2.1 * writes + 2

@@ -1,0 +1,78 @@
+"""Tests for the differential-write (PRESET-style) timing option."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.array import PCMArray
+from repro.pcm.timing import ALL0, ALL1, MIXED, TimingModel
+
+
+def diff_config(**kwargs):
+    return PCMConfig(n_lines=16, differential_writes=True, **kwargs)
+
+
+class TestWriteTransition:
+    def test_default_model_ignores_old(self):
+        timing = TimingModel(PCMConfig(n_lines=16))
+        latency, wears = timing.write_transition(ALL1, ALL1)
+        assert latency == 1000.0 and wears
+
+    def test_identical_rewrite_free(self):
+        timing = TimingModel(diff_config())
+        latency, wears = timing.write_transition(ALL0, ALL0)
+        assert latency == 125.0 and not wears
+        latency, wears = timing.write_transition(ALL1, ALL1)
+        assert latency == 125.0 and not wears
+
+    def test_mixed_conservative(self):
+        timing = TimingModel(diff_config())
+        latency, wears = timing.write_transition(MIXED, MIXED)
+        assert latency == 1000.0 and wears
+
+    def test_transitions(self):
+        timing = TimingModel(diff_config())
+        assert timing.write_transition(ALL0, ALL1) == (1000.0, True)
+        assert timing.write_transition(ALL1, ALL0) == (125.0, True)
+        assert timing.write_transition(MIXED, ALL0) == (125.0, True)
+
+
+class TestArrayBehaviour:
+    def test_constant_hammering_causes_no_wear(self):
+        """The RAA-blunting effect: rewriting the same value is free."""
+        array = PCMArray(diff_config(endurance=100))
+        array.write(3, ALL1)
+        for _ in range(1000):
+            array.write(3, ALL1)
+        assert array.wear[3] == 1  # only the first write flipped cells
+
+    def test_alternating_hammering_still_wears(self):
+        array = PCMArray(diff_config(endurance=1e6))
+        for i in range(100):
+            array.write(3, ALL1 if i % 2 else ALL0)
+        # First write rewrites the initial ALL-0 content (free); every
+        # later write flips the line.
+        assert array.wear[3] == 99
+
+    def test_copy_of_identical_content_free(self):
+        array = PCMArray(diff_config(endurance=1e6))
+        array.copy(0, 1)  # both ALL0
+        assert array.wear[1] == 0
+        assert array.peek(1) == ALL0
+
+    def test_swap_identical_contents_free(self):
+        array = PCMArray(diff_config(endurance=1e6))
+        array.swap(0, 1)
+        assert array.wear[0] == 0 and array.wear[1] == 0
+
+    def test_swap_differing_contents_wears_both(self):
+        array = PCMArray(diff_config(endurance=1e6))
+        array.write(0, ALL1)
+        array.swap(0, 1)
+        assert array.wear[0] == 2  # write + swap RESET
+        assert array.wear[1] == 1
+
+    def test_default_model_unchanged(self):
+        array = PCMArray(PCMConfig(n_lines=16, endurance=1e6))
+        for _ in range(10):
+            array.write(3, ALL1)
+        assert array.wear[3] == 10

@@ -1,0 +1,139 @@
+"""Tests for failed-line sparing and endurance variation."""
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.array import PCMArray
+from repro.pcm.sparing import SparesExhausted, SparingController
+from repro.pcm.timing import ALL0, ALL1
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.startgap import StartGap
+
+
+class TestEnduranceVariation:
+    def test_default_is_scalar(self):
+        array = PCMArray(PCMConfig(n_lines=16))
+        assert array.endurance_map is None
+
+    def test_variation_draws_per_line(self):
+        array = PCMArray(
+            PCMConfig(n_lines=256, endurance=1e6),
+            endurance_variation=0.2, rng=0,
+        )
+        assert array.endurance_map is not None
+        assert array.endurance_map.std() > 0
+        assert array.endurance_map.mean() == pytest.approx(1e6, rel=0.05)
+
+    def test_weak_line_fails_first(self):
+        config = PCMConfig(n_lines=16, endurance=1000)
+        array = PCMArray(config, endurance_variation=0.3, rng=1)
+        weakest = int(np.argmin(array.endurance_map))
+        limit = int(np.ceil(array.endurance_map[weakest]))
+        for _ in range(limit - 1):
+            array.write(weakest, ALL0)
+        with pytest.raises(Exception):
+            array.write(weakest, ALL0)
+
+    def test_variation_shortens_uniform_lifetime(self):
+        """Under uniform traffic the weakest line bounds the lifetime —
+        the classical argument for margin below nominal endurance."""
+        def writes_to_failure(cv, seed):
+            config = PCMConfig(n_lines=64, endurance=500)
+            array = PCMArray(config, endurance_variation=cv, rng=seed)
+            count = 0
+            try:
+                while True:
+                    array.write(count % 64, ALL1)
+                    count += 1
+            except Exception:
+                return count
+
+        nominal = writes_to_failure(0.0, 0)
+        varied = np.mean([writes_to_failure(0.25, s) for s in range(3)])
+        assert varied < nominal
+
+    def test_negative_variation_rejected(self):
+        with pytest.raises(ValueError):
+            PCMArray(PCMConfig(n_lines=16), endurance_variation=-0.1)
+
+    def test_remaining_endurance_uses_map(self):
+        array = PCMArray(
+            PCMConfig(n_lines=16, endurance=1000),
+            endurance_variation=0.2, rng=2,
+        )
+        remaining = array.remaining_endurance()
+        np.testing.assert_allclose(remaining, array.endurance_map)
+
+
+class TestSparingController:
+    def make(self, n_spares=4, endurance=100, scheme=None, n_lines=16):
+        config = PCMConfig(n_lines=n_lines, endurance=endurance)
+        return SparingController(
+            scheme or NoWearLeveling(n_lines), config, n_spares=n_spares
+        )
+
+    def test_survives_first_failure(self):
+        controller = self.make()
+        for _ in range(150):  # > endurance: would kill a bare controller
+            controller.write(3, ALL1)
+        assert controller.failures == 1
+        assert controller.spares_left == 3
+        assert controller.first_failure_writes is not None
+
+    def test_data_preserved_across_sparing(self):
+        controller = self.make(endurance=100)
+        controller.write(3, ALL1)
+        for _ in range(120):
+            controller.write(3, ALL1)
+        data, _ = controller.read(3)
+        assert data == ALL1
+
+    def test_spares_exhausted_raises(self):
+        controller = self.make(n_spares=2, endurance=50)
+        with pytest.raises(SparesExhausted) as info:
+            for _ in range(100_000):
+                controller.write(3, ALL1)
+        assert info.value.failures == 3  # 1 original + 2 spares
+
+    def test_capacity_lifetime_multiplies(self):
+        """Each spare buys one more endurance quantum on a hammered line."""
+        def writes_until_death(n_spares):
+            controller = self.make(n_spares=n_spares, endurance=50)
+            count = 0
+            try:
+                while True:
+                    controller.write(3, ALL1)
+                    count += 1
+            except SparesExhausted:
+                return count
+
+        assert writes_until_death(4) > 2 * writes_until_death(1)
+
+    def test_works_with_wear_leveling(self):
+        controller = self.make(
+            n_spares=8, endurance=200, scheme=StartGap(16, 2)
+        )
+        rng = np.random.default_rng(3)
+        shadow = {}
+        for _ in range(3000):
+            la = int(rng.integers(0, 16))
+            data = ALL1 if rng.random() < 0.5 else ALL0
+            try:
+                controller.write(la, data)
+            except SparesExhausted:
+                break
+            shadow[la] = data
+            probe = la
+            got, _ = controller.read(probe)
+            assert got == shadow[probe]
+
+    def test_zero_spares(self):
+        controller = self.make(n_spares=0, endurance=10)
+        with pytest.raises(SparesExhausted):
+            for _ in range(20):
+                controller.write(0, ALL1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(n_spares=-1)

@@ -1,0 +1,106 @@
+"""Tests for wear-distribution statistics (Fig. 16 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pcm.stats import (
+    WearStats,
+    gini_coefficient,
+    normalized_accumulated_writes,
+    uniformity_deviation,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_hot_line_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.99
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+    def test_known_value(self):
+        # Two lines, one holds everything: G = 1 - (n+1)/n + 2/n = 0.5
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, st.integers(2, 64),
+                  elements=st.floats(0, 1e6, allow_nan=False)))
+    def test_bounds(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g <= 1.0
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0])
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 1000)
+        )
+
+
+class TestNormalizedAccumulated:
+    def test_uniform_is_diagonal(self):
+        curve = normalized_accumulated_writes(np.full(8, 3.0))
+        expected = np.arange(1, 9) / 8.0
+        np.testing.assert_allclose(curve, expected)
+
+    def test_ends_at_one(self):
+        curve = normalized_accumulated_writes(np.array([5.0, 0.0, 2.0]))
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        curve = normalized_accumulated_writes(rng.random(100))
+        assert (np.diff(curve) >= -1e-15).all()
+
+    def test_zero_writes_convention(self):
+        curve = normalized_accumulated_writes(np.zeros(4))
+        np.testing.assert_allclose(curve, [0.25, 0.5, 0.75, 1.0])
+
+
+class TestUniformityDeviation:
+    def test_uniform_zero(self):
+        assert uniformity_deviation(np.full(32, 9.0)) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(100)
+        values[-1] = 1.0
+        assert uniformity_deviation(values) > 0.9
+
+    def test_more_writes_more_even(self):
+        """The Fig. 16 effect: accumulating uniform traffic flattens the
+        curve relative to an early, lumpy snapshot."""
+        rng = np.random.default_rng(1)
+        early = rng.multinomial(100, np.full(256, 1 / 256)).astype(float)
+        late = early + rng.multinomial(100000, np.full(256, 1 / 256))
+        assert uniformity_deviation(late) < uniformity_deviation(early)
+
+
+class TestWearStats:
+    def test_from_wear(self):
+        stats = WearStats.from_wear(np.array([1, 2, 3, 2]))
+        assert stats.total == 8
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.max == 3
+        assert stats.min == 1
+        assert stats.cov == pytest.approx(stats.std / 2.0)
+
+    def test_uniform_cov_zero(self):
+        stats = WearStats.from_wear(np.full(10, 4))
+        assert stats.cov == 0.0
+        assert stats.gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_wear(self):
+        stats = WearStats.from_wear(np.zeros(10))
+        assert stats.cov == 0.0
+        assert stats.total == 0

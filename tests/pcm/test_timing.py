@@ -1,0 +1,82 @@
+"""Tests for the asymmetric timing model — the side channel's ground truth.
+
+The latency classes here are Fig. 4 of the paper; the attack
+implementations classify observations against exactly these values, so
+these tests pin the contract.
+"""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, ALL1, MIXED, LineData, TimingModel
+
+
+@pytest.fixture
+def timing() -> TimingModel:
+    return TimingModel(PCMConfig(n_lines=16))
+
+
+class TestBasicLatencies:
+    def test_read(self, timing):
+        assert timing.read_latency() == 125.0
+
+    def test_write_all0_is_reset(self, timing):
+        assert timing.write_latency(ALL0) == 125.0
+
+    def test_write_all1_is_set(self, timing):
+        assert timing.write_latency(ALL1) == 1000.0
+
+    def test_write_mixed_is_set(self, timing):
+        """A line with any '1' waits for its slowest cell: full SET time."""
+        assert timing.write_latency(MIXED) == 1000.0
+
+
+class TestFig4RemapLatencies:
+    """The composite latencies of Fig. 4 (a) and (b)."""
+
+    def test_startgap_copy_all0(self, timing):
+        assert timing.copy_latency(ALL0) == 250.0
+
+    def test_startgap_copy_all1(self, timing):
+        assert timing.copy_latency(ALL1) == 1125.0
+
+    def test_sr_swap_both_all0(self, timing):
+        assert timing.swap_latency(ALL0, ALL0) == 500.0
+
+    def test_sr_swap_mixed_pair(self, timing):
+        assert timing.swap_latency(ALL0, ALL1) == 1375.0
+        assert timing.swap_latency(ALL1, ALL0) == 1375.0
+
+    def test_sr_swap_both_all1(self, timing):
+        assert timing.swap_latency(ALL1, ALL1) == 2250.0
+
+    def test_classes_are_distinct(self, timing):
+        """Every observable class is unique — what makes RTA decodable."""
+        values = {
+            timing.copy_latency(ALL0),
+            timing.copy_latency(ALL1),
+            timing.swap_latency(ALL0, ALL0),
+            timing.swap_latency(ALL0, ALL1),
+            timing.swap_latency(ALL1, ALL1),
+        }
+        assert len(values) == 5
+
+    def test_sums_disjoint_from_singles(self, timing):
+        """Coincident inner+outer swaps are identifiable by value alone
+        (relied on by the two-level SR attack)."""
+        singles = {
+            timing.swap_latency(ALL0, ALL0),
+            timing.swap_latency(ALL0, ALL1),
+            timing.swap_latency(ALL1, ALL1),
+        }
+        sums = {a + b for a in singles for b in singles}
+        assert singles.isdisjoint(sums)
+
+
+class TestCustomTiming:
+    def test_scaled_asymmetry(self):
+        config = PCMConfig(n_lines=16, read_ns=50, reset_ns=50, set_ns=400)
+        timing = TimingModel(config)
+        assert timing.copy_latency(ALL0) == 100
+        assert timing.copy_latency(ALL1) == 450
+        assert timing.swap_latency(ALL0, ALL1) == 550

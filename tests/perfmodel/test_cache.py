@@ -1,0 +1,108 @@
+"""Tests for the set-associative LRU cache hierarchy."""
+
+import pytest
+
+from repro.perfmodel.cache import Cache, CacheHierarchy
+
+
+class TestCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cache(4, associativity=8)
+        with pytest.raises(ValueError):
+            Cache(10, associativity=4)
+
+    def test_miss_then_hit(self):
+        cache = Cache(16, associativity=4)
+        assert not cache.access(5, False)
+        cache.fill(5, False)
+        assert cache.access(5, False)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = Cache(4, associativity=4)  # one set
+        for line in (0, 4, 8, 12):
+            cache.fill(line, False)
+        cache.access(0, False)  # promote 0 to MRU
+        victim = cache.fill(16, False)
+        assert victim[0] == 4  # LRU after 0's promotion
+
+    def test_dirty_tracking(self):
+        cache = Cache(4, associativity=4)
+        cache.fill(0, False)
+        cache.access(0, True)  # write marks dirty
+        for line in (4, 8, 12):
+            cache.fill(line, False)
+        victim = cache.fill(16, False)
+        assert victim == (0, True)
+
+    def test_sets_are_independent(self):
+        cache = Cache(8, associativity=4)  # two sets
+        for line in (0, 2, 4, 6):  # even lines → set 0
+            cache.fill(line, False)
+        cache.fill(1, False)  # odd line → set 1, no eviction
+        assert cache.access(0, False)
+
+    def test_invalidate(self):
+        cache = Cache(4, associativity=4)
+        cache.fill(3, False)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
+        assert not cache.access(3, False)
+
+    def test_hit_rate(self):
+        cache = Cache(4, associativity=4)
+        assert cache.hit_rate == 0.0
+        cache.access(0, False)
+        cache.fill(0, False)
+        cache.access(0, False)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestCacheHierarchy:
+    def test_first_access_misses_to_memory(self):
+        hierarchy = CacheHierarchy(line_bytes=64, l1_bytes=1024,
+                                   l2_bytes=4096, l3_bytes=16384)
+        outcome = hierarchy.access(0, False)
+        assert outcome.level == 4
+        assert hierarchy.memory_reads == 1
+
+    def test_second_access_hits_l1(self):
+        hierarchy = CacheHierarchy(line_bytes=64, l1_bytes=1024,
+                                   l2_bytes=4096, l3_bytes=16384)
+        hierarchy.access(0, False)
+        assert hierarchy.access(0, False).level == 1
+
+    def test_l1_eviction_hits_l2(self):
+        hierarchy = CacheHierarchy(line_bytes=64, l1_bytes=512,
+                                   l2_bytes=4096, l3_bytes=16384)
+        l1_lines = 512 // 64  # 8 lines, 8-way: one set
+        hierarchy.access(0, False)
+        for line in range(1, l1_lines + 1):  # push 0 out of L1
+            hierarchy.access(line, False)
+        assert hierarchy.access(0, False).level == 2
+
+    def test_dirty_l3_eviction_becomes_memory_write(self):
+        hierarchy = CacheHierarchy(line_bytes=64, l1_bytes=512,
+                                   l2_bytes=1024, l3_bytes=2048)
+        l3_lines = 2048 // 64  # 32 lines
+        hierarchy.access(0, True)  # dirty
+        writebacks = 0
+        for line in range(1, 10 * l3_lines):
+            outcome = hierarchy.access(line, False)
+            if outcome.writeback is not None:
+                writebacks += 1
+        assert writebacks >= 1
+        assert hierarchy.memory_writes == writebacks
+
+    def test_working_set_inside_l3_stops_missing(self):
+        hierarchy = CacheHierarchy(line_bytes=64, l1_bytes=512,
+                                   l2_bytes=1024, l3_bytes=8192)
+        ws = 32  # lines, well under L3's 128
+        for _ in range(4):
+            for line in range(ws):
+                hierarchy.access(line, False)
+        before = hierarchy.memory_reads
+        for line in range(ws):
+            hierarchy.access(line, False)
+        assert hierarchy.memory_reads == before  # fully cache resident

@@ -1,0 +1,78 @@
+"""Tests for the IPC model — the §V-C4 experiment's engine."""
+
+import pytest
+
+from repro.perfmodel.cpu import (
+    evaluate_benchmark,
+    evaluate_suite,
+    ipc_degradation_percent,
+)
+from repro.perfmodel.workloads import ALL_BENCHMARKS, PARSEC_LIKE
+
+
+class TestEvaluateBenchmark:
+    def test_baseline_runs(self):
+        result = evaluate_benchmark(ALL_BENCHMARKS["gcc"], 2000, rng=0)
+        assert result.ipc > 0
+        assert result.instructions > 2000
+        assert result.remaps == 0  # baseline: no wear leveling
+
+    def test_wear_leveling_remaps_fire(self):
+        result = evaluate_benchmark(
+            ALL_BENCHMARKS["canneal"], 5000, remap_interval=16,
+            translation_ns=10.0, rng=0,
+        )
+        assert result.remaps > 0
+
+    def test_deterministic(self):
+        a = evaluate_benchmark(ALL_BENCHMARKS["mcf"], 2000, rng=5)
+        b = evaluate_benchmark(ALL_BENCHMARKS["mcf"], 2000, rng=5)
+        assert a.cycles == b.cycles
+
+    def test_memory_bound_benchmark_lower_ipc(self):
+        dense = evaluate_benchmark(ALL_BENCHMARKS["canneal"], 4000, rng=1)
+        sparse = evaluate_benchmark(ALL_BENCHMARKS["povray"], 4000, rng=1)
+        assert sparse.ipc > dense.ipc
+
+
+class TestDegradation:
+    def test_wear_leveling_costs_something_on_dense(self):
+        loss = ipc_degradation_percent(
+            ALL_BENCHMARKS["canneal"], remap_interval=16,
+            n_mem_ops=5000, seed=2,
+        )
+        assert loss > 0
+
+    def test_degradation_shrinks_with_interval(self):
+        """The paper's §V-C4 trend: 1.73 % → 1.02 % → 0.68 % as the inner
+        interval doubles."""
+        losses = [
+            ipc_degradation_percent(
+                ALL_BENCHMARKS["streamcluster"], psi, n_mem_ops=8000, seed=3
+            )
+            for psi in (16, 64, 256)
+        ]
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_sparse_benchmark_nearly_unaffected(self):
+        """bzip2/gcc-style result: "no IPC degradation at all"."""
+        loss = ipc_degradation_percent(
+            ALL_BENCHMARKS["povray"], remap_interval=128,
+            n_mem_ops=5000, seed=4,
+        )
+        assert loss < 0.3
+
+    def test_unoverlapped_translation_ablation_costs_more(self):
+        spec = ALL_BENCHMARKS["canneal"]
+        base = evaluate_benchmark(spec, 4000, 64, 10.0, rng=5)
+        exposed = evaluate_benchmark(
+            spec, 4000, 64, 10.0, rng=5, translation_overlap_ns=0.0
+        )
+        assert exposed.cycles > base.cycles
+
+
+class TestEvaluateSuite:
+    def test_runs_whole_suite(self):
+        results = evaluate_suite(PARSEC_LIKE[:3], n_mem_ops=1500)
+        assert len(results) == 3
+        assert all(r.suite == "parsec" for r in results)

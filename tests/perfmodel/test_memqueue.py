@@ -1,0 +1,60 @@
+"""Tests for the PCM bank timing / remap-injection model."""
+
+import pytest
+
+from repro.perfmodel.memqueue import PCMBankModel
+
+
+class TestPCMBankModel:
+    def test_idle_read(self):
+        bank = PCMBankModel()
+        assert bank.submit_read(1000.0) == 1125.0
+
+    def test_busy_bank_queues(self):
+        bank = PCMBankModel()
+        bank.submit_write(0.0)  # busy until 1000
+        assert bank.submit_read(500.0) == 1125.0
+
+    def test_remap_fires_on_interval(self):
+        bank = PCMBankModel(remap_interval=2)
+        bank.submit_write(0.0)
+        assert bank.remaps_done == 0
+        bank.submit_write(0.0)
+        assert bank.remaps_done == 1
+
+    def test_remap_delays_next_arrival_only_if_soon(self):
+        bank = PCMBankModel(remap_interval=1)
+        finish = bank.submit_write(0.0)  # write 1000 + remap 1125
+        assert finish == 1000.0
+        # A read arriving during the remap waits.
+        assert bank.submit_read(1500.0) == 1000.0 + 1125.0 + 125.0
+        # A read arriving long after sees no remap at all.
+        assert bank.submit_read(10_000.0) == 10_125.0
+
+    def test_remap_hides_in_idle_gap(self):
+        """The paper's §V-C4 mechanism: sparse traffic absorbs remaps."""
+        busy = PCMBankModel(remap_interval=1)
+        baseline = PCMBankModel(remap_interval=0)
+        # Requests 10 us apart: both banks give identical service times.
+        for i in range(10):
+            t = i * 10_000.0
+            assert busy.submit_write(t) == baseline.submit_write(t)
+
+    def test_translation_exposed_when_unoverlapped(self):
+        bank = PCMBankModel(translation_ns=10.0)
+        assert bank.submit_read(0.0) == 135.0
+
+    def test_translation_hidden_by_overlap(self):
+        bank = PCMBankModel(translation_ns=10.0, translation_overlap_ns=40.0)
+        assert bank.exposed_translation_ns == 0.0
+        assert bank.submit_read(0.0) == 125.0
+
+    def test_partial_overlap(self):
+        bank = PCMBankModel(translation_ns=50.0, translation_overlap_ns=40.0)
+        assert bank.exposed_translation_ns == 10.0
+
+    def test_no_wear_leveling_never_remaps(self):
+        bank = PCMBankModel(remap_interval=0)
+        for _ in range(100):
+            bank.submit_write(0.0)
+        assert bank.remaps_done == 0

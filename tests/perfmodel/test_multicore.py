@@ -1,0 +1,64 @@
+"""Tests for the multi-core contention model."""
+
+import pytest
+
+from repro.perfmodel.multicore import (
+    MultiCoreSystem,
+    multicore_degradation_percent,
+)
+from repro.perfmodel.workloads import ALL_BENCHMARKS, PARSEC_LIKE
+
+
+class TestMultiCoreSystem:
+    def test_requires_cores(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem([])
+
+    def test_single_core_runs(self):
+        result = MultiCoreSystem(
+            [ALL_BENCHMARKS["gcc"]], n_mem_ops=1500
+        ).run()
+        assert result.n_cores == 1
+        assert result.mean_core_ipc > 0
+
+    def test_deterministic(self):
+        specs = [ALL_BENCHMARKS["mcf"], ALL_BENCHMARKS["gcc"]]
+        a = MultiCoreSystem(specs, n_mem_ops=1500, seed=4).run()
+        b = MultiCoreSystem(specs, n_mem_ops=1500, seed=4).run()
+        assert a.makespan_ns == b.makespan_ns
+
+    def test_contention_slows_cores(self):
+        """Sharing the bank with 7 other memory-hungry cores must cost
+        per-core IPC relative to running alone."""
+        hungry = ALL_BENCHMARKS["canneal"]
+        alone = MultiCoreSystem([hungry], n_mem_ops=3000, seed=1).run()
+        crowd = MultiCoreSystem([hungry] * 8, n_mem_ops=3000, seed=1).run()
+        assert crowd.per_core_ipc[0] < alone.per_core_ipc[0]
+
+    def test_remaps_counted_once_globally(self):
+        result = MultiCoreSystem(
+            [ALL_BENCHMARKS["canneal"]] * 4,
+            n_mem_ops=3000, remap_interval=16, translation_ns=10.0, seed=2,
+        ).run()
+        assert result.remaps > 0
+
+    def test_aggregate_ipc_scales_with_cores(self):
+        sparse = ALL_BENCHMARKS["povray"]  # little contention
+        one = MultiCoreSystem([sparse], n_mem_ops=2000, seed=3).run()
+        four = MultiCoreSystem([sparse] * 4, n_mem_ops=2000, seed=3).run()
+        assert four.aggregate_ipc > 2 * one.aggregate_ipc
+
+
+class TestMultiCoreDegradation:
+    def test_positive_on_busy_mix(self):
+        specs = [s for s in PARSEC_LIKE[:4]]
+        loss = multicore_degradation_percent(specs, 32, n_mem_ops=3000)
+        assert loss > 0
+
+    def test_contention_amplifies_remap_cost(self):
+        """With more cores in flight, remaps hide less often — per-core
+        degradation under wear leveling grows with core count."""
+        hungry = ALL_BENCHMARKS["streamcluster"]
+        solo = multicore_degradation_percent([hungry], 32, n_mem_ops=4000)
+        crowd = multicore_degradation_percent([hungry] * 6, 32, n_mem_ops=4000)
+        assert crowd > solo

@@ -1,0 +1,78 @@
+"""Tests for the synthetic benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.workloads import (
+    ALL_BENCHMARKS,
+    PARSEC_LIKE,
+    SPEC_LIKE,
+    BenchmarkSpec,
+    generate_trace,
+)
+
+
+class TestSuiteShape:
+    def test_counts_match_paper(self):
+        # 13 PARSEC + 27 SPEC CPU2006 benchmarks (§V-C4).
+        assert len(PARSEC_LIKE) == 13
+        assert len(SPEC_LIKE) == 27
+
+    def test_names_unique(self):
+        assert len(ALL_BENCHMARKS) == 40
+
+    def test_parsec_denser_than_spec_on_average(self):
+        parsec = np.mean([s.mem_per_kilo_instr for s in PARSEC_LIKE])
+        spec = np.mean([s.mem_per_kilo_instr for s in SPEC_LIKE])
+        assert parsec > spec
+
+
+class TestSpecValidation:
+    def test_bad_mpki(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "spec", 0, 0.3, 1024)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "spec", 10, 1.5, 1024)
+
+    def test_bad_working_set(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "spec", 10, 0.3, 1)
+
+
+class TestTraceGeneration:
+    @pytest.fixture
+    def spec(self):
+        return ALL_BENCHMARKS["canneal"]
+
+    def test_shapes_and_ranges(self, spec):
+        addrs, is_write, gaps = generate_trace(spec, 5000, rng=0)
+        assert len(addrs) == len(is_write) == len(gaps) == 5000
+        assert addrs.min() >= 0
+        assert addrs.max() < spec.working_set_lines
+        assert (gaps >= 1).all()
+
+    def test_write_fraction_approximate(self, spec):
+        _, is_write, _ = generate_trace(spec, 20000, rng=1)
+        assert is_write.mean() == pytest.approx(spec.write_fraction, abs=0.03)
+
+    def test_gap_mean_tracks_intensity(self):
+        dense = ALL_BENCHMARKS["streamcluster"]  # 62 mem ops / kilo-instr
+        sparse = ALL_BENCHMARKS["povray"]  # 3 mem ops / kilo-instr
+        _, _, dense_gaps = generate_trace(dense, 20000, rng=2)
+        _, _, sparse_gaps = generate_trace(sparse, 20000, rng=2)
+        assert sparse_gaps.mean() > 5 * dense_gaps.mean()
+
+    def test_hot_set_dominates(self, spec):
+        addrs, _, _ = generate_trace(spec, 20000, rng=3)
+        hot_lines = int(spec.working_set_lines * spec.hot_fraction)
+        hot_share = (addrs < hot_lines).mean()
+        # Hot lines get well above their size share of the traffic.
+        assert hot_share > 3 * spec.hot_fraction
+
+    def test_reproducible(self, spec):
+        a = generate_trace(spec, 1000, rng=7)
+        b = generate_trace(spec, 1000, rng=7)
+        for left, right in zip(a, b):
+            assert (left == right).all()

@@ -1,0 +1,97 @@
+"""Tests for the memory controller (scheme ↔ array binding)."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.security_refresh import SecurityRefresh
+from repro.wearlevel.startgap import StartGap
+
+
+@pytest.fixture
+def config():
+    return PCMConfig(n_lines=16, endurance=1e12)
+
+
+class TestConstruction:
+    def test_size_mismatch_rejected(self, config):
+        with pytest.raises(ValueError):
+            MemoryController(NoWearLeveling(8), config)
+
+    def test_array_sized_to_scheme(self, config):
+        controller = MemoryController(StartGap(16, 4), config)
+        assert controller.array.n_physical == 17
+
+
+class TestLatencyObservability:
+    def test_plain_write_latency(self, config):
+        controller = MemoryController(NoWearLeveling(16), config)
+        assert controller.write(0, ALL1) == 1000.0
+        assert controller.write(0, ALL0) == 125.0
+
+    def test_remap_latency_folds_into_triggering_write(self, config):
+        """The paper's side channel: the write that fires a remap observes
+        the remap's latency on top of its own."""
+        controller = MemoryController(StartGap(16, remap_interval=3), config)
+        latencies = [controller.write(0, ALL0) for _ in range(3)]
+        assert latencies[0] == 125.0
+        assert latencies[1] == 125.0
+        assert latencies[2] == 125.0 + 250.0  # + copy of an ALL-0 line
+
+    def test_remap_copy_latency_reflects_carried_data(self, config):
+        """Copying an ALL-1 line costs 1125 ns — the RTA's signal.
+
+        One line is made ALL-1; as the gap sweeps the region, exactly one
+        movement per rotation carries it, observable as the 1125 ns class.
+        """
+        scheme = StartGap(16, remap_interval=1)
+        controller = MemoryController(scheme, config)
+        controller.write(5, ALL1)
+        extras = []
+        for _ in range(17):
+            extras.append(controller.write(5, ALL1) - 1000.0)
+        assert extras.count(1125.0) >= 1
+        assert set(extras) <= {250.0, 1125.0}
+
+    def test_sr_swap_latency(self, config):
+        controller = MemoryController(
+            SecurityRefresh(16, remap_interval=1, rng=3), config
+        )
+        # Boot round: keys equal, no swaps — all writes plain.
+        for _ in range(16):
+            assert controller.write(1, ALL0) == 125.0
+        # New round: swaps of ALL-0 lines cost 500 extra when they fire.
+        seen = set()
+        for _ in range(16):
+            seen.add(controller.write(1, ALL0))
+        assert seen <= {125.0, 625.0}
+
+    def test_baseline_write_latency(self, config):
+        controller = MemoryController(NoWearLeveling(16), config)
+        assert controller.baseline_write_latency(ALL1) == 1000.0
+        assert controller.baseline_write_latency(ALL0) == 125.0
+
+
+class TestAccounting:
+    def test_total_writes_includes_remap_copies(self, config):
+        controller = MemoryController(StartGap(16, remap_interval=2), config)
+        for _ in range(4):
+            controller.write(0, ALL0)
+        assert controller.total_writes == 4 + 2  # 2 gap movements
+
+    def test_read_returns_data_and_latency(self, config):
+        controller = MemoryController(NoWearLeveling(16), config)
+        controller.write(7, ALL1)
+        data, latency = controller.read(7)
+        assert data == ALL1
+        assert latency == 125.0
+
+    def test_elapsed_tracks_everything(self, config):
+        controller = MemoryController(StartGap(16, remap_interval=2), config)
+        controller.write(0, ALL1)
+        controller.write(0, ALL0)  # + remap copy
+        expected = 1000.0 + 125.0 + controller.array.timing.copy_latency(ALL0)
+        # The copied line's content is ALL0 unless slot 15 held the ALL1...
+        assert controller.elapsed_ns >= expected - 1e-9

@@ -1,0 +1,144 @@
+"""Tests for the multi-bank memory system."""
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+from repro.core.security_rbsg import SecurityRBSG
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.multibank import MultiBankSystem
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.startgap import StartGap
+
+
+def make(n_banks=4, bank_lines=64, interleave="low", scheme="startgap"):
+    config = PCMConfig(n_lines=bank_lines, endurance=1e12)
+
+    def factory(index):
+        if scheme == "none":
+            return NoWearLeveling(bank_lines)
+        if scheme == "security-rbsg":
+            return SecurityRBSG(
+                bank_lines, n_subregions=4, inner_interval=3,
+                outer_interval=5, n_stages=4, rng=index,
+            )
+        return StartGap(bank_lines, remap_interval=4)
+
+    return MultiBankSystem(n_banks, config, factory, interleave=interleave)
+
+
+class TestAddressing:
+    def test_low_interleave(self):
+        system = make(interleave="low")
+        assert system.bank_of(0) == 0
+        assert system.bank_of(1) == 1
+        assert system.bank_of(5) == 1
+        assert system.local_la(5) == 1
+        assert system.local_la(4) == 1
+
+    def test_high_interleave(self):
+        system = make(interleave="high")
+        assert system.bank_of(0) == 0
+        assert system.bank_of(63) == 0
+        assert system.bank_of(64) == 1
+        assert system.local_la(65) == 1
+
+    def test_bijection(self):
+        for interleave in ("low", "high"):
+            system = make(interleave=interleave)
+            pairs = {
+                (system.bank_of(la), system.local_la(la))
+                for la in range(system.n_lines)
+            }
+            assert len(pairs) == system.n_lines
+
+    def test_bounds(self):
+        system = make()
+        with pytest.raises(ValueError):
+            system.bank_of(256)
+
+    def test_power_of_two_banks_required(self):
+        config = PCMConfig(n_lines=64, endurance=1e12)
+        with pytest.raises(ValueError):
+            MultiBankSystem(3, config, lambda i: NoWearLeveling(64))
+
+    def test_scheme_size_checked(self):
+        config = PCMConfig(n_lines=64, endurance=1e12)
+        with pytest.raises(ValueError):
+            MultiBankSystem(2, config, lambda i: NoWearLeveling(32))
+
+
+class TestIO:
+    def test_data_consistency(self):
+        system = make(scheme="security-rbsg")
+        rng = np.random.default_rng(0)
+        shadow = {}
+        for _ in range(4000):
+            la = int(rng.integers(0, system.n_lines))
+            data = ALL1 if rng.random() < 0.5 else ALL0
+            system.write(la, data)
+            shadow[la] = data
+        for la, data in shadow.items():
+            got, _ = system.read(la)
+            assert got == data
+
+    def test_bank_isolation(self):
+        """Remaps in one bank never touch another bank's lines."""
+        system = make()
+        for _ in range(500):
+            system.write(0, ALL1)  # bank 0 only (low interleave)
+        assert system.banks[0].total_writes > 500  # writes + remap copies
+        assert all(system.banks[b].total_writes == 0 for b in (1, 2, 3))
+
+    def test_independent_keys_per_bank(self):
+        system = make(scheme="security-rbsg")
+        keys = {
+            tuple(system.banks[b].scheme.outer.feistel_c.keys)
+            for b in range(4)
+        }
+        assert len(keys) == 4  # per-bank seeding → distinct key arrays
+
+
+class TestParallelism:
+    def test_cross_bank_batch_overlaps(self):
+        system = make(scheme="none")
+        latencies, makespan = system.write_parallel(
+            [(0, ALL1), (1, ALL1), (2, ALL1), (3, ALL1)]
+        )
+        # Four distinct banks: all overlap; makespan = one write.
+        assert makespan == 1000.0
+        assert all(latency == 1000.0 for latency in latencies)
+
+    def test_same_bank_batch_serializes(self):
+        system = make(scheme="none")
+        latencies, makespan = system.write_parallel(
+            [(0, ALL1), (4, ALL1)]  # both bank 0 under low interleave
+        )
+        assert makespan == 2000.0
+        assert latencies == [1000.0, 2000.0]
+
+    def test_clock_advances_by_makespan(self):
+        system = make(scheme="none")
+        system.write_parallel([(0, ALL1), (1, ALL1)])
+        assert system.elapsed_ns == 1000.0
+
+    def test_empty_batch(self):
+        system = make()
+        latencies, makespan = system.write_parallel([])
+        assert latencies == [] and makespan == 0.0
+
+
+class TestDiagnostics:
+    def test_wear_by_bank(self):
+        system = make(scheme="none")
+        for _ in range(10):
+            system.write(0, ALL1)
+        assert system.wear_by_bank() == [10, 0, 0, 0]
+
+    def test_failed_aggregates(self):
+        config = PCMConfig(n_lines=16, endurance=5)
+        system = MultiBankSystem(2, config, lambda i: NoWearLeveling(16))
+        with pytest.raises(Exception):
+            for _ in range(10):
+                system.write(0, ALL1)
+        assert system.failed

@@ -1,0 +1,212 @@
+"""Tests for the round-granularity simulators, incl. validation against the
+exact per-write engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetime import raa_two_level_sr_lifetime_ns
+from repro.config import PCMConfig, SecurityRBSGConfig, SRConfig
+from repro.core.security_rbsg import SecurityRBSG
+from repro.pcm.timing import ALL1
+from repro.sim.memory_system import MemoryController
+from repro.sim.roundsim import SecurityRBSGRAASim, TwoLevelSRRAASim
+
+
+def make_sim(n_lines=2**10, endurance=1e5, subregions=8, inner=4, outer=8,
+             stages=5, attack="raa", seed=0):
+    pcm = PCMConfig(n_lines=n_lines, endurance=endurance)
+    cfg = SecurityRBSGConfig(
+        n_subregions=subregions, inner_interval=inner,
+        outer_interval=outer, n_stages=stages,
+    )
+    return SecurityRBSGRAASim(pcm, cfg, attack=attack, rng=seed)
+
+
+class TestDepositWalk:
+    def test_wear_conservation(self):
+        sim = make_sim()
+        for _ in range(10):
+            sim.step_round()
+        assert int(sim.wear.sum()) == int(sim.total_writes)
+
+    def test_single_round_window_shape(self):
+        sim = make_sim(n_lines=2**8, subregions=2, inner=2, outer=4, seed=1)
+        sim.step_round()
+        touched = np.nonzero(sim.wear)[0]
+        # Full dwells all equal; at most two partial ends.
+        values = sim.wear[touched]
+        dwell = sim.dwell
+        full = (values == dwell).sum()
+        partial = (values != dwell).sum()
+        assert partial <= 2
+        # All inside one sub-region.
+        assert len({t // sim.subregion for t in touched}) == 1
+        # Window is contiguous modulo the sub-region size.
+        local = np.sort(touched % sim.subregion)
+        gaps = np.diff(local)
+        assert (gaps == 1).sum() >= len(local) - 2
+
+    def test_phase_carries_between_rounds(self):
+        """Partial dwells at round boundaries must not lose writes."""
+        sim = make_sim(n_lines=2**8, subregions=1, inner=3, outer=5, seed=2)
+        for _ in range(7):
+            sim.step_round()
+        assert int(sim.wear.sum()) == int(sim.total_writes)
+        # phase is always within [0, dwell)
+        assert 0 <= int(sim.phase[0]) < sim.dwell
+
+    def test_window_lapping_region(self):
+        """A round long enough to lap the sub-region distributes evenly."""
+        sim = make_sim(n_lines=2**6, subregions=8, inner=1, outer=64, seed=3)
+        # round_writes = 64*64 = 4096; dwell = 9; window = 455 slots >> 8.
+        sim.step_round()
+        region = np.nonzero(sim.wear)[0][0] // sim.subregion
+        base = region * sim.subregion
+        values = sim.wear[base : base + sim.subregion]
+        assert values.min() > 0
+        assert values.max() - values.min() <= 2 * sim.dwell
+
+
+class TestLifetimeBehaviour:
+    def test_failure_detected(self):
+        sim = make_sim(endurance=1e4, seed=4)
+        result = sim.run_until_failure()
+        assert result.failed
+        assert result.max_wear >= 1e4
+
+    def test_more_stages_never_catastrophically_worse(self):
+        """Fig. 14 trend at small scale: 7 stages beats 2 stages."""
+        few = make_sim(n_lines=2**12, endurance=3e4, subregions=8,
+                       stages=2, seed=5).run_until_failure()
+        many = make_sim(n_lines=2**12, endurance=3e4, subregions=8,
+                        stages=7, seed=5).run_until_failure()
+        assert many.lifetime_ns > few.lifetime_ns
+
+    def test_bpa_insensitive_to_stages(self):
+        results = [
+            make_sim(n_lines=2**10, endurance=2e4, attack="bpa",
+                     stages=s, seed=6).run_until_failure().lifetime_ns
+            for s in (2, 10)
+        ]
+        ratio = results[1] / results[0]
+        assert 0.5 < ratio < 2.0
+
+    def test_uniform_mode_close_to_many_stages(self):
+        uniform = make_sim(n_lines=2**12, endurance=3e4, subregions=8,
+                           attack="raa_uniform", seed=7).run_until_failure()
+        staged = make_sim(n_lines=2**12, endurance=3e4, subregions=8,
+                          stages=10, seed=7).run_until_failure()
+        ratio = staged.lifetime_ns / uniform.lifetime_ns
+        assert 0.5 < ratio < 2.0
+
+    def test_run_writes_checkpoints(self):
+        sim = make_sim(endurance=1e18, seed=8)
+        snaps = sim.run_writes([1e5, 1e6])
+        assert len(snaps) == 2
+        assert snaps[0][0] >= 1e5
+        assert snaps[1][0] >= 1e6
+        assert snaps[1][1].sum() >= snaps[0][1].sum()
+
+
+class TestAgainstExactEngine:
+    def test_lifetime_matches_exact_simulation(self):
+        """Round-granularity vs exact per-write RAA on the real scheme.
+
+        The round sim ignores remap-copy wear and gap-line slots, so we
+        allow a generous factor, but the two must agree on scale.
+        """
+        n_lines, endurance = 2**8, 3000
+        pcm = PCMConfig(n_lines=n_lines, endurance=endurance)
+        lifetimes = []
+        for seed in (0, 1, 2):
+            scheme = SecurityRBSG(
+                n_lines, n_subregions=4, inner_interval=2, outer_interval=4,
+                n_stages=5, rng=seed,
+            )
+            controller = MemoryController(scheme, pcm)
+            writes = 0
+            try:
+                while True:
+                    controller.write(0, ALL1)
+                    writes += 1
+            except Exception:
+                pass
+            lifetimes.append(writes)
+        exact = np.mean(lifetimes)
+        sims = []
+        for seed in (0, 1, 2):
+            cfg = SecurityRBSGConfig(
+                n_subregions=4, inner_interval=2, outer_interval=4, n_stages=5
+            )
+            sim = SecurityRBSGRAASim(pcm, cfg, rng=seed)
+            sims.append(sim.run_until_failure().total_writes)
+        approx = np.mean(sims)
+        assert 0.3 < approx / exact < 3.0
+
+
+class TestTwoLevelSRSim:
+    def test_wear_conservation(self):
+        pcm = PCMConfig(n_lines=2**10, endurance=1e18)
+        sim = TwoLevelSRRAASim(pcm, SRConfig(8, 4, 8), rng=0)
+        for _ in range(20):
+            sim.step_round()
+        assert int(sim.wear.sum()) == int(sim.total_writes)
+
+    def test_matches_ballsbins_model(self):
+        """Dwell-granularity sim vs the analytic balls-into-bins lifetime."""
+        pcm = PCMConfig(n_lines=2**12, endurance=2e4)
+        cfg = SRConfig(n_subregions=16, inner_interval=4, outer_interval=8)
+        sims = [
+            TwoLevelSRRAASim(pcm, cfg, rng=seed).run_until_failure().lifetime_ns
+            for seed in range(3)
+        ]
+        model = raa_two_level_sr_lifetime_ns(pcm, cfg)
+        ratio = np.mean(sims) / model
+        assert 0.4 < ratio < 2.5
+
+    def test_failure(self):
+        pcm = PCMConfig(n_lines=2**8, endurance=1e4)
+        sim = TwoLevelSRRAASim(pcm, SRConfig(4, 4, 8), rng=1)
+        result = sim.run_until_failure()
+        assert result.failed
+
+
+class TestRBSGBPASim:
+    def test_wear_conservation(self):
+        from repro.sim.roundsim import RBSGBPASim
+
+        pcm = PCMConfig(n_lines=2**10, endurance=1e18)
+        sim = RBSGBPASim(pcm, n_regions=8, remap_interval=4, rng=0)
+        for _ in range(100):
+            sim.step_dwell()
+        assert int(sim.wear.sum()) == int(sim.total_writes)
+        assert sim.total_writes == 100 * sim.dwell
+
+    def test_failure_detected(self):
+        from repro.sim.roundsim import RBSGBPASim
+
+        pcm = PCMConfig(n_lines=2**10, endurance=5e3)
+        result = RBSGBPASim(pcm, 8, 4, rng=1).run_until_failure()
+        assert result.failed
+        assert result.max_wear >= 5e3
+
+    def test_matches_bpa_model(self):
+        from repro.analysis.bpa import bpa_rbsg_lifetime_ns
+        from repro.config import RBSGConfig
+        from repro.sim.roundsim import RBSGBPASim
+
+        pcm = PCMConfig(n_lines=2**11, endurance=1e4)
+        cfg = RBSGConfig(n_regions=16, remap_interval=4)
+        sims = [
+            RBSGBPASim(pcm, 16, 4, rng=seed).run_until_failure().lifetime_ns
+            for seed in range(3)
+        ]
+        model = bpa_rbsg_lifetime_ns(pcm, cfg)
+        ratio = (sum(sims) / len(sims)) / model
+        assert 0.4 < ratio < 2.5
+
+    def test_regions_must_divide(self):
+        from repro.sim.roundsim import RBSGBPASim
+
+        with pytest.raises(ValueError):
+            RBSGBPASim(PCMConfig(n_lines=2**10), n_regions=7, remap_interval=4)

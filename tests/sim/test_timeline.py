@@ -1,0 +1,76 @@
+"""Tests for the latency-timeline recorder."""
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.memory_system import MemoryController
+from repro.sim.timeline import LatencyRecorder
+from repro.wearlevel.nowl import NoWearLeveling
+from repro.wearlevel.startgap import StartGap
+
+
+def make(scheme=None, n_lines=16, capacity=8):
+    config = PCMConfig(n_lines=n_lines, endurance=1e12)
+    controller = MemoryController(scheme or NoWearLeveling(n_lines), config)
+    return LatencyRecorder(controller, capacity=capacity)
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        recorder = make()
+        recorder.write(3, ALL1)
+        recorder.write(5, ALL0)
+        assert recorder.las.tolist() == [3, 5]
+        assert recorder.latencies.tolist() == [1000.0, 125.0]
+        assert len(recorder) == 2
+
+    def test_growth_beyond_capacity(self):
+        recorder = make(capacity=4)
+        for i in range(50):
+            recorder.write(i % 16, ALL0)
+        assert len(recorder) == 50
+        assert (recorder.latencies == 125.0).all()
+
+    def test_read_passthrough(self):
+        recorder = make()
+        recorder.write(2, ALL1)
+        data, _ = recorder.read(2)
+        assert data == ALL1
+        assert len(recorder) == 1  # reads not recorded
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            make(capacity=0)
+
+
+class TestAnalysis:
+    def test_histogram_classes(self):
+        recorder = make(scheme=StartGap(16, remap_interval=4))
+        for _ in range(40):
+            recorder.write(0, ALL0)
+        histogram = recorder.histogram().as_dict()
+        assert 125.0 in histogram  # plain writes
+        assert 375.0 in histogram  # write + ALL-0 copy
+        assert histogram[125.0] == 30
+        assert histogram[375.0] == 10
+
+    def test_extras_and_remap_rate(self):
+        recorder = make(scheme=StartGap(16, remap_interval=4))
+        for _ in range(40):
+            recorder.write(0, ALL0)
+        extras = recorder.extras(125.0)
+        assert extras.max() == 250.0
+        assert recorder.remap_rate(125.0) == pytest.approx(0.25)
+
+    def test_remap_rate_empty(self):
+        assert make().remap_rate(125.0) == 0.0
+
+    def test_window(self):
+        recorder = make()
+        for i in range(10):
+            recorder.write(i, ALL0)
+        las, lats = recorder.window(2, 5)
+        assert las.tolist() == [2, 3, 4]
+        assert len(lats) == 3

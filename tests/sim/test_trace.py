@@ -1,0 +1,77 @@
+"""Tests for synthetic trace generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.pcm.timing import ALL0, ALL1
+from repro.sim.trace import (
+    TraceEntry,
+    repeated_address_trace,
+    sequential_trace,
+    uniform_random_trace,
+    zipf_trace,
+)
+
+
+class TestRepeatedAddress:
+    def test_fixed_address(self):
+        entries = list(repeated_address_trace(7, n_writes=5))
+        assert len(entries) == 5
+        assert all(e.la == 7 for e in entries)
+        assert all(e.data == ALL1 for e in entries)
+
+    def test_infinite_stream(self):
+        stream = repeated_address_trace(3)
+        head = list(itertools.islice(stream, 100))
+        assert len(head) == 100
+
+    def test_custom_data(self):
+        entry = next(iter(repeated_address_trace(1, data=ALL0)))
+        assert entry.data == ALL0
+
+
+class TestSequential:
+    def test_wraps(self):
+        entries = list(sequential_trace(4, n_writes=10))
+        assert [e.la for e in entries] == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+class TestUniformRandom:
+    def test_in_range_and_reproducible(self):
+        a = [e.la for e in uniform_random_trace(32, n_writes=200, rng=1)]
+        b = [e.la for e in uniform_random_trace(32, n_writes=200, rng=1)]
+        assert a == b
+        assert all(0 <= la < 32 for la in a)
+
+    def test_covers_space(self):
+        las = {e.la for e in uniform_random_trace(8, n_writes=500, rng=2)}
+        assert las == set(range(8))
+
+    def test_exact_count_across_batches(self):
+        entries = list(uniform_random_trace(8, n_writes=10000, rng=0, batch=64))
+        assert len(entries) == 10000
+
+
+class TestZipf:
+    def test_skew(self):
+        las = [e.la for e in zipf_trace(64, n_writes=5000, alpha=1.5, rng=3)]
+        counts = np.bincount(las, minlength=64)
+        # Rank 0 must dominate the tail.
+        assert counts[0] > 5 * counts[32:].max()
+
+    def test_lower_alpha_less_skewed(self):
+        def top_share(alpha):
+            las = [e.la for e in zipf_trace(64, n_writes=4000, alpha=alpha, rng=4)]
+            counts = np.bincount(las, minlength=64)
+            return counts[0] / counts.sum()
+
+        assert top_share(0.5) < top_share(2.0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            next(iter(zipf_trace(8, alpha=0.0)))
+
+    def test_exact_count(self):
+        assert len(list(zipf_trace(16, n_writes=100, rng=0))) == 100

@@ -1,0 +1,63 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.pcm.timing import ALL0, ALL1, MIXED
+from repro.sim.trace import TraceEntry, zipf_trace
+from repro.sim.tracefile import (
+    load_metadata,
+    load_trace,
+    save_trace,
+    summarize_trace,
+)
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        entries = [
+            TraceEntry(3, ALL1),
+            TraceEntry(7, ALL0),
+            TraceEntry(3, MIXED),
+        ]
+        assert save_trace(path, entries) == 3
+        loaded = list(load_trace(path))
+        assert loaded == entries
+
+    def test_generator_input(self, tmp_path):
+        path = tmp_path / "zipf.npz"
+        count = save_trace(path, zipf_trace(64, n_writes=500, rng=0))
+        assert count == 500
+        assert len(list(load_trace(path))) == 500
+
+    def test_metadata(self, tmp_path):
+        path = tmp_path / "meta.npz"
+        save_trace(path, [TraceEntry(0)], metadata={"workload": "raa"})
+        meta = load_metadata(path)
+        assert meta["workload"] == "raa"
+        assert meta["format_version"] == "1"
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        assert save_trace(path, []) == 0
+        assert list(load_trace(path)) == []
+
+
+class TestSummary:
+    def test_statistics(self, tmp_path):
+        path = tmp_path / "s.npz"
+        entries = [TraceEntry(1, ALL1)] * 8 + [TraceEntry(2, ALL0)] * 2
+        save_trace(path, entries)
+        summary = summarize_trace(path)
+        assert summary.n_writes == 10
+        assert summary.n_distinct == 2
+        assert summary.hottest_la == 1
+        assert summary.hottest_share == pytest.approx(0.8)
+        assert summary.write_class_counts == {"ALL1": 8, "ALL0": 2}
+
+    def test_empty_summary(self, tmp_path):
+        path = tmp_path / "e.npz"
+        save_trace(path, [])
+        summary = summarize_trace(path)
+        assert summary.n_writes == 0
+        assert summary.hottest_la == -1

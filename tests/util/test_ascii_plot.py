@@ -1,0 +1,69 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max fills the width
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["x"], [3.5], unit=" s")
+        assert "3.5 s" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_shape(self):
+        spark = sparkline(range(8))
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLinePlot:
+    def test_contains_extremes(self):
+        plot = line_plot([0.0, 10.0], width=20, height=5)
+        assert "10" in plot
+        assert "0" in plot
+        assert "*" in plot
+
+    def test_title_and_axis(self):
+        plot = line_plot([1, 2, 3], xs=[10, 20, 30], title="demo")
+        assert plot.splitlines()[0] == "demo"
+        assert "10" in plot and "30" in plot
+
+    def test_mismatched_xs(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], xs=[1])
+
+    def test_empty(self):
+        assert line_plot([], title="t") == "t"
+
+    def test_row_count(self):
+        plot = line_plot(range(30), height=8, width=40)
+        assert len(plot.splitlines()) == 8

@@ -1,0 +1,82 @@
+"""Unit tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_length_exact,
+    get_bit,
+    is_power_of_two,
+    mask,
+    set_bit,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(30):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for value in (0, -1, -8, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestBitLengthExact:
+    def test_exact_values(self):
+        assert bit_length_exact(1) == 0
+        assert bit_length_exact(2) == 1
+        assert bit_length_exact(1024) == 10
+        assert bit_length_exact(2**22) == 22
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 1000])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            bit_length_exact(bad)
+
+    @given(st.integers(min_value=0, max_value=62))
+    def test_roundtrip(self, k):
+        assert bit_length_exact(1 << k) == k
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(22) == 2**22 - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_width(self, n):
+        assert mask(n).bit_length() == n
+
+
+class TestGetSetBit:
+    def test_get(self):
+        assert get_bit(0b1010, 0) == 0
+        assert get_bit(0b1010, 1) == 1
+        assert get_bit(0b1010, 3) == 1
+
+    def test_set(self):
+        assert set_bit(0b1010, 0, 1) == 0b1011
+        assert set_bit(0b1010, 1, 0) == 0b1000
+        assert set_bit(0b1010, 1, 1) == 0b1010
+
+    def test_set_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 39),
+           st.integers(0, 1))
+    def test_set_then_get(self, value, index, bit):
+        assert get_bit(set_bit(value, index, bit), index) == bit
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 39))
+    def test_set_preserves_other_bits(self, value, index):
+        updated = set_bit(value, index, 1 - get_bit(value, index))
+        assert updated ^ value == 1 << index

@@ -1,0 +1,54 @@
+"""Tests for the wear-leveler base interface and the no-WL baseline."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.array import LineFailure
+from repro.pcm.timing import ALL1
+from repro.sim.memory_system import MemoryController
+from repro.wearlevel.base import CopyMove, SwapMove
+from repro.wearlevel.nowl import NoWearLeveling
+
+
+class TestMoves:
+    def test_copy_move_fields(self):
+        move = CopyMove(src=3, dst=7)
+        assert (move.src, move.dst) == (3, 7)
+
+    def test_swap_move_fields(self):
+        move = SwapMove(pa_a=1, pa_b=2)
+        assert (move.pa_a, move.pa_b) == (1, 2)
+
+    def test_moves_are_hashable_values(self):
+        assert CopyMove(1, 2) == CopyMove(1, 2)
+        assert len({SwapMove(1, 2), SwapMove(1, 2), SwapMove(2, 1)}) == 2
+
+
+class TestNoWearLeveling:
+    def test_identity(self):
+        scheme = NoWearLeveling(16)
+        assert scheme.mapping_snapshot() == list(range(16))
+        assert scheme.n_physical == 16
+
+    def test_never_remaps(self):
+        scheme = NoWearLeveling(16)
+        assert all(scheme.record_write(i % 16) == [] for i in range(100))
+
+    def test_bounds(self):
+        scheme = NoWearLeveling(4)
+        with pytest.raises(ValueError):
+            scheme.translate(4)
+        with pytest.raises(ValueError):
+            NoWearLeveling(0)
+
+    def test_raa_kills_in_exactly_endurance_writes(self):
+        """§II-B: without wear leveling, RAA takes exactly E writes —
+        100 seconds at E=1e8 and 1 us per write ("one minute" scale)."""
+        config = PCMConfig(n_lines=16, endurance=1000)
+        controller = MemoryController(NoWearLeveling(16), config)
+        with pytest.raises(LineFailure) as info:
+            for _ in range(1001):
+                controller.write(5, ALL1)
+        assert info.value.wear == 1000
+        assert info.value.pa == 5
+        assert controller.elapsed_ns == pytest.approx(1000 * 1000.0)

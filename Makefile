@@ -1,4 +1,4 @@
-.PHONY: install test bench examples smoke clean
+.PHONY: install test bench examples smoke faults-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,11 @@ examples:
 
 smoke:
 	pytest tests/ -q -x -k "not matrix and not Matrix" --timeout=300
+
+faults-smoke:
+	PYTHONPATH=src python -m repro faults --lines 128 --endurance 400 \
+		--writes 30000 --ecp 2 --read-disturb 1e-5 --seed 7
+	PYTHONPATH=src python -m repro faults --side-channel --seed 7
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

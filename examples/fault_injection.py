@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fault injection & graceful degradation: the device that refuses to die.
+
+Two demonstrations of the resilience stack:
+
+1. **Degradation campaign** — hammer a small bank with a skewed workload
+   under rising verify-failure rates, across wear-leveling schemes, and
+   watch it degrade gracefully: write-verify retries absorb transient
+   program failures, ECP corrects stuck cells, the spare pool retires
+   uncorrectable lines, and when spares run dry the device drops to
+   read-only instead of raising a bare exception.  Availability — the
+   fraction of the intended workload actually served — replaces binary
+   life/death as the metric, and wear leveling visibly buys availability.
+
+2. **The mitigation that backfires** — the write-verify-retry loop is
+   itself a timing side channel: verify failures get more likely as a line
+   wears, so retry-inflated write latency leaks which lines are near
+   death (and what data pattern is being written), on top of the paper's
+   remapping timing channel.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.analysis.resilience import (
+    side_channel_separation_ns,
+    sweep_fault_rates,
+    verify_retry_side_channel,
+)
+from repro.config import PCMConfig
+from repro.pcm.timing import LineData
+
+N_LINES = 2**7
+ENDURANCE = 400
+N_WRITES = 30_000
+SEED = 7
+
+print("=" * 72)
+print("1. Fault-injection campaign: availability under injected faults")
+print("=" * 72)
+config = PCMConfig(
+    n_lines=N_LINES,
+    endurance=ENDURANCE,
+    read_disturb_ber=1e-5,
+    ecp_entries=2,
+)
+results = sweep_fault_rates(
+    ["none", "rbsg", "security-rbsg"],
+    config,
+    [0.0, 1e-3, 1e-2],
+    n_spares=8,
+    n_writes=N_WRITES,
+    seed=SEED,
+)
+print(f"{'scheme':<14} {'verify-fail':>11} {'availability':>12} "
+      f"{'retries':>8} {'mode':>10}")
+for r in results:
+    print(f"{r.scheme:<14} {r.verify_fail_base:>11.0e} "
+          f"{r.availability:>11.1%} {r.health.retry_events:>8} "
+          f"{r.health.mode:>10}")
+best = max(results, key=lambda r: r.availability)
+print(f"\nbest availability: {best.scheme} at {best.availability:.1%} — "
+      f"wear leveling spreads the hot set, so the spare pool lasts longer.")
+print(f"final health ({best.scheme}): {best.health.summary()}")
+
+print()
+print("=" * 72)
+print("2. Verify-retry side channel: write latency leaks wear and data")
+print("=" * 72)
+probes = verify_retry_side_channel(
+    verify_fail_base=0.05, n_trials=400, seed=SEED
+)
+print(f"{'wear':>6} {'data':>6} {'mean ns':>9} {'p95 ns':>9} "
+      f"{'retries/write':>14}")
+for p in probes:
+    print(f"{p.wear_fraction:>6.2f} {LineData(p.data).name:>6} "
+          f"{p.mean_latency_ns:>9.1f} {p.p95_latency_ns:>9.1f} "
+          f"{p.retries_per_write:>14.3f}")
+gap = side_channel_separation_ns(probes)
+print(f"\nan attacker timing their own writes sees a {gap:+.0f} ns mean "
+      f"shift on worn lines:\nthe reliability mitigation opened a wear-"
+      f"profiling channel the bare device lacked.")

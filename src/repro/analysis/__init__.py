@@ -33,6 +33,14 @@ from repro.analysis.endurance import (
     uniform_lifetime_fraction,
 )
 from repro.analysis.overhead import HardwareOverhead, security_rbsg_overhead
+from repro.analysis.resilience import (
+    CampaignResult,
+    SideChannelProbe,
+    run_fault_campaign,
+    side_channel_separation_ns,
+    sweep_fault_rates,
+    verify_retry_side_channel,
+)
 from repro.analysis.tradeoff import (
     DesignPoint,
     evaluate_design,
@@ -47,8 +55,14 @@ from repro.analysis.security import (
 )
 
 __all__ = [
+    "CampaignResult",
     "DesignPoint",
     "HardwareOverhead",
+    "SideChannelProbe",
+    "run_fault_campaign",
+    "side_channel_separation_ns",
+    "sweep_fault_rates",
+    "verify_retry_side_channel",
     "evaluate_design",
     "explore_design_space",
     "pareto_front",

@@ -6,7 +6,9 @@ Installed as ``python -m repro``.  Subcommands:
 * ``simulate``  — run a real attack on the exact simulator (scaled config),
 * ``overhead``  — the §V-C3 hardware-cost table,
 * ``stages``    — security sizing of the dynamic Feistel network,
-* ``perf``      — the §V-C4 IPC-impact table.
+* ``perf``      — the §V-C4 IPC-impact table,
+* ``faults``    — fault-injection campaigns and the verify-retry
+  side-channel experiment.
 
 Examples::
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro overhead --stages 7
     python -m repro stages --outer-interval 128
     python -m repro perf --interval 64 --ops 10000
+    python -m repro faults --schemes none rbsg --rates 0 1e-3 1e-2
+    python -m repro faults --side-channel
 """
 
 from __future__ import annotations
@@ -233,6 +237,54 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.analysis.resilience import (
+        side_channel_separation_ns,
+        sweep_fault_rates,
+        verify_retry_side_channel,
+    )
+    from repro.pcm.timing import LineData
+
+    if args.side_channel:
+        probes = verify_retry_side_channel(
+            verify_fail_base=args.verify_fail or 0.05,
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+        print("verify-retry side channel (write-latency distribution):")
+        print(f"{'wear':>6} {'data':>6} {'mean ns':>9} {'p95 ns':>9} "
+              f"{'max ns':>9} {'retries/wr':>10}")
+        for p in probes:
+            print(f"{p.wear_fraction:>6.2f} {LineData(p.data).name:>6} "
+                  f"{p.mean_latency_ns:>9.1f} {p.p95_latency_ns:>9.1f} "
+                  f"{p.max_latency_ns:>9.1f} {p.retries_per_write:>10.3f}")
+        print(f"wear leak (aged vs fresh, MIXED): "
+              f"{side_channel_separation_ns(probes):+.1f} ns mean")
+        return 0
+
+    config = PCMConfig(
+        n_lines=args.lines,
+        endurance=args.endurance,
+        read_disturb_ber=args.read_disturb,
+        ecp_entries=args.ecp,
+    )
+    results = sweep_fault_rates(
+        args.schemes, config, args.rates,
+        n_spares=args.spares, n_writes=args.writes, seed=args.seed,
+    )
+    print(f"fault-injection campaign: {args.lines} lines, "
+          f"E={args.endurance:g}, {args.spares} spares, "
+          f"{args.writes} writes, seed {args.seed}")
+    print(f"{'scheme':<14} {'rate':>8} {'avail':>7} {'fails':>6} "
+          f"{'retired':>8} {'retries':>8} {'corrected':>9} {'cause':>16}")
+    for r in results:
+        print(f"{r.scheme:<14} {r.verify_fail_base:>8.0e} "
+              f"{r.availability:>6.1%} {r.health.failures:>6} "
+              f"{r.health.retired_lines:>8} {r.health.retry_events:>8} "
+              f"{r.health.corrected_errors:>9} {r.end_cause:>16}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     from repro.perfmodel import PARSEC_LIKE, SPEC_LIKE
     from repro.perfmodel.cpu import ipc_degradation_percent
@@ -312,6 +364,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=30_000_000)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser("faults", help="fault injection & resilience")
+    p.add_argument("--schemes", nargs="+", default=["none", "rbsg",
+                                                    "security-rbsg"])
+    p.add_argument("--rates", nargs="+", type=float,
+                   default=[0.0, 1e-3, 1e-2],
+                   help="verify-failure base rates to sweep")
+    p.add_argument("--read-disturb", type=float, default=0.0,
+                   help="per-bit transient read-error probability")
+    p.add_argument("--lines", type=int, default=2**8)
+    p.add_argument("--endurance", type=float, default=2e3)
+    p.add_argument("--spares", type=int, default=8)
+    p.add_argument("--ecp", type=int, default=4,
+                   help="ECP entries (correctable cells) per line")
+    p.add_argument("--writes", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--side-channel", action="store_true",
+                   help="run the verify-retry latency experiment instead")
+    p.add_argument("--verify-fail", type=float, default=0.05,
+                   help="verify-failure base rate for --side-channel")
+    p.add_argument("--trials", type=int, default=400,
+                   help="writes per probe for --side-channel")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("perf", help="IPC impact (§V-C4)")
     p.add_argument("--interval", type=int, default=64)

@@ -49,6 +49,37 @@ class PCMConfig:
         optimisation of the paper's ref. [8]): rewriting a line with its
         current content costs one verify read and causes **no wear**.
         Default False — the paper's evaluation model.
+    read_disturb_ber:
+        Per-bit probability of a *transient* error on a line read
+        (resistance-drift read disturb).  0 (default) disables the model
+        entirely and keeps the seed's fast read path.
+    verify_fail_base:
+        Probability that a program pulse on a *fresh* line fails its
+        verify read and must be retried.  0 (default) disables the
+        write-verify-retry machinery: write latencies are bit-identical
+        to the paper's model.
+    verify_fail_wear_factor / verify_fail_wear_exponent:
+        Wear dependence of the verify-failure probability:
+        ``p = base * (1 + factor * (wear/endurance)**exponent)``.  With
+        the defaults a line at its endurance limit fails verify 10x as
+        often as a fresh one — retries (and thus write latency) leak the
+        line's wear state, the side channel
+        :func:`repro.analysis.resilience.verify_retry_side_channel`
+        measures.
+    verify_fail_all0_factor:
+        Multiplier applied to the verify-failure probability when the
+        written data is ALL-0 (RESET-only programs are the reliable
+        ones); < 1 makes retries data-dependent as well as wear-dependent.
+    max_write_retries:
+        Bound on re-program attempts after a failed verify.  A line that
+        still fails verify after this many retries gains a permanent
+        stuck-at cell (absorbed by ECP while capacity lasts).
+    ecp_entries:
+        Error-Correcting-Pointer capacity per line: number of faulty
+        cells correction can substitute.  Exceeding it makes the line
+        uncorrectable and triggers retirement.
+    ecp_correction_ns:
+        Latency charged per corrected error on a read.
     """
 
     n_lines: int
@@ -58,6 +89,14 @@ class PCMConfig:
     set_ns: float = SET_LATENCY_NS
     line_bytes: int = 256
     differential_writes: bool = False
+    read_disturb_ber: float = 0.0
+    verify_fail_base: float = 0.0
+    verify_fail_wear_factor: float = 9.0
+    verify_fail_wear_exponent: float = 2.0
+    verify_fail_all0_factor: float = 0.5
+    max_write_retries: int = 3
+    ecp_entries: int = 0
+    ecp_correction_ns: float = 25.0
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.n_lines):
@@ -66,6 +105,22 @@ class PCMConfig:
             raise ValueError("endurance must be positive")
         if min(self.read_ns, self.reset_ns, self.set_ns) <= 0:
             raise ValueError("latencies must be positive")
+        if not 0.0 <= self.read_disturb_ber < 1.0:
+            raise ValueError("read_disturb_ber must be in [0, 1)")
+        if not 0.0 <= self.verify_fail_base < 1.0:
+            raise ValueError("verify_fail_base must be in [0, 1)")
+        if self.verify_fail_wear_factor < 0:
+            raise ValueError("verify_fail_wear_factor must be >= 0")
+        if self.verify_fail_wear_exponent <= 0:
+            raise ValueError("verify_fail_wear_exponent must be positive")
+        if not 0.0 <= self.verify_fail_all0_factor <= 1.0:
+            raise ValueError("verify_fail_all0_factor must be in [0, 1]")
+        if self.max_write_retries < 0:
+            raise ValueError("max_write_retries must be >= 0")
+        if self.ecp_entries < 0:
+            raise ValueError("ecp_entries must be >= 0")
+        if self.ecp_correction_ns < 0:
+            raise ValueError("ecp_correction_ns must be >= 0")
 
     @property
     def address_bits(self) -> int:
@@ -76,6 +131,21 @@ class PCMConfig:
     def capacity_bytes(self) -> int:
         """Usable capacity of the bank in bytes."""
         return self.n_lines * self.line_bytes
+
+    @property
+    def line_bits(self) -> int:
+        """Bits per line (the read-disturb trial count)."""
+        return self.line_bytes * 8
+
+    @property
+    def fault_injection_enabled(self) -> bool:
+        """True when any stochastic fault model is armed.
+
+        All-zero fault probabilities (the default) keep every hot path
+        bit-identical to the paper's model — no RNG draws, no extra
+        latency terms.
+        """
+        return self.read_disturb_ber > 0 or self.verify_fail_base > 0
 
     @property
     def ideal_lifetime_ns(self) -> float:

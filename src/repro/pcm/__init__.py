@@ -7,8 +7,11 @@ raw bytes — this keeps simulated banks of millions of lines cheap while
 preserving the side channel exactly (Fig. 4 of the paper).
 """
 
-from repro.pcm.array import PCMArray, LineFailure
-from repro.pcm.sparing import SparesExhausted, SparingController
+from repro.pcm.array import PCMArray, LineFailure, UncorrectableError
+from repro.pcm.ecc import CorrectionOutcome, ECPModel
+from repro.pcm.faults import FaultModel
+from repro.pcm.health import DeviceHealth
+from repro.pcm.sparing import DeviceReadOnly, SparesExhausted, SparingController
 from repro.pcm.stats import WearStats, normalized_accumulated_writes
 from repro.pcm.timing import (
     ALL0,
@@ -22,12 +25,18 @@ __all__ = [
     "ALL0",
     "ALL1",
     "MIXED",
+    "CorrectionOutcome",
+    "DeviceHealth",
+    "DeviceReadOnly",
+    "ECPModel",
+    "FaultModel",
     "LineData",
     "LineFailure",
     "PCMArray",
     "SparesExhausted",
     "SparingController",
     "TimingModel",
+    "UncorrectableError",
     "WearStats",
     "normalized_accumulated_writes",
 ]

@@ -13,15 +13,27 @@ adds rather than Python loops.
 Failure model: a line fails when its wear counter reaches the configured
 endurance; by default the array raises :class:`LineFailure` at the first
 failed write, which is how lifetime experiments detect end-of-life.
+
+With fault injection armed (any nonzero fault probability in
+:class:`~repro.config.PCMConfig`) the array additionally runs a bounded
+program-and-verify retry loop on every wearing write, injects transient
+read-disturb errors corrected by :class:`~repro.pcm.ecc.ECPModel`, and
+accumulates permanent stuck-at cells; a line whose faulty cells exceed the
+ECP capacity raises :class:`UncorrectableError` so the sparing layer can
+retire it.  All fault probabilities zero (the default) skips every one of
+these paths — latencies and lifetimes are bit-identical to the fault-free
+model.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import PCMConfig
+from repro.pcm.ecc import ECPModel
+from repro.pcm.faults import FaultModel
 from repro.pcm.timing import LineData, TimingModel
 
 
@@ -37,6 +49,26 @@ class LineFailure(Exception):
             f"physical line {pa} failed after {wear} writes "
             f"({total_writes} total device writes, {elapsed_ns:.0f} ns elapsed)"
         )
+
+
+class UncorrectableError(LineFailure):
+    """A line accumulated more faulty cells than ECP can substitute.
+
+    Subclasses :class:`LineFailure` so every retirement path (sparing,
+    lifetime experiments) treats it as a line death; ``n_errors`` carries
+    the error count that overflowed the correction capacity.
+    """
+
+    def __init__(
+        self,
+        pa: int,
+        wear: int,
+        total_writes: int,
+        elapsed_ns: float,
+        n_errors: int,
+    ):
+        super().__init__(pa, wear, total_writes, elapsed_ns)
+        self.n_errors = n_errors
 
 
 class PCMArray:
@@ -66,6 +98,7 @@ class PCMArray:
         raise_on_failure: bool = True,
         endurance_variation: float = 0.0,
         rng=None,
+        fault_rng=None,
     ):
         self.config = config
         self.timing = TimingModel(config)
@@ -85,19 +118,70 @@ class PCMArray:
         # 1 % of nominal.  cv = 0 keeps the fast scalar-threshold path.
         if endurance_variation < 0:
             raise ValueError("endurance_variation must be >= 0")
+        self._endurance_cv = endurance_variation
         if endurance_variation > 0:
             from repro.util.rng import as_generator
 
-            gen = as_generator(rng)
-            draws = gen.normal(
-                config.endurance,
-                endurance_variation * config.endurance,
-                size=self.n_physical,
+            self._endurance_gen = as_generator(rng)
+            self.endurance_map: Optional[np.ndarray] = self._draw_endurance(
+                self.n_physical
             )
-            floor = max(1.0, 0.01 * config.endurance)
-            self.endurance_map: Optional[np.ndarray] = np.maximum(draws, floor)
         else:
+            self._endurance_gen = None
             self.endurance_map = None
+        # Fault injection (read disturb / verify failure / stuck-at) plus
+        # ECP correction; None when every fault probability is zero so the
+        # fault-free hot paths carry no extra branches beyond one test.
+        if config.fault_injection_enabled:
+            self.faults: Optional[FaultModel] = FaultModel(config, fault_rng)
+            self.ecc: Optional[ECPModel] = ECPModel(config)
+            self.stuck_bits: Optional[np.ndarray] = np.zeros(
+                self.n_physical, dtype=np.int16
+            )
+        else:
+            self.faults = None
+            self.ecc = None
+            self.stuck_bits = None
+        self.retry_events = 0
+        self.stuck_cell_events = 0
+
+    def _draw_endurance(self, count: int) -> np.ndarray:
+        draws = self._endurance_gen.normal(
+            self.config.endurance,
+            self._endurance_cv * self.config.endurance,
+            size=count,
+        )
+        floor = max(1.0, 0.01 * self.config.endurance)
+        return np.maximum(draws, floor)
+
+    def add_lines(self, extra: int) -> int:
+        """Append ``extra`` fresh lines (a sparing pool); return their base PA.
+
+        Extends every per-line structure consistently — wear, data, stuck
+        cells and (when process variation is on) the endurance map, whose
+        new entries are drawn from the same seeded distribution.
+        """
+        if extra < 0:
+            raise ValueError("extra must be >= 0")
+        base = self.n_physical
+        if extra == 0:
+            return base
+        self.wear = np.concatenate(
+            [self.wear, np.zeros(extra, dtype=self.wear.dtype)]
+        )
+        self.data = np.concatenate(
+            [self.data, np.full(extra, int(LineData.ALL0), dtype=self.data.dtype)]
+        )
+        if self.stuck_bits is not None:
+            self.stuck_bits = np.concatenate(
+                [self.stuck_bits, np.zeros(extra, dtype=self.stuck_bits.dtype)]
+            )
+        if self.endurance_map is not None:
+            self.endurance_map = np.concatenate(
+                [self.endurance_map, self._draw_endurance(extra)]
+            )
+        self.n_physical += extra
+        return base
 
     def _endurance_of(self, pa: int) -> float:
         if self.endurance_map is None:
@@ -108,8 +192,38 @@ class PCMArray:
 
     def read(self, pa: int) -> LineData:
         """Read the latency class stored at physical line ``pa``."""
-        self.elapsed_ns += self.timing.read_latency()
-        return LineData(int(self.data[pa]))
+        return self.read_with_latency(pa)[0]
+
+    def read_with_latency(self, pa: int) -> Tuple[LineData, float]:
+        """Read line ``pa``; return ``(data, latency_ns)``.
+
+        With fault injection armed the read sees the line's permanent
+        stuck cells plus freshly drawn transient read-disturb errors;
+        ECP correction adds latency per corrected cell, and an error
+        count above the ECP capacity raises :class:`UncorrectableError`
+        (under ``raise_on_failure``) so the caller can retire the line.
+        """
+        latency = self.timing.read_latency()
+        self.elapsed_ns += latency
+        if self.faults is not None:
+            n_errors = int(self.stuck_bits[pa]) + self.faults.read_disturb_errors()
+            if n_errors:
+                outcome = self.ecc.correct(n_errors)
+                self.elapsed_ns += outcome.latency_ns
+                latency += outcome.latency_ns
+                if not outcome.correctable:
+                    failure = UncorrectableError(
+                        pa=int(pa),
+                        wear=int(self.wear[pa]),
+                        total_writes=self.total_writes,
+                        elapsed_ns=self.elapsed_ns,
+                        n_errors=n_errors,
+                    )
+                    if self._first_failure is None:
+                        self._first_failure = failure
+                    if self.raise_on_failure:
+                        raise failure
+        return LineData(int(self.data[pa])), latency
 
     def peek(self, pa: int) -> LineData:
         """Read without advancing time (for internal bookkeeping/tests)."""
@@ -120,13 +234,19 @@ class PCMArray:
 
         The latency is also accumulated on :attr:`elapsed_ns`.  Under
         ``config.differential_writes`` a rewrite of identical content
-        costs a verify read and causes no wear.
+        costs a verify read and causes no wear.  With a nonzero
+        ``config.verify_fail_base`` every wearing write runs the
+        program-and-verify retry loop, whose cost (one verify read, plus
+        a re-program and re-verify per failed attempt) is folded into
+        the returned latency — retries are attacker-observable.
         """
         old = LineData(int(self.data[pa]))
         latency, wears = self.timing.write_transition(old, data)
         self.elapsed_ns += latency
         if wears:
             self._apply_wear(pa)
+            if self.faults is not None and self.faults.verify_armed:
+                latency += self._verify_and_retry(pa, data)
         self.data[pa] = int(data)
         return latency
 
@@ -142,6 +262,8 @@ class PCMArray:
         self.elapsed_ns += latency
         if wears:
             self._apply_wear(dst)
+            if self.faults is not None and self.faults.verify_armed:
+                latency += self._verify_and_retry(dst, data)
         self.data[dst] = int(data)
         return latency
 
@@ -161,9 +283,61 @@ class PCMArray:
             self._apply_wear(pa_a)
         if wears_b:
             self._apply_wear(pa_b)
+        if self.faults is not None and self.faults.verify_armed:
+            if wears_a:
+                latency += self._verify_and_retry(pa_a, db)
+            if wears_b:
+                latency += self._verify_and_retry(pa_b, da)
         self.data[pa_a] = int(db)
         self.data[pa_b] = int(da)
         return latency
+
+    # ---------------------------------------------------- verify / faults
+
+    def _wear_fraction(self, pa: int) -> float:
+        return float(self.wear[pa]) / self._endurance_of(pa)
+
+    def _verify_and_retry(self, pa: int, data: LineData) -> float:
+        """Program-and-verify tail of one wearing write; returns extra ns.
+
+        Charges the mandatory verify read, then retries the program pulse
+        (re-program + re-verify, each wearing the line) while the verify
+        keeps failing, up to ``config.max_write_retries`` attempts.  A
+        line still failing after the last retry gains a permanent
+        stuck-at cell; overflowing the ECP capacity raises
+        :class:`UncorrectableError`.
+        """
+        extra = self.timing.read_latency()
+        self.elapsed_ns += extra
+        retries = 0
+        while self.faults.verify_failure(self._wear_fraction(pa), data):
+            if retries >= self.config.max_write_retries:
+                self._mark_stuck_cell(pa)
+                break
+            retries += 1
+            self.retry_events += 1
+            step = self.timing.write_latency(data) + self.timing.read_latency()
+            self.elapsed_ns += step
+            extra += step
+            self._apply_wear(pa)
+        return extra
+
+    def _mark_stuck_cell(self, pa: int) -> None:
+        self.stuck_bits[pa] += 1
+        self.stuck_cell_events += 1
+        if int(self.stuck_bits[pa]) > self.config.ecp_entries:
+            self.ecc.uncorrectable_total += 1
+            failure = UncorrectableError(
+                pa=int(pa),
+                wear=int(self.wear[pa]),
+                total_writes=self.total_writes,
+                elapsed_ns=self.elapsed_ns,
+                n_errors=int(self.stuck_bits[pa]),
+            )
+            if self._first_failure is None:
+                self._first_failure = failure
+            if self.raise_on_failure:
+                raise failure
 
     # --------------------------------------------------------------- wear
 

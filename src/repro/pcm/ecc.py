@@ -1,0 +1,78 @@
+"""ECP-style error correction (Error-Correcting Pointers).
+
+PCM's dominant failure mode is hard stuck-at cells, which ECC-for-DRAM
+handles poorly but *Error-Correcting Pointers* (Schechter et al., ISCA'10)
+handle natively: each line carries ``ecp_entries`` pointer/replacement-cell
+pairs, each able to substitute one faulty cell.  The same capacity also
+covers transient read-disturb flips in this model.
+
+:class:`ECPModel` is deliberately small: given the number of erroneous
+cells observed on a read, it decides correctable vs. uncorrectable, charges
+a per-correction latency, and keeps running totals for the
+:class:`~repro.pcm.health.DeviceHealth` report.  Uncorrectable lines are
+*retired* by the sparing layer, not patched — that is the graceful-
+degradation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PCMConfig
+
+
+@dataclass(frozen=True)
+class CorrectionOutcome:
+    """Result of running correction over one line read.
+
+    Attributes
+    ----------
+    correctable:
+        True when the error count fits the line's ECP capacity.
+    corrected:
+        Number of errors substituted (0 when uncorrectable).
+    latency_ns:
+        Correction latency charged to the read.  An uncorrectable line
+        still pays for the full capacity's worth of pointer lookups
+        before the failure is declared.
+    """
+
+    correctable: bool
+    corrected: int
+    latency_ns: float
+
+
+class ECPModel:
+    """Per-device ECP correction bookkeeping.
+
+    Parameters
+    ----------
+    config:
+        ``config.ecp_entries`` is the per-line capacity (0 = no
+        correction: any error is uncorrectable), ``config.ecp_correction_ns``
+        the latency per substituted cell.
+    """
+
+    def __init__(self, config: PCMConfig):
+        self.entries = config.ecp_entries
+        self.correction_ns = config.ecp_correction_ns
+        self.corrected_total = 0
+        self.uncorrectable_total = 0
+
+    def correct(self, n_errors: int) -> CorrectionOutcome:
+        """Attempt to correct ``n_errors`` faulty cells on one read."""
+        if n_errors < 0:
+            raise ValueError("n_errors must be >= 0")
+        if n_errors <= self.entries:
+            self.corrected_total += n_errors
+            return CorrectionOutcome(
+                correctable=True,
+                corrected=n_errors,
+                latency_ns=n_errors * self.correction_ns,
+            )
+        self.uncorrectable_total += 1
+        return CorrectionOutcome(
+            correctable=False,
+            corrected=0,
+            latency_ns=self.entries * self.correction_ns,
+        )

@@ -1,0 +1,88 @@
+"""Stochastic PCM fault models: read disturb, verify failure, stuck-at.
+
+Real PCM parts do not die cleanly at a hard endurance threshold (the
+paper's first-failure model).  They see, in rough order of appearance:
+
+* **transient read-disturb errors** — resistance drift flips a few bits on
+  a read; scrubbed by correction, no lasting damage;
+* **verify failures** — a program pulse that does not land; the controller
+  re-programs (program-and-verify), and the failure probability *rises as
+  the cell wears*, so retry counts leak wear state;
+* **hard stuck-at cells** — a cell whose heater has degraded past
+  programming; permanent, absorbed by ECP pointers until the per-line
+  capacity is exceeded (see :mod:`repro.pcm.ecc`).
+
+:class:`FaultModel` owns one seeded :class:`numpy.random.Generator`, so a
+fault-injection campaign is reproducible: the same seed and config replay
+the identical error sequence.  With all probabilities zero the model is
+never constructed (``PCMConfig.fault_injection_enabled`` is False) and the
+simulator's behavior is bit-identical to the fault-free seed.
+"""
+
+from __future__ import annotations
+
+from repro.config import PCMConfig
+from repro.pcm.timing import LineData
+from repro.util.rng import SeedLike, as_generator
+
+#: Ceiling on the verify-failure probability: keeps the bounded retry loop
+#: from being entered with certainty even on a fully worn line.
+MAX_VERIFY_FAIL_PROBABILITY = 0.95
+
+
+class FaultModel:
+    """Seeded fault injector for one :class:`~repro.pcm.array.PCMArray`.
+
+    Parameters
+    ----------
+    config:
+        Device parameters; the ``read_disturb_ber`` / ``verify_fail_*``
+        fields select which fault classes are armed.
+    rng:
+        Seed or generator for the fault stream.  Pass an integer for
+        reproducible campaigns.
+    """
+
+    def __init__(self, config: PCMConfig, rng: SeedLike = None):
+        self.config = config
+        self._gen = as_generator(rng)
+        self.verify_armed = config.verify_fail_base > 0
+        self.read_disturb_armed = config.read_disturb_ber > 0
+
+    # ----------------------------------------------------------- verify
+
+    def verify_fail_probability(self, wear_fraction: float, data: LineData) -> float:
+        """Probability one program pulse fails verify (pure, no RNG).
+
+        ``p = base * (1 + factor * wear_fraction**exponent)``, scaled down
+        by ``verify_fail_all0_factor`` for RESET-only (ALL-0) programs and
+        clipped at :data:`MAX_VERIFY_FAIL_PROBABILITY`.
+        """
+        cfg = self.config
+        wear_fraction = min(max(wear_fraction, 0.0), 1.0)
+        p = cfg.verify_fail_base * (
+            1.0
+            + cfg.verify_fail_wear_factor
+            * wear_fraction ** cfg.verify_fail_wear_exponent
+        )
+        if data == LineData.ALL0:
+            p *= cfg.verify_fail_all0_factor
+        return min(p, MAX_VERIFY_FAIL_PROBABILITY)
+
+    def verify_failure(self, wear_fraction: float, data: LineData) -> bool:
+        """Draw whether one program pulse fails its verify read."""
+        if not self.verify_armed:
+            return False
+        return float(self._gen.random()) < self.verify_fail_probability(
+            wear_fraction, data
+        )
+
+    # ----------------------------------------------------- read disturb
+
+    def read_disturb_errors(self) -> int:
+        """Number of transient bit errors injected into one line read."""
+        if not self.read_disturb_armed:
+            return 0
+        return int(
+            self._gen.binomial(self.config.line_bits, self.config.read_disturb_ber)
+        )

@@ -1,0 +1,63 @@
+"""Structured device-health reporting.
+
+:class:`DeviceHealth` is the one snapshot every controller level can emit
+(:meth:`repro.sim.memory_system.MemoryController.health`,
+:meth:`repro.pcm.sparing.SparingController.health`): failure counts, spare
+budget, resilience counters (retries, corrections, stuck cells) and the
+degradation mode.  Fault-injection campaigns compare these reports across
+seeds to check determinism, and operators of a degraded device read them
+instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceHealth:
+    """Point-in-time health snapshot of one simulated PCM device."""
+
+    #: logical lines exposed to software / total physical lines backing them
+    n_lines: int
+    n_physical: int
+    #: lifetime odometer
+    total_writes: int
+    elapsed_ns: float
+    max_wear: int
+    #: line failures observed (wear-out plus uncorrectable retirements)
+    failures: int
+    #: lines currently redirected to a spare
+    retired_lines: int
+    #: spare pool state (0/0 for a bare, spare-less controller)
+    n_spares: int
+    spares_left: int
+    #: True once the spare pool ran dry in degraded mode — writes rejected
+    read_only: bool
+    #: resilience counters
+    retry_events: int
+    stuck_cells: int
+    corrected_errors: int
+    uncorrectable_errors: int
+    rejected_writes: int
+
+    @property
+    def mode(self) -> str:
+        """Operating mode: ``normal``, ``degraded`` or ``read-only``."""
+        if self.read_only:
+            return "read-only"
+        if self.retired_lines > 0:
+            return "degraded"
+        return "normal"
+
+    def summary(self) -> str:
+        """One-line operator summary (CLI / logs)."""
+        return (
+            f"[{self.mode}] {self.failures} failures, "
+            f"{self.retired_lines} retired, "
+            f"{self.spares_left}/{self.n_spares} spares left, "
+            f"{self.retry_events} retries, "
+            f"{self.corrected_errors} corrected, "
+            f"{self.uncorrectable_errors} uncorrectable, "
+            f"{self.rejected_writes} writes rejected"
+        )

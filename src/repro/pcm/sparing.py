@@ -8,20 +8,27 @@ failures until it runs dry.  :class:`SparingController` wraps a
 the library a second, capacity-oriented lifetime definition:
 
 * ``first_failure`` — the paper's metric,
-* ``spares_exhausted`` — device death after ``n_spares + 1`` line failures.
+* ``spares_exhausted`` — device death after ``n_spares + 1`` line failures,
+* ``availability`` — with ``degraded_mode=True`` the device never "dies":
+  it drops to read-only once spares run dry, and
+  :mod:`repro.analysis.resilience` measures the fraction of the intended
+  workload it served.
 
-Remapped (spared) lines add one indirection on every access; the remap
-table is the standard content-addressable structure real parts use, here a
-dict.  Spare lines are themselves wear-limited and can fail and be
-re-spared.
+Retirement absorbs both wear-out (:class:`~repro.pcm.array.LineFailure`)
+and ECP-overflow (:class:`~repro.pcm.array.UncorrectableError`) deaths, on
+writes and on reads.  Remapped (spared) lines add one indirection on every
+access; the remap table is the standard content-addressable structure real
+parts use, here a dict.  Spare lines are themselves wear-limited and can
+fail and be re-spared.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import PCMConfig
-from repro.pcm.array import LineFailure
+from repro.pcm.array import LineFailure, UncorrectableError
+from repro.pcm.health import DeviceHealth
 from repro.pcm.timing import LineData
 from repro.sim.memory_system import MemoryController
 from repro.wearlevel.base import WearLeveler
@@ -40,6 +47,23 @@ class SparesExhausted(Exception):
         )
 
 
+class DeviceReadOnly(Exception):
+    """Write rejected: the device has degraded to read-only mode.
+
+    Raised instead of :class:`SparesExhausted` when the controller was
+    built with ``degraded_mode=True``.  The device stays up — reads keep
+    being served — and the attached :class:`~repro.pcm.health.DeviceHealth`
+    snapshot reports the state instead of a bare stack trace.
+    """
+
+    def __init__(self, health: DeviceHealth):
+        self.health = health
+        super().__init__(
+            f"device is read-only after {health.failures} line failures "
+            f"({health.rejected_writes} writes rejected); {health.summary()}"
+        )
+
+
 class SparingController:
     """Memory controller front-end with a failed-line spare pool.
 
@@ -49,6 +73,16 @@ class SparingController:
         As for :class:`~repro.sim.memory_system.MemoryController`.
     n_spares:
         Spare lines appended after the scheme's physical space.
+    endurance_variation / rng:
+        Per-line endurance process variation, forwarded to the inner
+        controller; the spare pool draws from the same distribution.
+    fault_rng:
+        Seed for the stochastic fault models (see
+        :class:`~repro.pcm.faults.FaultModel`).
+    degraded_mode:
+        If True, exhausting the spare pool drops the device to read-only
+        (writes raise :class:`DeviceReadOnly`, reads keep working)
+        instead of raising :class:`SparesExhausted`.
     """
 
     def __init__(
@@ -56,31 +90,43 @@ class SparingController:
         scheme: WearLeveler,
         config: PCMConfig,
         n_spares: int = 8,
+        endurance_variation: float = 0.0,
+        rng=None,
+        fault_rng=None,
+        degraded_mode: bool = False,
     ):
         if n_spares < 0:
             raise ValueError("n_spares must be >= 0")
-        self.inner = MemoryController(scheme, config, raise_on_failure=True)
-        # Extend the physical array with the spare pool.
-        array = self.inner.array
-        import numpy as np
-
-        extra = n_spares
-        array.wear = np.concatenate(
-            [array.wear, np.zeros(extra, dtype=array.wear.dtype)]
+        self.inner = MemoryController(
+            scheme,
+            config,
+            raise_on_failure=True,
+            endurance_variation=endurance_variation,
+            rng=rng,
+            fault_rng=fault_rng,
         )
-        array.data = np.concatenate(
-            [array.data, np.zeros(extra, dtype=array.data.dtype)]
-        )
-        self._spare_base = array.n_physical
-        array.n_physical += extra
+        # Extend the physical array with the spare pool (wear, data, stuck
+        # cells and endurance map all grow consistently).
+        self._spare_base = self.inner.array.add_lines(n_spares)
         self.n_spares = n_spares
         self._next_spare = 0
         self.remap_table: Dict[int, int] = {}  # failed pa -> replacement pa
         self.failures = 0
         self.first_failure_writes: Optional[int] = None
         self.first_failure_ns: Optional[float] = None
+        self.degraded_mode = degraded_mode
+        self.read_only = False
+        self.rejected_writes = 0
+        #: (total_writes, failed_pa) per retirement — the campaign timeline.
+        self.retirement_log: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------ plumbing
+
+    def _check_la(self, la: int) -> None:
+        if not 0 <= la < self.inner.config.n_lines:
+            raise ValueError(
+                f"logical address {la} outside [0, {self.inner.config.n_lines})"
+            )
 
     def _redirect(self, pa: int) -> int:
         while pa in self.remap_table:
@@ -93,6 +139,8 @@ class SparingController:
             self.first_failure_writes = self.inner.array.total_writes
             self.first_failure_ns = self.inner.array.elapsed_ns
         if self._next_spare >= self.n_spares:
+            if self.degraded_mode:
+                self.read_only = True
             raise SparesExhausted(
                 failures=self.failures,
                 total_writes=self.inner.array.total_writes,
@@ -101,6 +149,9 @@ class SparingController:
         replacement = self._spare_base + self._next_spare
         self._next_spare += 1
         self.remap_table[failed_pa] = replacement
+        self.retirement_log.append(
+            (self.inner.array.total_writes, int(failed_pa))
+        )
         # Salvage the content (a real part does this before marking dead).
         array = self.inner.array
         array.data[replacement] = array.data[failed_pa]
@@ -109,18 +160,28 @@ class SparingController:
 
     def write(self, la: int, data: LineData) -> float:
         """Write through the scheme, absorbing line failures with spares."""
-        latency = 0.0
-        array = self.inner.array
-        for move in self.inner.scheme.record_write(la):
-            latency += self._execute_move(move)
-        pa = self._redirect(self.inner.scheme.translate(la))
-        while True:
-            try:
-                latency += array.write(pa, data)
-                return latency
-            except LineFailure:
-                self._spare_out(pa)
-                pa = self._redirect(pa)
+        self._check_la(la)
+        if self.read_only:
+            self.rejected_writes += 1
+            raise DeviceReadOnly(self.health())
+        try:
+            latency = 0.0
+            array = self.inner.array
+            for move in self.inner.scheme.record_write(la):
+                latency += self._execute_move(move)
+            pa = self._redirect(self.inner.scheme.translate(la))
+            while True:
+                try:
+                    latency += array.write(pa, data)
+                    return latency
+                except LineFailure:
+                    self._spare_out(pa)
+                    pa = self._redirect(pa)
+        except SparesExhausted:
+            if self.degraded_mode:
+                self.rejected_writes += 1
+                raise DeviceReadOnly(self.health()) from None
+            raise
 
     def _execute_move(self, move) -> float:
         from repro.wearlevel.base import CopyMove, SwapMove
@@ -141,8 +202,25 @@ class SparingController:
                 self._spare_out(failure.pa)
 
     def read(self, la: int) -> Tuple[LineData, float]:
+        """Read ``la``; uncorrectable lines are retired through the pool.
+
+        In ``degraded_mode`` an uncorrectable read that finds the pool dry
+        re-raises the :class:`~repro.pcm.array.UncorrectableError` (that
+        data is genuinely lost) but leaves the device serving other lines.
+        """
+        self._check_la(la)
         pa = self._redirect(self.inner.scheme.translate(la))
-        return self.inner.array.read(pa), self.inner.config.read_ns
+        while True:
+            try:
+                return self.inner.array.read_with_latency(pa)
+            except UncorrectableError as failure:
+                try:
+                    self._spare_out(pa)
+                except SparesExhausted:
+                    if self.degraded_mode:
+                        raise failure from None
+                    raise
+                pa = self._redirect(pa)
 
     # ------------------------------------------------------------- queries
 
@@ -165,3 +243,28 @@ class SparingController:
     @property
     def spares_left(self) -> int:
         return self.n_spares - self._next_spare
+
+    def health(self) -> DeviceHealth:
+        """Structured health report for the whole device."""
+        array = self.inner.array
+        return DeviceHealth(
+            n_lines=self.inner.config.n_lines,
+            n_physical=array.n_physical,
+            total_writes=array.total_writes,
+            elapsed_ns=array.elapsed_ns,
+            max_wear=array.max_wear,
+            failures=self.failures,
+            retired_lines=len(self.remap_table),
+            n_spares=self.n_spares,
+            spares_left=self.spares_left,
+            read_only=self.read_only,
+            retry_events=array.retry_events,
+            stuck_cells=int(array.stuck_bits.sum())
+            if array.stuck_bits is not None
+            else 0,
+            corrected_errors=array.ecc.corrected_total if array.ecc else 0,
+            uncorrectable_errors=array.ecc.uncorrectable_total
+            if array.ecc
+            else 0,
+            rejected_writes=self.rejected_writes,
+        )

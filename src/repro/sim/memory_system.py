@@ -13,6 +13,7 @@ from typing import Tuple
 
 from repro.config import PCMConfig
 from repro.pcm.array import PCMArray
+from repro.pcm.health import DeviceHealth
 from repro.pcm.timing import LineData
 from repro.wearlevel.base import CopyMove, SwapMove, WearLeveler
 
@@ -41,6 +42,7 @@ class MemoryController:
         initial_data: LineData = LineData.ALL0,
         endurance_variation: float = 0.0,
         rng=None,
+        fault_rng=None,
     ):
         if scheme.n_lines != config.n_lines:
             raise ValueError(
@@ -56,9 +58,16 @@ class MemoryController:
             raise_on_failure=raise_on_failure,
             endurance_variation=endurance_variation,
             rng=rng,
+            fault_rng=fault_rng,
         )
 
     # ----------------------------------------------------------------- API
+
+    def _check_la(self, la: int) -> None:
+        if not 0 <= la < self.config.n_lines:
+            raise ValueError(
+                f"logical address {la} outside [0, {self.config.n_lines})"
+            )
 
     def write(self, la: int, data: LineData) -> float:
         """Write ``data`` to logical line ``la``; return observed latency (ns).
@@ -67,6 +76,7 @@ class MemoryController:
         latency is folded into the returned value — this is the remapping
         side channel.
         """
+        self._check_la(la)
         latency = 0.0
         for move in self.scheme.record_write(la):
             if isinstance(move, CopyMove):
@@ -80,9 +90,14 @@ class MemoryController:
         return latency
 
     def read(self, la: int) -> Tuple[LineData, float]:
-        """Read logical line ``la``; return ``(data, latency_ns)``."""
+        """Read logical line ``la``; return ``(data, latency_ns)``.
+
+        The latency includes any ECP correction cost the read incurred;
+        without fault injection it is exactly ``config.read_ns``.
+        """
+        self._check_la(la)
         pa = self.scheme.translate(la)
-        return self.array.read(pa), self.config.read_ns
+        return self.array.read_with_latency(pa)
 
     # ------------------------------------------------------------- queries
 
@@ -99,3 +114,28 @@ class MemoryController:
     def total_writes(self) -> int:
         """Total physical line writes (user writes + remap movements)."""
         return self.array.total_writes
+
+    def health(self) -> DeviceHealth:
+        """Structured health snapshot (no spare pool at this level)."""
+        array = self.array
+        return DeviceHealth(
+            n_lines=self.config.n_lines,
+            n_physical=array.n_physical,
+            total_writes=array.total_writes,
+            elapsed_ns=array.elapsed_ns,
+            max_wear=array.max_wear,
+            failures=1 if array.failed else 0,
+            retired_lines=0,
+            n_spares=0,
+            spares_left=0,
+            read_only=False,
+            retry_events=array.retry_events,
+            stuck_cells=int(array.stuck_bits.sum())
+            if array.stuck_bits is not None
+            else 0,
+            corrected_errors=array.ecc.corrected_total if array.ecc else 0,
+            uncorrectable_errors=array.ecc.uncorrectable_total
+            if array.ecc
+            else 0,
+            rejected_writes=0,
+        )

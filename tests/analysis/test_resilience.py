@@ -1,0 +1,130 @@
+"""Tests for fault-injection campaigns and the verify-retry side channel."""
+
+import pytest
+
+from repro.analysis.resilience import (
+    run_fault_campaign,
+    side_channel_separation_ns,
+    sweep_fault_rates,
+    verify_retry_side_channel,
+)
+from repro.config import PCMConfig
+from repro.pcm.timing import ALL0, MIXED
+
+
+def campaign_config(**overrides):
+    base = dict(n_lines=2**7, endurance=400, ecp_entries=2)
+    base.update(overrides)
+    return PCMConfig(**base)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_reproduces_everything(self):
+        """Acceptance: same seed + config ⇒ identical retirement timeline
+        and health report."""
+        kwargs = dict(n_spares=4, n_writes=15_000, seed=11)
+        config = campaign_config(verify_fail_base=1e-3, read_disturb_ber=1e-5)
+        a = run_fault_campaign("rbsg", config, **kwargs)
+        b = run_fault_campaign("rbsg", config, **kwargs)
+        assert a == b  # frozen dataclasses compare field-wise
+        assert a.retirements == b.retirements
+        assert a.health == b.health
+
+    def test_different_seed_diverges(self):
+        config = campaign_config(verify_fail_base=1e-2)
+        a = run_fault_campaign("rbsg", config, n_writes=15_000, seed=1)
+        b = run_fault_campaign("rbsg", config, n_writes=15_000, seed=2)
+        assert a.health != b.health
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            run_fault_campaign("not-a-scheme", campaign_config())
+
+
+class TestCampaignBehavior:
+    def test_device_survives_light_workload(self):
+        result = run_fault_campaign(
+            "none", campaign_config(endurance=10_000), n_writes=2_000, seed=0
+        )
+        assert result.end_cause == "survived"
+        assert result.availability == 1.0
+        assert result.first_failure_write is None
+
+    def test_hot_workload_degrades_to_read_only(self):
+        result = run_fault_campaign(
+            "none", campaign_config(), n_spares=4, n_writes=30_000, seed=0
+        )
+        assert result.end_cause == "read-only"
+        assert result.availability < 1.0
+        assert result.health.read_only
+        assert result.first_failure_write is not None
+        assert len(result.retirements) == 4  # every spare consumed
+
+    def test_wear_leveling_buys_availability(self):
+        """The campaign's headline: spreading the hot set delays spare-pool
+        exhaustion, so leveled schemes serve more of the workload."""
+        kwargs = dict(n_spares=4, n_writes=30_000, seed=7)
+        bare = run_fault_campaign("none", campaign_config(), **kwargs)
+        leveled = run_fault_campaign("rbsg", campaign_config(), **kwargs)
+        assert leveled.availability > bare.availability
+
+    def test_fault_rate_costs_retries(self):
+        clean = run_fault_campaign(
+            "none", campaign_config(verify_fail_base=0.0),
+            n_writes=10_000, seed=3,
+        )
+        faulty = run_fault_campaign(
+            "none", campaign_config(verify_fail_base=1e-2),
+            n_writes=10_000, seed=3,
+        )
+        assert clean.health.retry_events == 0
+        assert faulty.health.retry_events > 0
+
+    def test_sweep_covers_grid(self):
+        results = sweep_fault_rates(
+            ["none", "rbsg"], campaign_config(), [0.0, 1e-2],
+            n_writes=5_000, seed=0,
+        )
+        assert len(results) == 4
+        assert {(r.scheme, r.verify_fail_base) for r in results} == {
+            ("none", 0.0), ("none", 1e-2), ("rbsg", 0.0), ("rbsg", 1e-2),
+        }
+
+
+class TestVerifyRetrySideChannel:
+    def test_wear_leak_is_measurable(self):
+        """Acceptance: nonzero verify-failure rate ⇒ worn lines show a
+        measurably higher mean write latency than fresh lines."""
+        probes = verify_retry_side_channel(
+            verify_fail_base=0.05, n_trials=400, seed=0
+        )
+        fresh = next(p for p in probes if p.wear_fraction == 0.0)
+        aged = next(
+            p for p in probes if p.wear_fraction > 0 and p.data == MIXED
+        )
+        assert aged.mean_latency_ns > fresh.mean_latency_ns
+        assert aged.retries_per_write > fresh.retries_per_write
+        assert side_channel_separation_ns(probes) > 100.0  # ns, not noise
+
+    def test_data_dependence(self):
+        """RESET-only (ALL-0) programs retry less and retry cheaper."""
+        probes = verify_retry_side_channel(
+            verify_fail_base=0.05, n_trials=400, seed=0
+        )
+        aged_mixed = next(
+            p for p in probes if p.wear_fraction > 0 and p.data == MIXED
+        )
+        aged_all0 = next(
+            p for p in probes if p.wear_fraction > 0 and p.data == ALL0
+        )
+        assert aged_all0.retries_per_write < aged_mixed.retries_per_write
+        assert aged_all0.mean_latency_ns < aged_mixed.mean_latency_ns
+
+    def test_deterministic(self):
+        a = verify_retry_side_channel(n_trials=100, seed=4)
+        b = verify_retry_side_channel(n_trials=100, seed=4)
+        assert a == b
+
+    def test_bad_aged_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            verify_retry_side_channel(aged_fraction=1.5)

@@ -167,6 +167,24 @@ class TestBulkWear:
             array.bulk_wear(2, 11)
         assert info.value.pa == 2
 
+    def test_no_raise_records_failure_and_continues(self):
+        """Wear-distribution studies past first failure (Fig. 16 path):
+        failures are recorded but bulk wear keeps accumulating."""
+        array = make_array(endurance=10, raise_on_failure=False)
+        array.bulk_wear(slice(0, 4), 12)
+        assert array.failed
+        assert 0 <= array.first_failure.pa < 4
+        array.bulk_wear(np.array([0, 1]), 5)  # keeps accepting wear
+        assert array.wear[0] == 17
+        assert array.total_writes == 4 * 12 + 2 * 5
+
+    def test_no_raise_scalar_target_past_endurance(self):
+        array = make_array(endurance=10, raise_on_failure=False)
+        array.bulk_wear(3, 25)
+        assert array.failed
+        assert array.first_failure.pa == 3
+        assert array.remaining_endurance()[3] == 0
+
 
 class TestQueries:
     def test_max_wear(self):

@@ -1,0 +1,62 @@
+"""Tests for the ECP correction model."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.ecc import ECPModel
+
+
+def make_model(entries=4, correction_ns=25.0):
+    return ECPModel(
+        PCMConfig(
+            n_lines=16, ecp_entries=entries, ecp_correction_ns=correction_ns
+        )
+    )
+
+
+class TestECPModel:
+    def test_within_capacity_corrects(self):
+        model = make_model(entries=4)
+        outcome = model.correct(3)
+        assert outcome.correctable
+        assert outcome.corrected == 3
+        assert outcome.latency_ns == 3 * 25.0
+        assert model.corrected_total == 3
+        assert model.uncorrectable_total == 0
+
+    def test_capacity_boundary_is_correctable(self):
+        model = make_model(entries=4)
+        assert model.correct(4).correctable
+
+    def test_beyond_capacity_uncorrectable(self):
+        model = make_model(entries=4)
+        outcome = model.correct(5)
+        assert not outcome.correctable
+        assert outcome.corrected == 0
+        # The failed attempt still burned the full capacity's lookups.
+        assert outcome.latency_ns == 4 * 25.0
+        assert model.uncorrectable_total == 1
+        assert model.corrected_total == 0
+
+    def test_zero_errors_is_free(self):
+        model = make_model()
+        outcome = model.correct(0)
+        assert outcome.correctable
+        assert outcome.latency_ns == 0.0
+
+    def test_zero_entries_means_no_correction(self):
+        model = make_model(entries=0)
+        assert model.correct(0).correctable
+        assert not model.correct(1).correctable
+
+    def test_totals_accumulate(self):
+        model = make_model(entries=4)
+        model.correct(2)
+        model.correct(3)
+        model.correct(9)
+        assert model.corrected_total == 5
+        assert model.uncorrectable_total == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().correct(-1)

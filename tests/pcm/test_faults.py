@@ -1,0 +1,248 @@
+"""Tests for stochastic fault models and the write-verify-retry loop."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+from repro.pcm.array import LineFailure, PCMArray, UncorrectableError
+from repro.pcm.faults import MAX_VERIFY_FAIL_PROBABILITY, FaultModel
+from repro.pcm.timing import ALL0, ALL1, MIXED
+
+
+def fault_config(**overrides):
+    base = dict(
+        n_lines=16,
+        endurance=10_000,
+        verify_fail_base=0.2,
+        ecp_entries=4,
+    )
+    base.update(overrides)
+    return PCMConfig(**base)
+
+
+class TestConfigValidation:
+    def test_defaults_disable_fault_injection(self):
+        assert not PCMConfig(n_lines=16).fault_injection_enabled
+
+    def test_any_nonzero_probability_arms(self):
+        assert PCMConfig(n_lines=16, verify_fail_base=0.1).fault_injection_enabled
+        assert PCMConfig(n_lines=16, read_disturb_ber=1e-6).fault_injection_enabled
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("read_disturb_ber", -0.1),
+            ("read_disturb_ber", 1.0),
+            ("verify_fail_base", -0.1),
+            ("verify_fail_base", 1.0),
+            ("verify_fail_wear_factor", -1.0),
+            ("verify_fail_wear_exponent", 0.0),
+            ("verify_fail_all0_factor", 1.5),
+            ("max_write_retries", -1),
+            ("ecp_entries", -1),
+            ("ecp_correction_ns", -1.0),
+        ],
+    )
+    def test_bad_fault_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PCMConfig(n_lines=16, **{field: value})
+
+
+class TestFaultModel:
+    def test_probability_rises_with_wear(self):
+        model = FaultModel(fault_config(), rng=0)
+        fresh = model.verify_fail_probability(0.0, MIXED)
+        worn = model.verify_fail_probability(1.0, MIXED)
+        assert worn > fresh
+        assert fresh == pytest.approx(0.2)
+        assert worn == pytest.approx(min(0.2 * 10, MAX_VERIFY_FAIL_PROBABILITY))
+
+    def test_all0_programs_fail_less(self):
+        model = FaultModel(fault_config(), rng=0)
+        assert model.verify_fail_probability(0.5, ALL0) < (
+            model.verify_fail_probability(0.5, MIXED)
+        )
+
+    def test_probability_capped(self):
+        cfg = fault_config(verify_fail_base=0.5, verify_fail_wear_factor=100.0)
+        model = FaultModel(cfg, rng=0)
+        assert model.verify_fail_probability(1.0, MIXED) == (
+            MAX_VERIFY_FAIL_PROBABILITY
+        )
+
+    def test_deterministic_stream(self):
+        a = FaultModel(fault_config(), rng=3)
+        b = FaultModel(fault_config(), rng=3)
+        draws_a = [a.verify_failure(0.5, MIXED) for _ in range(100)]
+        draws_b = [b.verify_failure(0.5, MIXED) for _ in range(100)]
+        assert draws_a == draws_b
+
+    def test_read_disturb_draws_scale_with_ber(self):
+        low = FaultModel(fault_config(read_disturb_ber=1e-4), rng=0)
+        high = FaultModel(fault_config(read_disturb_ber=1e-1), rng=0)
+        n = 200
+        assert sum(high.read_disturb_errors() for _ in range(n)) > (
+            sum(low.read_disturb_errors() for _ in range(n))
+        )
+
+
+class TestZeroFaultIdentity:
+    """All probabilities zero ⇒ bit-identical to the fault-free seed model."""
+
+    def test_no_fault_machinery_constructed(self):
+        array = PCMArray(PCMConfig(n_lines=16))
+        assert array.faults is None
+        assert array.ecc is None
+        assert array.stuck_bits is None
+
+    def test_latencies_and_time_identical(self):
+        plain = PCMArray(PCMConfig(n_lines=16, endurance=1e6))
+        armed_zero = PCMArray(
+            PCMConfig(n_lines=16, endurance=1e6), fault_rng=123
+        )
+        ops = [(0, ALL1), (1, ALL0), (0, MIXED), (2, ALL1)]
+        lat_a = [plain.write(pa, d) for pa, d in ops]
+        lat_b = [armed_zero.write(pa, d) for pa, d in ops]
+        assert lat_a == lat_b
+        assert plain.elapsed_ns == armed_zero.elapsed_ns
+        assert plain.total_writes == armed_zero.total_writes
+
+
+class TestVerifyRetryLoop:
+    def test_retry_latency_folded_into_write(self):
+        """A retry costs one re-program plus one re-verify read, on top of
+        the mandatory verify read every armed write pays."""
+        cfg = fault_config(verify_fail_base=0.5, ecp_entries=1000)
+        array = PCMArray(cfg, fault_rng=0)
+        base = cfg.set_ns + cfg.read_ns  # program + mandatory verify
+        step = cfg.set_ns + cfg.read_ns  # re-program + re-verify
+        for _ in range(50):
+            latency = array.write(0, MIXED)
+            retries = round((latency - base) / step)
+            assert latency == pytest.approx(base + retries * step)
+        assert array.retry_events > 0
+
+    def test_retries_wear_the_line(self):
+        cfg = fault_config(verify_fail_base=0.5, ecp_entries=1000)
+        array = PCMArray(cfg, fault_rng=0)
+        for _ in range(50):
+            array.write(0, MIXED)
+        assert int(array.wear[0]) == 50 + array.retry_events
+
+    def test_retry_rate_rises_with_wear(self):
+        def retries_at(wear):
+            cfg = fault_config(ecp_entries=1000)
+            array = PCMArray(cfg, fault_rng=7)
+            array.wear[0] = wear
+            for _ in range(200):
+                array.write(0, MIXED)
+            return array.retry_events
+
+        assert retries_at(9_000) > retries_at(0)
+
+    def test_exhausted_retries_create_stuck_cell(self):
+        cfg = fault_config(
+            verify_fail_base=0.9,
+            verify_fail_wear_factor=0.0,
+            max_write_retries=0,
+            ecp_entries=1000,
+        )
+        array = PCMArray(cfg, fault_rng=0)
+        for _ in range(50):
+            array.write(0, MIXED)
+        assert array.stuck_cell_events > 0
+        assert int(array.stuck_bits[0]) == array.stuck_cell_events
+
+    def test_stuck_cells_beyond_ecp_raise_uncorrectable(self):
+        cfg = fault_config(
+            verify_fail_base=0.9,
+            verify_fail_wear_factor=0.0,
+            max_write_retries=0,
+            ecp_entries=2,
+        )
+        array = PCMArray(cfg, fault_rng=0)
+        with pytest.raises(UncorrectableError) as info:
+            for _ in range(1000):
+                array.write(0, MIXED)
+        assert info.value.pa == 0
+        assert info.value.n_errors == 3  # capacity 2 overflowed
+        assert isinstance(info.value, LineFailure)  # retirement-compatible
+        assert array.failed
+
+    def test_remap_movements_also_verify(self):
+        cfg = fault_config(verify_fail_base=0.5, ecp_entries=1000)
+        array = PCMArray(cfg, fault_rng=0)
+        array.data[1] = int(ALL1)
+        copy_base = cfg.read_ns + cfg.set_ns + cfg.read_ns
+        saw_retry = False
+        for _ in range(30):
+            if array.copy(1, 2) > copy_base:
+                saw_retry = True
+        assert saw_retry
+
+    def test_deterministic_replay(self):
+        def run(seed):
+            array = PCMArray(fault_config(), fault_rng=seed)
+            return [array.write(i % 4, MIXED) for i in range(100)]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+class TestReadDisturbAndCorrection:
+    def test_transient_errors_corrected_with_latency(self):
+        cfg = fault_config(
+            verify_fail_base=0.0,
+            read_disturb_ber=0.01,  # ~20 errors per 2048-bit line
+            ecp_entries=64,
+        )
+        array = PCMArray(cfg, fault_rng=0)
+        data, latency = array.read_with_latency(0)
+        assert data == ALL0
+        assert latency > cfg.read_ns
+        assert array.ecc.corrected_total > 0
+
+    def test_uncorrectable_read_raises(self):
+        cfg = fault_config(
+            verify_fail_base=0.0, read_disturb_ber=0.05, ecp_entries=1
+        )
+        array = PCMArray(cfg, fault_rng=0)
+        with pytest.raises(UncorrectableError):
+            for _ in range(100):
+                array.read(0)
+        assert array.ecc.uncorrectable_total > 0
+
+    def test_clean_read_costs_read_latency_only(self):
+        cfg = fault_config(read_disturb_ber=0.0)
+        array = PCMArray(cfg, fault_rng=0)
+        _, latency = array.read_with_latency(0)
+        assert latency == cfg.read_ns
+
+
+class TestAddLines:
+    def test_extends_all_per_line_state(self):
+        cfg = fault_config()
+        array = PCMArray(cfg, endurance_variation=0.2, rng=1, fault_rng=0)
+        base = array.add_lines(4)
+        assert base == 16
+        assert array.n_physical == 20
+        assert len(array.wear) == 20
+        assert len(array.data) == 20
+        assert len(array.stuck_bits) == 20
+        assert len(array.endurance_map) == 20
+        # New endurance draws come from the same seeded distribution.
+        assert array.endurance_map[16:].mean() == pytest.approx(
+            cfg.endurance, rel=0.5
+        )
+
+    def test_zero_extra_is_noop(self):
+        array = PCMArray(PCMConfig(n_lines=16))
+        assert array.add_lines(0) == 16
+        assert array.n_physical == 16
+
+    def test_negative_rejected(self):
+        array = PCMArray(PCMConfig(n_lines=16))
+        with pytest.raises(ValueError):
+            array.add_lines(-1)

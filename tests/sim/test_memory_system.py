@@ -95,3 +95,45 @@ class TestAccounting:
         expected = 1000.0 + 125.0 + controller.array.timing.copy_latency(ALL0)
         # The copied line's content is ALL0 unless slot 15 held the ALL1...
         assert controller.elapsed_ns >= expected - 1e-9
+
+
+class TestAddressValidation:
+    @pytest.mark.parametrize("la", [-1, 16, 1_000_000])
+    def test_write_rejects_out_of_range(self, config, la):
+        controller = MemoryController(NoWearLeveling(16), config)
+        with pytest.raises(ValueError, match="logical address"):
+            controller.write(la, ALL1)
+
+    @pytest.mark.parametrize("la", [-1, 16])
+    def test_read_rejects_out_of_range(self, config, la):
+        controller = MemoryController(NoWearLeveling(16), config)
+        with pytest.raises(ValueError, match="logical address"):
+            controller.read(la)
+
+    def test_boundaries_accepted(self, config):
+        controller = MemoryController(NoWearLeveling(16), config)
+        controller.write(0, ALL1)
+        controller.write(15, ALL0)
+        assert controller.read(15)[0] == ALL0
+
+
+class TestHealthReport:
+    def test_healthy_device(self, config):
+        controller = MemoryController(NoWearLeveling(16), config)
+        controller.write(0, ALL1)
+        health = controller.health()
+        assert health.mode == "normal"
+        assert health.failures == 0
+        assert health.total_writes == 1
+        assert health.n_spares == 0
+
+    def test_failure_reflected(self):
+        controller = MemoryController(
+            NoWearLeveling(16), PCMConfig(n_lines=16, endurance=2)
+        )
+        from repro.pcm.array import LineFailure
+
+        with pytest.raises(LineFailure):
+            for _ in range(3):
+                controller.write(0, ALL1)
+        assert controller.health().failures == 1

@@ -1,4 +1,4 @@
-.PHONY: install test bench examples smoke faults-smoke clean
+.PHONY: install test bench examples smoke faults-smoke lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,14 @@ examples:
 
 smoke:
 	pytest tests/ -q -x -k "not matrix and not Matrix" --timeout=300
+
+lint:
+	PYTHONPATH=src python -m repro.lint src/repro examples
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping type check (CI runs it)"; \
+	fi
 
 faults-smoke:
 	PYTHONPATH=src python -m repro faults --lines 128 --endurance 400 \

@@ -31,6 +31,7 @@ def hammer(controller, description):
     writes = 0
     try:
         while writes < BUDGET:
+            # reprolint: disable=REP002 endurance hammering; timing unused
             controller.write(writes % 12, ALL1)
             writes += 1
     except Exception as failure:

@@ -18,8 +18,10 @@ Two demonstrations of the resilience stack:
    death (and what data pattern is being written), on top of the paper's
    remapping timing channel.
 
-Run:  python examples/fault_injection.py
+Run:  python examples/fault_injection.py [--seed N]
 """
+
+import argparse
 
 from repro.analysis.resilience import (
     side_channel_separation_ns,
@@ -32,7 +34,15 @@ from repro.pcm.timing import LineData
 N_LINES = 2**7
 ENDURANCE = 400
 N_WRITES = 30_000
-SEED = 7
+
+parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+parser.add_argument(
+    "--seed", type=int, default=7,
+    help="master seed for the campaign and the side-channel probe "
+         "(default: 7; same seed => identical run)",
+)
+args = parser.parse_args()
+SEED = args.seed
 
 print("=" * 72)
 print("1. Fault-injection campaign: availability under injected faults")

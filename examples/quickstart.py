@@ -36,14 +36,14 @@ print(f"scheme: Security RBSG, {scheme.n_subregions} sub-regions, "
 print(f"physical lines incl. gap/spare: {scheme.n_physical}")
 
 # --- 1. writes and reads, with the mapping visible --------------------
-controller.write(la=7, data=ALL1)
+_ = controller.write(la=7, data=ALL1)  # returns latency; unused here
 pa_before = scheme.translate(7)
 print(f"\nwrote ALL-1 to LA 7 -> physical line {pa_before}")
 
 for i in range(5_000):
     la = i % config.n_lines
     if la != 7:  # leave our marker line alone
-        controller.write(la, ALL0 if i % 3 else ALL1)
+        _ = controller.write(la, ALL0 if i % 3 else ALL1)
 
 data, _ = controller.read(7)
 pa_after = scheme.translate(7)
@@ -64,7 +64,7 @@ for latency, count in sorted(seen.items()):
 
 # --- 3. wear stays spread under hammering ------------------------------
 for _ in range(50_000):
-    controller.write(7, ALL1)
+    _ = controller.write(7, ALL1)
 stats = WearStats.from_wear(controller.array.wear)
 print(f"\nafter 50k more writes to LA 7 alone:")
 print(f"  total physical writes : {controller.total_writes}")

@@ -28,9 +28,9 @@ def observe(name, scheme):
     recorder = LatencyRecorder(MemoryController(scheme, config))
     # The RTA prologue: zero everything, then hammer one ALL-1 line.
     for la in range(N_LINES):
-        recorder.write(la, ALL0)
+        _ = recorder.write(la, ALL0)  # recorder keeps the histogram
     for _ in range(2000):
-        recorder.write(5, ALL1)
+        _ = recorder.write(5, ALL1)
     print(f"\n--- {name} ---")
     histogram = recorder.histogram().as_dict()
     labels, values = [], []

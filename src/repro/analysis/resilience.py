@@ -111,6 +111,7 @@ def run_fault_campaign(
             la = int(workload.integers(0, config.n_lines))
         data = MIXED if workload.random() < 0.5 else ALL0
         try:
+            # reprolint: disable=REP002 availability campaign; not a timing run
             controller.write(la, data)
             accepted += 1
         except DeviceReadOnly:

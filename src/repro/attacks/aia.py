@@ -89,6 +89,7 @@ class AddressInferenceAttack:
                 target = holder if holder is not None else nearest
                 burst = min(self.knowledge_interval, max_writes - writes)
                 for _ in range(burst):
+                    # reprolint: disable=REP002 wear attack; timing unused
                     self.controller.write(target, self.data)
                     writes += 1
                 holder, nearest = self._consult_oracle()

@@ -64,6 +64,7 @@ class BirthdayParadoxAttack:
                 target = int(self._rng.integers(0, n_lines))
                 burst = min(self.dwell_writes, max_writes - writes)
                 for _ in range(burst):
+                    # reprolint: disable=REP002 wear attack; timing unused
                     self.controller.write(target, self.data)
                     writes += 1
         except LineFailure as failure:

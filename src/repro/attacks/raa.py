@@ -33,6 +33,7 @@ class RepeatedAddressAttack:
         writes = 0
         try:
             while writes < max_writes:
+                # reprolint: disable=REP002 wear attack; timing unused
                 self.controller.write(self.target_la, self.data)
                 writes += 1
         except LineFailure as failure:

@@ -70,6 +70,7 @@ class MultiWaySRTimingAttack:
         """Label only the target sub-region — N/R writes, not N."""
         for offset in range(self.size):
             data = ALL0 if bit is None else self._bit_pattern(offset, bit)
+            # reprolint: disable=REP002 labeling write; latency unused
             self.oracle.write(self._la(offset), data)
             self.mirror.count_write()
 
@@ -128,6 +129,7 @@ class MultiWaySRTimingAttack:
         writes = 0
         try:
             while writes < max_writes:
+                # reprolint: disable=REP002 hammering write; timing unused
                 self.oracle.write(self._la(holder), ALL1)
                 writes += 1
                 step = self.mirror.count_write()

@@ -135,6 +135,7 @@ class RBSGTimingAttack:
         """
         for la in range(self.n_lines):
             data = ALL0 if bit is None else self._bit_pattern(la, bit)
+            # reprolint: disable=REP002 labeling write; latency unused
             self.oracle.write(la, data)
         for _ in range(self.region_size):
             self.mirror.count_write()
@@ -229,6 +230,7 @@ class RBSGTimingAttack:
         writes = 0
         try:
             while writes < max_writes:
+                # reprolint: disable=REP002 hammering write; timing unused
                 self.oracle.write(residents[idx], ALL1)
                 writes += 1
                 info = self.mirror.count_write()

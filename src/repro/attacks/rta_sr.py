@@ -102,6 +102,7 @@ class SRTimingAttack:
         """Step 1 / step 3: label every line with its LA's bit (or ALL-0)."""
         for la in range(self.n_lines):
             data = ALL0 if bit is None else self._bit_pattern(la, bit)
+            # reprolint: disable=REP002 labeling write; latency unused
             self.oracle.write(la, data)
             self.mirror.count_write()
 
@@ -182,6 +183,7 @@ class SRTimingAttack:
         writes = 0
         try:
             while writes < max_writes:
+                # reprolint: disable=REP002 hammering write; timing unused
                 self.oracle.write(holder, ALL1)
                 writes += 1
                 step = self.mirror.count_write()

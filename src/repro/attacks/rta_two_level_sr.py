@@ -91,6 +91,7 @@ class TwoLevelSRTimingAttack:
     def _label_sweep(self, bit: int) -> None:
         """Label every line's content with its LA's bit ``bit``."""
         for la in range(self.n_lines):
+            # reprolint: disable=REP002 labeling write; latency unused
             self.oracle.write(la, self._bit_pattern(la, bit))
             self.mirror.count_write()
 
@@ -187,6 +188,7 @@ class TwoLevelSRTimingAttack:
         for crp_limit, las in phases:
             idx = 0
             while self.mirror.crp < crp_limit and writes < max_writes:
+                # reprolint: disable=REP002 hammering write; timing unused
                 self.oracle.write(las[idx], ALL1)
                 idx = (idx + 1) % len(las)
                 writes += 1
@@ -196,6 +198,7 @@ class TwoLevelSRTimingAttack:
         # Finish out the round if the last phase ended by crp_limit.
         while writes < max_writes:
             las = self._block_las(new_block)
+            # reprolint: disable=REP002 hammering write; timing unused
             self.oracle.write(las[writes % len(las)], ALL1)
             writes += 1
             step = self.mirror.count_write()

@@ -8,7 +8,9 @@ Installed as ``python -m repro``.  Subcommands:
 * ``stages``    — security sizing of the dynamic Feistel network,
 * ``perf``      — the §V-C4 IPC-impact table,
 * ``faults``    — fault-injection campaigns and the verify-retry
-  side-channel experiment.
+  side-channel experiment,
+* ``lint``      — the reprolint simulator-invariant checker
+  (also ``python -m repro.lint``).
 
 Examples::
 
@@ -20,6 +22,7 @@ Examples::
     python -m repro perf --interval 64 --ops 10000
     python -m repro faults --schemes none rbsg --rates 0 1e-3 1e-2
     python -m repro faults --side-channel
+    python -m repro lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -285,6 +288,20 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.runner import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def cmd_perf(args) -> int:
     from repro.perfmodel import PARSEC_LIKE, SPEC_LIKE
     from repro.perfmodel.cpu import ipc_degradation_percent
@@ -387,6 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=400,
                    help="writes per probe for --side-channel")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "lint", help="reprolint: simulator-invariant static analysis"
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes to skip")
+    p.add_argument("--list-rules", action="store_true",
+                   help="describe every registered rule and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("perf", help="IPC impact (§V-C4)")
     p.add_argument("--interval", type=int, default=64)

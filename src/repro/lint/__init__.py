@@ -1,0 +1,43 @@
+"""reprolint — AST-based static analysis for the simulator's invariants.
+
+The reproduction's headline numbers (RTA success rates, lifetime curves,
+fault-campaign availability) are only trustworthy when the simulator is
+bit-deterministic under a seed and accounts every nanosecond on the
+attacker-observable path.  This package enforces those invariants as
+lint rules (REP001–REP006, see ``docs/lint.md``) over the codebase:
+
+>>> from repro.lint import lint_source
+>>> lint_source("import numpy as np\\nx = np.random.rand()\\n")[0].code
+'REP001'
+
+Run from the command line as ``python -m repro.lint [paths...]`` or
+``python -m repro lint``.
+"""
+
+from repro.lint.diagnostics import (
+    REGISTRY,
+    Diagnostic,
+    LintModule,
+    Rule,
+    Severity,
+    all_rules,
+    register,
+)
+from repro.lint import rules  # noqa: F401  (registers REP001–REP006)
+from repro.lint.runner import lint_paths, lint_source, main
+from repro.lint.suppress import SuppressionMap, parse_suppressions
+
+__all__ = (
+    "Diagnostic",
+    "LintModule",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "SuppressionMap",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "register",
+)

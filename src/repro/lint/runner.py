@@ -1,0 +1,181 @@
+"""reprolint driver: file discovery, rule execution, reporting.
+
+Run as ``python -m repro.lint [paths...]`` or ``python -m repro lint``.
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint import rules as _rules  # noqa: F401  (populates REGISTRY)
+from repro.lint.diagnostics import (
+    REGISTRY,
+    Diagnostic,
+    LintModule,
+    Rule,
+    Severity,
+    all_rules,
+)
+from repro.lint.suppress import parse_suppressions
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "build",
+                        "dist", ".pytest_cache"})
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic .py file sequence."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        else:
+            raise FileNotFoundError(raw)
+
+
+def lint_source(
+    source: str,
+    rel_path: str = "<string>",
+    selected: Optional[Iterable[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string; the core entry point tests exercise."""
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="REP000",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    module = LintModule(rel_path=rel_path, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    diagnostics: List[Diagnostic] = []
+    for rule in (all_rules() if selected is None else selected):
+        for diag in rule.check(module):
+            if not suppressions.is_suppressed(diag.code, diag.line):
+                diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    selected: Optional[Iterable[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint every python file reachable from ``paths``."""
+    chosen = list(all_rules() if selected is None else selected)
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, path.as_posix(), chosen))
+    return diagnostics
+
+
+def _resolve_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    def split(csv: str) -> List[str]:
+        return [code.strip().upper() for code in csv.split(",") if code.strip()]
+
+    codes = set(REGISTRY)
+    if select:
+        wanted = split(select)
+        unknown = [c for c in wanted if c not in REGISTRY]
+        if unknown:
+            raise KeyError(", ".join(unknown))
+        codes = set(wanted)
+    if ignore:
+        dropped = split(ignore)
+        unknown = [c for c in dropped if c not in REGISTRY]
+        if unknown:
+            raise KeyError(", ".join(unknown))
+        codes -= set(dropped)
+    return [REGISTRY[code] for code in sorted(codes)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "reprolint: AST-based simulator-invariant checker "
+            "(determinism, latency accounting, hidden state)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every registered rule and exit",
+    )
+    return parser
+
+
+def _print_rule_listing() -> None:
+    for rule in all_rules():
+        print(f"{rule.code} ({rule.name}) [{rule.severity}]")
+        print(f"    {rule.description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_listing()
+        return 0
+    try:
+        selected = _resolve_rules(args.select, args.ignore)
+    except KeyError as exc:
+        print(f"unknown rule code(s): {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        diagnostics = lint_paths(args.paths, selected)
+    except FileNotFoundError as exc:
+        print(f"no such file or directory: {exc.args[0]}", file=sys.stderr)
+        return 2
+    n_files = sum(1 for _ in iter_python_files(args.paths))
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "files_checked": n_files,
+                "rules": [r.code for r in selected],
+                "diagnostics": [d.to_json() for d in diagnostics],
+            },
+            indent=2,
+        ))
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+        summary = (
+            f"{len(diagnostics)} problem(s) in {n_files} file(s)"
+            if diagnostics
+            else f"clean: {n_files} file(s), {len(selected)} rule(s)"
+        )
+        print(summary)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    return 1 if errors else 0

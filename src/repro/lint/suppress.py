@@ -1,0 +1,96 @@
+"""Inline suppression comments for reprolint.
+
+Two forms, mirroring pylint's pragmas:
+
+* ``# reprolint: disable=REP001`` — suppress the named rule(s) on the
+  physical line carrying the comment (comma-separate several codes, or
+  use ``all``).  When the comment stands alone on its line, it covers
+  the *next* line instead — use this for statements too long to carry a
+  trailing comment.  Trailing prose after the codes is allowed and
+  encouraged: state *why* the violation is intentional.
+* ``# reprolint: disable-file=REP002`` — suppress the rule(s) for the
+  whole file; place it anywhere (conventionally in the module docstring
+  region).
+
+Comments are located with :mod:`tokenize` so ``#`` characters inside
+string literals cannot masquerade as pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Sentinel meaning "every rule".
+ALL_CODES = "all"
+
+
+@dataclass
+class SuppressionMap:
+    """Which rule codes are suppressed where, for one source file."""
+
+    #: line number -> codes disabled on that line (``ALL_CODES`` = any).
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes disabled for the entire file.
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True when ``code`` is disabled at ``line``."""
+        if ALL_CODES in self.file_wide or code in self.file_wide:
+            return True
+        active = self.by_line.get(line)
+        if active is None:
+            return False
+        return ALL_CODES in active or code in active
+
+
+def _comments(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, comment_text)`` triples, via tokenize (regex fallback)."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [
+            (tok.start[0], tok.start[1], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Damaged file: fall back to a crude per-line scan so pragmas
+        # still work while the syntax error itself gets reported.
+        return [
+            (idx, line.index("#"), line[line.index("#"):])
+            for idx, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract every reprolint pragma from ``source``."""
+    smap = SuppressionMap()
+    lines = source.splitlines()
+    for line, col, comment in _comments(source):
+        match = _PRAGMA.search(comment)
+        if match is None:
+            continue
+        codes: FrozenSet[str] = frozenset(
+            ALL_CODES if code.strip().lower() == ALL_CODES
+            else code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if match.group("kind") == "disable-file":
+            smap.file_wide.update(codes)
+            continue
+        # A standalone pragma (nothing but whitespace before the ``#``)
+        # shields the statement on the following line.
+        text_before = lines[line - 1][:col] if line - 1 < len(lines) else ""
+        target = line + 1 if not text_before.strip() else line
+        smap.by_line.setdefault(target, set()).update(codes)
+    return smap

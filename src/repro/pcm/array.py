@@ -35,12 +35,15 @@ from repro.config import PCMConfig
 from repro.pcm.ecc import ECPModel
 from repro.pcm.faults import FaultModel
 from repro.pcm.timing import LineData, TimingModel
+from repro.util.rng import SeedLike, as_generator
 
 
 class LineFailure(Exception):
     """Raised when a write lands on a line whose endurance is exhausted."""
 
-    def __init__(self, pa: int, wear: int, total_writes: int, elapsed_ns: float):
+    def __init__(
+        self, pa: int, wear: int, total_writes: int, elapsed_ns: float
+    ) -> None:
         self.pa = pa
         self.wear = wear
         self.total_writes = total_writes
@@ -66,7 +69,7 @@ class UncorrectableError(LineFailure):
         total_writes: int,
         elapsed_ns: float,
         n_errors: int,
-    ):
+    ) -> None:
         super().__init__(pa, wear, total_writes, elapsed_ns)
         self.n_errors = n_errors
 
@@ -97,9 +100,9 @@ class PCMArray:
         initial_data: LineData = LineData.ALL0,
         raise_on_failure: bool = True,
         endurance_variation: float = 0.0,
-        rng=None,
-        fault_rng=None,
-    ):
+        rng: SeedLike = None,
+        fault_rng: SeedLike = None,
+    ) -> None:
         self.config = config
         self.timing = TimingModel(config)
         self.n_physical = config.n_lines if n_physical is None else int(n_physical)
@@ -119,25 +122,24 @@ class PCMArray:
         if endurance_variation < 0:
             raise ValueError("endurance_variation must be >= 0")
         self._endurance_cv = endurance_variation
+        self._endurance_gen: Optional[np.random.Generator]
+        self.endurance_map: Optional[np.ndarray]
         if endurance_variation > 0:
-            from repro.util.rng import as_generator
-
             self._endurance_gen = as_generator(rng)
-            self.endurance_map: Optional[np.ndarray] = self._draw_endurance(
-                self.n_physical
-            )
+            self.endurance_map = self._draw_endurance(self.n_physical)
         else:
             self._endurance_gen = None
             self.endurance_map = None
         # Fault injection (read disturb / verify failure / stuck-at) plus
         # ECP correction; None when every fault probability is zero so the
         # fault-free hot paths carry no extra branches beyond one test.
+        self.faults: Optional[FaultModel]
+        self.ecc: Optional[ECPModel]
+        self.stuck_bits: Optional[np.ndarray]
         if config.fault_injection_enabled:
-            self.faults: Optional[FaultModel] = FaultModel(config, fault_rng)
-            self.ecc: Optional[ECPModel] = ECPModel(config)
-            self.stuck_bits: Optional[np.ndarray] = np.zeros(
-                self.n_physical, dtype=np.int16
-            )
+            self.faults = FaultModel(config, fault_rng)
+            self.ecc = ECPModel(config)
+            self.stuck_bits = np.zeros(self.n_physical, dtype=np.int16)
         else:
             self.faults = None
             self.ecc = None
@@ -146,6 +148,7 @@ class PCMArray:
         self.stuck_cell_events = 0
 
     def _draw_endurance(self, count: int) -> np.ndarray:
+        assert self._endurance_gen is not None  # armed iff variation > 0
         draws = self._endurance_gen.normal(
             self.config.endurance,
             self._endurance_cv * self.config.endurance,
@@ -206,6 +209,7 @@ class PCMArray:
         latency = self.timing.read_latency()
         self.elapsed_ns += latency
         if self.faults is not None:
+            assert self.stuck_bits is not None and self.ecc is not None
             n_errors = int(self.stuck_bits[pa]) + self.faults.read_disturb_errors()
             if n_errors:
                 outcome = self.ecc.correct(n_errors)
@@ -307,6 +311,7 @@ class PCMArray:
         stuck-at cell; overflowing the ECP capacity raises
         :class:`UncorrectableError`.
         """
+        assert self.faults is not None  # caller gates on faults.verify_armed
         extra = self.timing.read_latency()
         self.elapsed_ns += extra
         retries = 0
@@ -323,6 +328,7 @@ class PCMArray:
         return extra
 
     def _mark_stuck_cell(self, pa: int) -> None:
+        assert self.stuck_bits is not None and self.ecc is not None
         self.stuck_bits[pa] += 1
         self.stuck_cell_events += 1
         if int(self.stuck_bits[pa]) > self.config.ecp_entries:
@@ -398,7 +404,9 @@ class PCMArray:
         self.elapsed_ns += new_writes * write_ns
         self._check_bulk_failure(pas)
 
-    def _check_bulk_failure(self, pas) -> None:
+    def _check_bulk_failure(
+        self, pas: Union[int, slice, Sequence[int], np.ndarray]
+    ) -> None:
         if isinstance(pas, slice) or not np.isscalar(pas):
             region = self.wear[pas]
             if self.endurance_map is None:

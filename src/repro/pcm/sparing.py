@@ -27,17 +27,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import PCMConfig
-from repro.pcm.array import LineFailure, UncorrectableError
+from repro.pcm.array import LineFailure, PCMArray, UncorrectableError
 from repro.pcm.health import DeviceHealth
 from repro.pcm.timing import LineData
 from repro.sim.memory_system import MemoryController
-from repro.wearlevel.base import WearLeveler
+from repro.util.rng import SeedLike
+from repro.wearlevel.base import Move, WearLeveler
 
 
 class SparesExhausted(Exception):
     """Raised when a line fails and no spare is left to absorb it."""
 
-    def __init__(self, failures: int, total_writes: int, elapsed_ns: float):
+    def __init__(
+        self, failures: int, total_writes: int, elapsed_ns: float
+    ) -> None:
         self.failures = failures
         self.total_writes = total_writes
         self.elapsed_ns = elapsed_ns
@@ -56,7 +59,7 @@ class DeviceReadOnly(Exception):
     snapshot reports the state instead of a bare stack trace.
     """
 
-    def __init__(self, health: DeviceHealth):
+    def __init__(self, health: DeviceHealth) -> None:
         self.health = health
         super().__init__(
             f"device is read-only after {health.failures} line failures "
@@ -91,10 +94,10 @@ class SparingController:
         config: PCMConfig,
         n_spares: int = 8,
         endurance_variation: float = 0.0,
-        rng=None,
-        fault_rng=None,
+        rng: SeedLike = None,
+        fault_rng: SeedLike = None,
         degraded_mode: bool = False,
-    ):
+    ) -> None:
         if n_spares < 0:
             raise ValueError("n_spares must be >= 0")
         self.inner = MemoryController(
@@ -183,7 +186,7 @@ class SparingController:
                 raise DeviceReadOnly(self.health()) from None
             raise
 
-    def _execute_move(self, move) -> float:
+    def _execute_move(self, move: Move) -> float:
         from repro.wearlevel.base import CopyMove, SwapMove
 
         array = self.inner.array
@@ -229,7 +232,7 @@ class SparingController:
         return self.inner.scheme
 
     @property
-    def array(self):
+    def array(self) -> PCMArray:
         return self.inner.array
 
     @property

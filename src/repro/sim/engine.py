@@ -45,6 +45,7 @@ def run_trace(
         for entry in trace:
             if max_writes is not None and user_writes >= max_writes:
                 break
+            # reprolint: disable=REP002 trace replay; elapsed_ns accounts it
             controller.write(entry.la, entry.data)
             user_writes += 1
     except LineFailure as failure:

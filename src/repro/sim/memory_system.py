@@ -15,6 +15,7 @@ from repro.config import PCMConfig
 from repro.pcm.array import PCMArray
 from repro.pcm.health import DeviceHealth
 from repro.pcm.timing import LineData
+from repro.util.rng import SeedLike
 from repro.wearlevel.base import CopyMove, SwapMove, WearLeveler
 
 
@@ -41,9 +42,9 @@ class MemoryController:
         raise_on_failure: bool = True,
         initial_data: LineData = LineData.ALL0,
         endurance_variation: float = 0.0,
-        rng=None,
-        fault_rng=None,
-    ):
+        rng: SeedLike = None,
+        fault_rng: SeedLike = None,
+    ) -> None:
         if scheme.n_lines != config.n_lines:
             raise ValueError(
                 f"scheme exposes {scheme.n_lines} lines but config declares "

@@ -79,6 +79,6 @@ class WearLeveler(abc.ABC):
         if not 0 <= la < self.n_lines:
             raise ValueError(f"logical address {la} outside [0, {self.n_lines})")
 
-    def mapping_snapshot(self) -> "list[int]":
+    def mapping_snapshot(self) -> List[int]:
         """Full LA→PA table under the current state (tests / small configs)."""
         return [self.translate(la) for la in range(self.n_lines)]

@@ -1,0 +1,113 @@
+"""Driver-level tests: CLI surface, output formats, repo self-check."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import REGISTRY, all_rules, lint_paths
+from repro.lint.runner import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        assert sorted(REGISTRY) == [
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        ]
+
+    def test_every_rule_documented(self):
+        for rule in all_rules():
+            assert rule.description, f"{rule.code} has no docstring"
+            assert rule.name, f"{rule.code} has no name"
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(SRC_REPRO)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "bad.py:2:5" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        [diag] = payload["diagnostics"]
+        assert diag["code"] == "REP004"
+        assert diag["line"] == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def f(a=[]):\n"
+            "    return np.random.rand()\n"
+        )
+        assert main([str(bad), "--select", "REP004"]) == 1
+        assert main([str(bad), "--ignore", "REP001,REP004"]) == 0
+
+    def test_unknown_rule_code_is_usage_error(self, capsys):
+        assert main([str(SRC_REPRO), "--select", "REP999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["no/such/dir"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in REGISTRY:
+            assert code in out
+
+
+class TestRepoIsClean:
+    """The acceptance gate: reprolint exits 0 on the shipped tree."""
+
+    def test_src_repro_has_no_violations(self):
+        diagnostics = lint_paths([str(SRC_REPRO)])
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_examples_have_no_violations(self):
+        diagnostics = lint_paths([str(REPO_ROOT / "examples")])
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_module_entrypoint_runs(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(SRC_REPRO)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestMypyGate:
+    """`mypy src/repro` must pass where mypy is available (the CI lint job)."""
+
+    @pytest.mark.skipif(
+        shutil.which("mypy") is None, reason="mypy not installed"
+    )
+    def test_mypy_clean(self):
+        result = subprocess.run(
+            ["mypy", "src/repro"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

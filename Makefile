@@ -1,4 +1,4 @@
-.PHONY: install test bench examples smoke faults-smoke lint clean
+.PHONY: install test bench examples smoke faults-smoke campaign-smoke lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,25 @@ faults-smoke:
 	PYTHONPATH=src python -m repro faults --lines 128 --endurance 400 \
 		--writes 30000 --ecp 2 --read-disturb 1e-5 --seed 7
 	PYTHONPATH=src python -m repro faults --side-channel --seed 7
+
+# Kill-and-resume exercise of the campaign orchestrator: start the example
+# fault grid, cut it short after 3 of its 8 tasks (a controlled "crash"),
+# verify the directory reports incomplete, resume to completion, and render
+# the aggregated report.  The interrupted run and status MUST exit non-zero.
+campaign-smoke:
+	rm -rf build/campaign-smoke
+	PYTHONPATH=src python -m repro campaign run \
+		examples/campaigns/fault_grid.toml \
+		--out build/campaign-smoke --workers 2 --max-tasks 3 --quiet; \
+		test $$? -eq 1
+	PYTHONPATH=src python -m repro campaign status build/campaign-smoke; \
+		test $$? -eq 1
+	PYTHONPATH=src python -m repro campaign resume build/campaign-smoke \
+		--workers 2 --quiet
+	PYTHONPATH=src python -m repro campaign status build/campaign-smoke
+	PYTHONPATH=src python -m repro campaign report build/campaign-smoke \
+		--format csv --output build/campaign-smoke/report.csv
+	@test -s build/campaign-smoke/report.csv && echo "campaign-smoke: OK"
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

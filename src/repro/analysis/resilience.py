@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +143,33 @@ def run_fault_campaign(
     )
 
 
+def _campaign_result_from_dict(
+    document: Mapping[str, Any]
+) -> CampaignResult:
+    """Rebuild a :class:`CampaignResult` from a ``faults`` task result."""
+    first_failure = document["first_failure_write"]
+    end_write = document["end_write"]
+    return CampaignResult(
+        scheme=str(document["scheme"]),
+        verify_fail_base=float(document["verify_fail_base"]),  # type: ignore[arg-type]
+        read_disturb_ber=float(document["read_disturb_ber"]),  # type: ignore[arg-type]
+        seed=int(document["seed"]),  # type: ignore[arg-type]
+        writes_attempted=int(document["writes_attempted"]),  # type: ignore[arg-type]
+        writes_accepted=int(document["writes_accepted"]),  # type: ignore[arg-type]
+        first_failure_write=(
+            None if first_failure is None else int(first_failure)  # type: ignore[arg-type]
+        ),
+        end_write=None if end_write is None else int(end_write),  # type: ignore[arg-type]
+        end_cause=str(document["end_cause"]),
+        availability=float(document["availability"]),  # type: ignore[arg-type]
+        retirements=tuple(
+            (int(writes), int(pa))
+            for writes, pa in document["retirements"]  # type: ignore[union-attr]
+        ),
+        health=DeviceHealth(**document["health"]),  # type: ignore[arg-type]
+    )
+
+
 def sweep_fault_rates(
     schemes: Sequence[str],
     config: PCMConfig,
@@ -152,22 +179,42 @@ def sweep_fault_rates(
     n_writes: int = 20_000,
     seed: int = 0,
     degraded_mode: bool = True,
+    workers: int = 1,
 ) -> List[CampaignResult]:
-    """Cross every scheme with every verify-failure rate (one seed each)."""
-    results = []
+    """Cross every scheme with every verify-failure rate (one seed each).
+
+    The grid executes on the :mod:`repro.campaign` runner: ``workers > 1``
+    fans the cells out across processes.  Every cell's RNG derives from
+    its (scheme, config, seed) alone, so parallel results are identical
+    to a serial sweep, returned in scheme-major/rate-minor order.
+    """
+    from repro.campaign import RunnerConfig, TaskKey, run_collect
+
+    base = dataclasses.asdict(config)
+    keys: List[TaskKey] = []
     for scheme_name in schemes:
         for rate in verify_fail_rates:
-            cfg = dataclasses.replace(config, verify_fail_base=rate)
-            results.append(
-                run_fault_campaign(
-                    scheme_name,
-                    cfg,
-                    n_spares=n_spares,
-                    n_writes=n_writes,
-                    seed=seed,
-                    degraded_mode=degraded_mode,
-                )
+            keys.append(TaskKey.create(
+                kind="faults",
+                params={
+                    **base,
+                    "verify_fail_base": float(rate),
+                    "scheme": scheme_name,
+                    "n_spares": n_spares,
+                    "n_writes": n_writes,
+                    "degraded_mode": degraded_mode,
+                },
+                seed=seed,
+            ))
+    records = run_collect(keys, RunnerConfig(workers=workers, retries=0))
+    results: List[CampaignResult] = []
+    for key, record in zip(keys, records):
+        if not record.ok:
+            raise RuntimeError(
+                f"fault campaign {key.param('scheme')} @ "
+                f"{key.param('verify_fail_base')} failed: {record.error}"
             )
+        results.append(_campaign_result_from_dict(record.result or {}))
     return results
 
 

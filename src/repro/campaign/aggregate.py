@@ -1,0 +1,123 @@
+"""Turn raw campaign records into grouped, seed-averaged summaries.
+
+Grouping key = ``(kind, params)`` — the seeds of a point are its
+replicates.  Every numeric field of the task results (bools count as
+0/1, one level of dict nesting is flattened with a ``.`` separator)
+gets mean/min/max plus the requested percentiles.
+
+Determinism contract: records are ordered by :class:`TaskKey` (never by
+completion time) before any statistic is computed, and the JSON/CSV
+renderers sort keys — so a serial run and a parallel run of the same
+spec export **byte-identical** reports, and ``campaign report`` is
+byte-stable across resumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.spec import Params
+from repro.campaign.store import TaskRecord
+
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def successful_records(records: Sequence[TaskRecord]) -> List[TaskRecord]:
+    """Deduplicate to one ``ok`` record per task, in task order.
+
+    A resumed campaign can hold several records for one ``key_id``
+    (failed attempts before the one that stuck); the *first* ``ok``
+    record wins — there is never more than one, because completed tasks
+    are skipped on resume.
+    """
+    chosen: Dict[str, TaskRecord] = {}
+    for record in records:
+        if record.ok and record.key.key_id not in chosen:
+            chosen[record.key.key_id] = record
+    return sorted(chosen.values(), key=lambda rec: rec.key)
+
+
+def flatten_metrics(result: Mapping[str, object]) -> Dict[str, float]:
+    """Extract the numeric fields of one task result, dots for nesting."""
+    metrics: Dict[str, float] = {}
+    for name, value in result.items():
+        if isinstance(value, bool):
+            metrics[name] = float(value)
+        elif isinstance(value, (int, float)):
+            metrics[name] = float(value)
+        elif isinstance(value, dict):
+            for sub_name, sub_value in value.items():
+                if isinstance(sub_value, bool):
+                    metrics[f"{name}.{sub_name}"] = float(sub_value)
+                elif isinstance(sub_value, (int, float)):
+                    metrics[f"{name}.{sub_name}"] = float(sub_value)
+    return metrics
+
+
+def aggregate(
+    records: Sequence[TaskRecord],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> List[Dict[str, object]]:
+    """Group ok-records by (kind, params) and summarise across seeds.
+
+    Returns one row per group: the grid/point parameters, ``n_seeds``,
+    and ``<metric>_mean`` / ``_min`` / ``_max`` / ``_pNN`` columns,
+    sorted by the grouping key.
+    """
+    ordered = successful_records(records)
+    groups: Dict[Tuple[str, Params], List[Dict[str, float]]] = {}
+    for record in ordered:
+        group_key = (record.key.kind, record.key.params)
+        groups.setdefault(group_key, []).append(
+            flatten_metrics(record.result or {})
+        )
+    rows: List[Dict[str, object]] = []
+    for (kind, params), metric_dicts in sorted(groups.items()):
+        row: Dict[str, object] = {"kind": kind}
+        for name, value in params:
+            row[name] = value
+        row["n_seeds"] = len(metric_dicts)
+        # Tasks often echo their parameters (and seed) back in the result;
+        # summarising those across seeds is meaningless, so drop them.
+        echoed = {name for name, _ in params} | {"seed"}
+        metric_names = sorted(
+            {n for m in metric_dicts for n in m} - echoed
+        )
+        for name in metric_names:
+            values = np.array(
+                [m[name] for m in metric_dicts if name in m], dtype=float
+            )
+            row[f"{name}_mean"] = float(values.mean())
+            row[f"{name}_min"] = float(values.min())
+            row[f"{name}_max"] = float(values.max())
+            for pct in percentiles:
+                row[f"{name}_p{pct:g}"] = float(np.percentile(values, pct))
+        rows.append(row)
+    return rows
+
+
+def to_json(rows: Sequence[Mapping[str, object]]) -> str:
+    """Canonical JSON rendering (sorted keys, trailing newline)."""
+    return json.dumps(list(rows), indent=2, sort_keys=True) + "\n"
+
+
+def to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """CSV rendering with a deterministic, sorted column union."""
+    if not rows:
+        return ""
+    leading = ["kind", "n_seeds"]
+    other = sorted({name for row in rows for name in row} - set(leading))
+    fieldnames = leading + other
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=fieldnames, lineterminator="\n", restval=""
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()

@@ -1,0 +1,340 @@
+"""Parallel fan-out engine: run task keys across worker processes.
+
+Execution contract (the one the determinism tests pin down):
+
+* **Seeding** — attempt 0 of a task runs with the task's own
+  ``TaskKey.seed``; retry attempt ``k`` runs with
+  ``derive_seed(seed, key_id, k)``.  Seeds depend only on the task and
+  the attempt number, never on scheduling, so serial (``workers=1``)
+  and parallel (``workers=N``) runs produce identical per-task results.
+* **Isolation** — task exceptions are caught inside the worker and come
+  back as ``error`` records.  A hard worker crash (segfault,
+  ``os._exit``) breaks the :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the runner rebuilds the pool, charges every in-flight task one retry,
+  and the campaign continues.  One bad point fails that point, not the
+  campaign.
+* **Timeouts** — a task overrunning ``timeout_s`` is charged a failed
+  attempt immediately and its eventual result is discarded.  The worker
+  process is *not* killed mid-task (POSIX offers no safe way to do that
+  to a fork-sharing child); the pool drains it at shutdown.
+* **Bounded in-flight** — at most ``max_inflight`` (default
+  ``2 * workers``) tasks are submitted at once, so million-point grids
+  don't materialise a million pickled futures.
+
+``workers=1`` runs everything inline in the calling process — no pool,
+no pickling — which is both the determinism baseline and the cheap path
+for small sweeps (``attack_matrix``, ``sweep_fault_rates`` defaults).
+
+Wall-clock use here times *host* execution (timeouts, throughput); the
+simulator's clock is untouched, hence the file-wide REP005 waiver.
+"""
+# reprolint: disable-file=REP005 orchestration timeouts/throughput are host time
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, TaskKey
+from repro.campaign.store import CampaignStore, TaskRecord
+from repro.campaign.tasks import get_task
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs of one campaign run."""
+
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    max_inflight: Optional[int] = None
+    max_tasks: Optional[int] = None
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_tasks is not None and self.max_tasks < 0:
+            raise ValueError("max_tasks must be >= 0")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Outcome of one :func:`run_tasks` / :func:`run_campaign` call."""
+
+    n_tasks: int  #: tasks this run was asked to execute
+    n_ok: int
+    n_failed: int  #: tasks that exhausted their retries
+    n_skipped: int = 0  #: tasks already completed in the store (resume)
+    stopped_early: bool = False  #: True when ``max_tasks`` cut the run short
+
+    @property
+    def complete(self) -> bool:
+        return not self.stopped_early and self.n_failed == 0
+
+
+def attempt_seed(key: TaskKey, attempt: int) -> int:
+    """Seed for one attempt: the task's own seed, re-derived on retries."""
+    if attempt == 0:
+        return key.seed
+    return derive_seed(key.seed, key.key_id, attempt)
+
+
+def _execute_attempt(
+    kind: str, params: Dict[str, object], seed: int
+) -> Dict[str, object]:
+    """Worker-process entry point: run one attempt, never raise.
+
+    Module-level (picklable) and exception-free by construction: any
+    task failure is folded into the returned payload so a worker never
+    dies from an ordinary Python error.
+    """
+    try:
+        fn = get_task(kind)
+        result = fn(params, seed)  # type: ignore[arg-type]
+        return {"status": "ok", "result": result}
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+
+Sink = Callable[[TaskRecord], None]
+
+
+def run_tasks(
+    tasks: Sequence[TaskKey],
+    config: RunnerConfig,
+    sink: Sink,
+    reporter: Optional[ProgressReporter] = None,
+) -> RunSummary:
+    """Execute ``tasks``, delivering exactly one final record per task.
+
+    ``sink`` receives a :class:`TaskRecord` per task — the successful
+    attempt, or the last failed one after retries ran out.  Record
+    *content* is schedule-independent; only the order ``sink`` sees them
+    in differs between serial and parallel runs.
+    """
+    if reporter is None:
+        reporter = ProgressReporter(len(tasks), enabled=False)
+    if config.workers == 1:
+        summary = _run_serial(tasks, config, sink, reporter)
+    else:
+        summary = _run_parallel(tasks, config, sink, reporter)
+    reporter.finish()
+    return summary
+
+
+def _run_serial(
+    tasks: Sequence[TaskKey],
+    config: RunnerConfig,
+    sink: Sink,
+    reporter: ProgressReporter,
+) -> RunSummary:
+    n_ok = n_failed = 0
+    for key in tasks:
+        record: Optional[TaskRecord] = None
+        for attempt in range(config.retries + 1):
+            seed = attempt_seed(key, attempt)
+            payload = _execute_attempt(key.kind, key.as_dict(), seed)
+            record = _payload_record(key, attempt, seed, payload)
+            if record.ok:
+                break
+        assert record is not None
+        if record.ok:
+            n_ok += 1
+        else:
+            n_failed += 1
+        sink(record)
+        reporter.task_done(record.ok)
+    return RunSummary(n_tasks=len(tasks), n_ok=n_ok, n_failed=n_failed)
+
+
+# ------------------------------------------------------------- parallel
+
+
+@dataclass
+class _Inflight:
+    """Bookkeeping for one submitted attempt."""
+
+    key: TaskKey
+    attempt: int
+    seed: int
+    started: float
+
+
+def _payload_record(
+    key: TaskKey, attempt: int, seed: int, payload: Dict[str, object]
+) -> TaskRecord:
+    if payload.get("status") == "ok":
+        result = payload.get("result")
+        return TaskRecord(
+            key=key, attempt=attempt, task_seed=seed,
+            status="ok", result=dict(result) if isinstance(result, dict) else {},
+        )
+    return TaskRecord(
+        key=key, attempt=attempt, task_seed=seed,
+        status="error", error=str(payload.get("error", "unknown error")),
+    )
+
+
+def _run_parallel(
+    tasks: Sequence[TaskKey],
+    config: RunnerConfig,
+    sink: Sink,
+    reporter: ProgressReporter,
+) -> RunSummary:
+    max_inflight = config.max_inflight or 2 * config.workers
+    pending: Deque[Tuple[TaskKey, int]] = deque((key, 0) for key in tasks)
+    inflight: Dict["Future[Dict[str, object]]", _Inflight] = {}
+    n_ok = n_failed = 0
+    executor = ProcessPoolExecutor(max_workers=config.workers)
+
+    def submit(key: TaskKey, attempt: int) -> None:
+        seed = attempt_seed(key, attempt)
+        future = executor.submit(
+            _execute_attempt, key.kind, key.as_dict(), seed
+        )
+        inflight[future] = _Inflight(key, attempt, seed, time.monotonic())
+
+    def settle(key: TaskKey, attempt: int, seed: int,
+               payload: Dict[str, object]) -> None:
+        """Record a finished attempt: retry on failure, else emit."""
+        nonlocal n_ok, n_failed
+        record = _payload_record(key, attempt, seed, payload)
+        if not record.ok and attempt < config.retries:
+            pending.append((key, attempt + 1))
+            return
+        if record.ok:
+            n_ok += 1
+        else:
+            n_failed += 1
+        sink(record)
+        reporter.task_done(record.ok)
+
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < max_inflight:
+                submit(*pending.popleft())
+            done, _ = wait(
+                list(inflight), timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                entry = inflight.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    payload = {
+                        "status": "error",
+                        "error": "worker process crashed (pool broken)",
+                    }
+                except Exception as exc:  # pickling errors and friends
+                    payload = {
+                        "status": "error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                settle(entry.key, entry.attempt, entry.seed, payload)
+            if broken:
+                # Every other in-flight future is poisoned too: charge
+                # each task one attempt and rebuild the pool.
+                for future, entry in list(inflight.items()):
+                    settle(
+                        entry.key, entry.attempt, entry.seed,
+                        {
+                            "status": "error",
+                            "error": "worker process crashed (pool broken)",
+                        },
+                    )
+                inflight.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=config.workers)
+                continue
+            if config.timeout_s is not None:
+                now = time.monotonic()
+                for future, entry in list(inflight.items()):
+                    if now - entry.started <= config.timeout_s:
+                        continue
+                    # Charge the attempt now; the straggler's eventual
+                    # result is dropped with the abandoned future.
+                    future.cancel()
+                    inflight.pop(future)
+                    settle(
+                        entry.key, entry.attempt, entry.seed,
+                        {
+                            "status": "error",
+                            "error": (
+                                f"timeout after {config.timeout_s:g}s "
+                                "(worker abandoned)"
+                            ),
+                        },
+                    )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return RunSummary(n_tasks=len(tasks), n_ok=n_ok, n_failed=n_failed)
+
+
+def run_collect(
+    tasks: Sequence[TaskKey], config: RunnerConfig
+) -> List[TaskRecord]:
+    """Run ``tasks`` and return their final records **in task order**.
+
+    The in-memory convenience for library callers
+    (:func:`repro.experiments.attack_matrix`,
+    :func:`repro.analysis.resilience.sweep_fault_rates`) that want the
+    parallel fan-out without a campaign directory: no store, no resume —
+    just records, re-ordered from completion order back to input order
+    so results are schedule-independent.
+    """
+    by_id: Dict[str, TaskRecord] = {}
+
+    def sink(record: TaskRecord) -> None:
+        by_id[record.key.key_id] = record
+
+    run_tasks(tasks, config, sink)
+    return [by_id[key.key_id] for key in tasks]
+
+
+# ------------------------------------------------------------- campaign
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    config: RunnerConfig,
+) -> RunSummary:
+    """Expand ``spec``, skip tasks the store already completed, run the rest.
+
+    This is the ``campaign run``/``campaign resume`` engine: records are
+    checkpointed through :meth:`CampaignStore.append` as they finish, so
+    a kill at any instant loses at most the in-flight tasks — never a
+    finished one.
+    """
+    all_tasks = spec.expand()
+    done = store.completed_ids()
+    todo: List[TaskKey] = [t for t in all_tasks if t.key_id not in done]
+    n_skipped = len(all_tasks) - len(todo)
+    stopped_early = False
+    if config.max_tasks is not None and len(todo) > config.max_tasks:
+        todo = todo[: config.max_tasks]
+        stopped_early = True
+    reporter = ProgressReporter(len(todo), enabled=config.progress)
+    summary = run_tasks(todo, config, store.append, reporter)
+    return RunSummary(
+        n_tasks=summary.n_tasks,
+        n_ok=summary.n_ok,
+        n_failed=summary.n_failed,
+        n_skipped=n_skipped,
+        stopped_early=stopped_early,
+    )

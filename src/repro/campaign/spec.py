@@ -1,0 +1,325 @@
+"""Declarative campaign specifications and their deterministic expansion.
+
+A :class:`CampaignSpec` names a *task kind* (see
+:mod:`repro.campaign.tasks`) and describes a parameter space three ways,
+all optional and freely combined:
+
+* ``base``   — parameters shared by every task,
+* ``grid``   — a cartesian product over per-parameter value lists,
+* ``points`` — an explicit list of parameter dicts (e.g. only the
+  *supported* (scheme, attack) pairs of an attack matrix).
+
+Each resulting parameter set is replicated once per entry of ``seeds``.
+:meth:`CampaignSpec.expand` flattens the space into an ordered list of
+hashable :class:`TaskKey` records — the unit of scheduling, storage and
+resume.  Expansion is **deterministic**: points in listed order, grid
+keys in sorted order with values in listed order, seeds in listed order.
+Precedence on name collisions is ``base < grid < point``.
+
+Specs load from TOML (Python 3.11+) or JSON files with the layout::
+
+    [campaign]
+    name = "fault-grid"
+    kind = "faults"
+    seed = 7
+    seeds = [0, 1]        # or: n_seeds = 2
+
+    [base]
+    n_lines = 128
+    n_writes = 3000
+
+    [grid]
+    scheme = ["none", "rbsg"]
+    verify_fail_base = [1e-3, 1e-2]
+
+See ``docs/campaigns.md`` for the full format and the determinism
+contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+Scalar = Union[str, int, float, bool]
+Params = Tuple[Tuple[str, Scalar], ...]
+PathLike = Union[str, Path]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class SpecError(ValueError):
+    """A campaign specification is malformed."""
+
+
+def _check_scalar(name: str, value: object) -> Scalar:
+    if isinstance(value, bool) or isinstance(value, (str, int, float)):
+        return value
+    raise SpecError(
+        f"parameter {name!r} must be a string/int/float/bool scalar, "
+        f"got {type(value).__name__}"
+    )
+
+
+def _freeze_params(params: Mapping[str, object]) -> Params:
+    return tuple(
+        (str(k), _check_scalar(str(k), v)) for k, v in sorted(params.items())
+    )
+
+
+def _canonical_json(document: object) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True, order=True)
+class TaskKey:
+    """One schedulable point: a task kind, its parameters, and a seed.
+
+    Hashable and totally ordered — the campaign store deduplicates and
+    the aggregator sorts on it.  ``params`` is a sorted tuple of
+    ``(name, scalar)`` pairs, so two keys built from equal dicts compare
+    equal regardless of construction order.
+    """
+
+    kind: str
+    params: Params
+    seed: int
+
+    @property
+    def key_id(self) -> str:
+        """Stable 16-hex-digit identity used for checkpointing/resume."""
+        payload = _canonical_json(
+            {"kind": self.kind, "params": dict(self.params), "seed": self.seed}
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @classmethod
+    def create(
+        cls, kind: str, params: Mapping[str, Scalar], seed: int = 0
+    ) -> "TaskKey":
+        """Build a key from a plain parameter dict (freezes/sorts it)."""
+        return cls(kind=kind, params=_freeze_params(params), seed=int(seed))
+
+    def param(self, name: str, default: Optional[Scalar] = None) -> Optional[Scalar]:
+        """Look up one parameter by name."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Scalar]:
+        """The parameters as a plain dict (task-function input)."""
+        return dict(self.params)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, document: Mapping[str, Any]) -> "TaskKey":
+        return cls(
+            kind=str(document["kind"]),
+            params=_freeze_params(document["params"]),
+            seed=int(document["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Immutable, hash-stable description of one experiment campaign."""
+
+    name: str
+    kind: str
+    seed: int = 0
+    seeds: Tuple[int, ...] = (0,)
+    base: Params = ()
+    grid: Tuple[Tuple[str, Tuple[Scalar, ...]], ...] = ()
+    points: Tuple[Params, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SpecError(f"invalid campaign name {self.name!r}")
+        if not self.kind:
+            raise SpecError("campaign kind must be non-empty")
+        if not self.seeds:
+            raise SpecError("campaign needs at least one seed")
+        for key, values in self.grid:
+            if not values:
+                raise SpecError(f"grid parameter {key!r} has no values")
+
+    # ------------------------------------------------------- construction
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        kind: str,
+        *,
+        seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        n_seeds: Optional[int] = None,
+        base: Optional[Mapping[str, Scalar]] = None,
+        grid: Optional[Mapping[str, Sequence[Scalar]]] = None,
+        points: Optional[Iterable[Mapping[str, Scalar]]] = None,
+    ) -> "CampaignSpec":
+        """Build a spec from plain dicts/lists, normalising to tuples.
+
+        ``seeds`` lists explicit per-point seeds; ``n_seeds`` is the
+        shorthand ``seeds = [0, 1, ..., n-1]``.  Exactly one of the two
+        may be given; neither means the single seed ``0``.
+        """
+        if seeds is not None and n_seeds is not None:
+            raise SpecError("give either 'seeds' or 'n_seeds', not both")
+        if n_seeds is not None:
+            if n_seeds < 1:
+                raise SpecError("n_seeds must be >= 1")
+            seed_tuple = tuple(range(n_seeds))
+        elif seeds is not None:
+            seed_tuple = tuple(int(s) for s in seeds)
+        else:
+            seed_tuple = (0,)
+        grid_items: List[Tuple[str, Tuple[Scalar, ...]]] = []
+        for key in sorted(grid or {}):
+            values = tuple(
+                _check_scalar(key, v) for v in (grid or {})[key]
+            )
+            grid_items.append((key, values))
+        return cls(
+            name=name,
+            kind=kind,
+            seed=int(seed),
+            seeds=seed_tuple,
+            base=_freeze_params(base or {}),
+            grid=tuple(grid_items),
+            points=tuple(_freeze_params(p) for p in (points or [])),
+        )
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "CampaignSpec":
+        """Parse the TOML/JSON document layout (see module docstring)."""
+        try:
+            campaign = dict(document["campaign"])
+        except (KeyError, TypeError) as exc:
+            raise SpecError("spec needs a [campaign] table") from exc
+        known = {"name", "kind", "seed", "seeds", "n_seeds"}
+        unknown = set(campaign) - known
+        if unknown:
+            raise SpecError(
+                f"unknown [campaign] keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        for table in set(document) - {"campaign", "base", "grid", "points"}:
+            raise SpecError(f"unknown top-level table {table!r}")
+        try:
+            name = campaign["name"]
+            kind = campaign["kind"]
+        except KeyError as exc:
+            raise SpecError(f"[campaign] table lacks {exc}") from exc
+        return cls.create(
+            name=str(name),
+            kind=str(kind),
+            seed=int(campaign.get("seed", 0)),
+            seeds=campaign.get("seeds"),
+            n_seeds=campaign.get("n_seeds"),
+            base=document.get("base"),
+            grid=document.get("grid"),
+            points=document.get("points"),
+        )
+
+    # -------------------------------------------------------- persistence
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The loadable document form (inverse of :meth:`from_dict`)."""
+        document: Dict[str, Any] = {
+            "campaign": {
+                "name": self.name,
+                "kind": self.kind,
+                "seed": self.seed,
+                "seeds": list(self.seeds),
+            }
+        }
+        if self.base:
+            document["base"] = dict(self.base)
+        if self.grid:
+            document["grid"] = {k: list(v) for k, v in self.grid}
+        if self.points:
+            document["points"] = [dict(p) for p in self.points]
+        return document
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical spec document (resume compatibility)."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode()
+        ).hexdigest()
+
+    # ---------------------------------------------------------- expansion
+
+    def expand(self) -> List[TaskKey]:
+        """Flatten the spec into its ordered, duplicate-free task list."""
+        base = dict(self.base)
+        grid_keys = [k for k, _ in self.grid]
+        grid_values = [v for _, v in self.grid]
+        combos: List[Dict[str, Scalar]] = [
+            dict(zip(grid_keys, values)) for values in product(*grid_values)
+        ]
+        point_dicts: List[Dict[str, Scalar]] = [
+            dict(p) for p in self.points
+        ] or [{}]
+        tasks: List[TaskKey] = []
+        seen: Dict[str, TaskKey] = {}
+        for point in point_dicts:
+            for combo in combos:
+                merged = {**base, **combo, **point}
+                params = _freeze_params(merged)
+                for seed in self.seeds:
+                    key = TaskKey(kind=self.kind, params=params, seed=seed)
+                    if key.key_id in seen:
+                        raise SpecError(
+                            f"duplicate task {key.to_json()} — points/grid "
+                            "overlap; every expanded task must be unique"
+                        )
+                    seen[key.key_id] = key
+                    tasks.append(key)
+        return tasks
+
+
+def load_spec(path: PathLike) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - Python < 3.11
+            raise SpecError(
+                f"reading {path} needs the stdlib 'tomllib' (Python 3.11+); "
+                "convert the spec to JSON for older interpreters"
+            ) from exc
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{path}: invalid JSON: {exc}") from exc
+    return CampaignSpec.from_dict(document)

@@ -1,0 +1,253 @@
+"""Crash-safe campaign persistence: manifest + append-only JSONL results.
+
+A campaign directory holds exactly two files:
+
+* ``manifest.json`` — written once at campaign creation: the full spec
+  document, its hash, the root seed, the expanded task count and the
+  library version.  ``resume`` re-expands the spec from here, so the
+  original spec file is not needed again (and cannot drift: the hash
+  pins it).
+* ``results.jsonl`` — one JSON record per *finished* task attempt,
+  appended and ``fsync``'d record-by-record.  A ``SIGKILL`` can at worst
+  leave a partial final line, which :meth:`CampaignStore.records`
+  detects and ignores; every fully written record is durable.
+
+Resume semantics: a task counts as done when an ``ok`` record for its
+``key_id`` exists; errored tasks are re-attempted on resume.  Because
+``key_id`` hashes the task's kind/params/seed (not its schedule), a
+campaign killed and resumed any number of times converges on exactly one
+``ok`` record per task — no duplicates, no holes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, IO, List, Mapping, Optional, Set, Union
+
+from repro.campaign.spec import CampaignSpec, TaskKey
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+class StoreError(RuntimeError):
+    """A campaign directory is missing, incompatible or corrupt."""
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One finished task attempt, as persisted in ``results.jsonl``."""
+
+    key: TaskKey
+    attempt: int
+    task_seed: int
+    status: str  # "ok" | "error"
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "key_id": self.key.key_id,
+            "key": self.key.to_json(),
+            "attempt": self.attempt,
+            "task_seed": self.task_seed,
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, document: Mapping[str, Any]) -> "TaskRecord":
+        return cls(
+            key=TaskKey.from_json(document["key"]),
+            attempt=int(document["attempt"]),
+            task_seed=int(document["task_seed"]),
+            status=str(document["status"]),
+            result=document.get("result"),
+            error=document.get("error"),
+        )
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Progress accounting of one campaign directory."""
+
+    name: str
+    kind: str
+    n_tasks: int
+    n_ok: int
+    n_error: int
+    n_records: int
+
+    @property
+    def n_pending(self) -> int:
+        return self.n_tasks - self.n_ok
+
+    @property
+    def complete(self) -> bool:
+        return self.n_ok == self.n_tasks
+
+
+class CampaignStore:
+    """One campaign directory: create, append, re-read, resume."""
+
+    def __init__(self, directory: Path, manifest: Dict[str, Any]) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self._results_path = directory / RESULTS_NAME
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------ constructors
+
+    @classmethod
+    def create(cls, directory: PathLike, spec: CampaignSpec) -> "CampaignStore":
+        """Start a fresh campaign directory; refuses to overwrite one."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if manifest_path.exists():
+            raise StoreError(
+                f"{directory} already holds a campaign "
+                f"(use 'campaign resume' to continue it)"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        from repro import __version__
+
+        manifest: Dict[str, Any] = {
+            "format_version": FORMAT_VERSION,
+            "name": spec.name,
+            "kind": spec.kind,
+            "seed": spec.seed,
+            "n_tasks": len(spec.expand()),
+            "spec_hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+            "code_version": __version__,
+        }
+        payload = json.dumps(manifest, indent=2, sort_keys=True)
+        tmp_path = directory / (MANIFEST_NAME + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, manifest_path)
+        (directory / RESULTS_NAME).touch()
+        return cls(directory, manifest)
+
+    @classmethod
+    def open(cls, directory: PathLike) -> "CampaignStore":
+        """Open an existing campaign directory for resume/status/report."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(
+                f"{directory} is not a campaign directory "
+                f"(no {MANIFEST_NAME})"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{manifest_path} is corrupt: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"{directory}: manifest format {version!r} unsupported "
+                f"(this library reads {FORMAT_VERSION})"
+            )
+        store = cls(directory, manifest)
+        spec = store.spec()
+        if spec.spec_hash() != manifest.get("spec_hash"):
+            raise StoreError(
+                f"{directory}: manifest spec does not match its recorded "
+                "hash — the campaign directory was modified"
+            )
+        return store
+
+    # ----------------------------------------------------------- reading
+
+    def spec(self) -> CampaignSpec:
+        """Re-hydrate the spec the campaign was created from."""
+        return CampaignSpec.from_dict(self.manifest["spec"])
+
+    def records(self) -> List[TaskRecord]:
+        """Every durable record, in append order.
+
+        A partial *final* line (the signature of a mid-write kill) is
+        silently dropped; a damaged line anywhere else raises, because
+        that means the file was edited, not crashed.
+        """
+        try:
+            text = self._results_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise StoreError(
+                f"{self.directory} lacks {RESULTS_NAME}"
+            ) from None
+        lines = text.split("\n")
+        records: List[TaskRecord] = []
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(TaskRecord.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if index == last_index:
+                    # Truncated trailing record from a kill mid-append —
+                    # the task will simply re-run on resume.
+                    continue
+                raise StoreError(
+                    f"{self._results_path}:{index + 1}: corrupt record "
+                    f"({exc}); only the final line may be truncated"
+                ) from exc
+        return records
+
+    def completed_ids(self) -> Set[str]:
+        """``key_id`` of every task with a durable ``ok`` record."""
+        return {rec.key.key_id for rec in self.records() if rec.ok}
+
+    def status(self) -> StoreStatus:
+        """Progress counts for ``campaign status``."""
+        records = self.records()
+        ok_ids = {rec.key.key_id for rec in records if rec.ok}
+        error_ids = {
+            rec.key.key_id for rec in records if not rec.ok
+        } - ok_ids
+        return StoreStatus(
+            name=str(self.manifest["name"]),
+            kind=str(self.manifest["kind"]),
+            n_tasks=int(self.manifest["n_tasks"]),
+            n_ok=len(ok_ids),
+            n_error=len(error_ids),
+            n_records=len(records),
+        )
+
+    # ----------------------------------------------------------- writing
+
+    def append(self, record: TaskRecord) -> None:
+        """Durably append one record: write, flush, ``fsync``."""
+        if self._handle is None:
+            self._handle = open(self._results_path, "a", encoding="utf-8")
+        line = json.dumps(record.to_json(), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

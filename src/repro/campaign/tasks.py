@@ -1,0 +1,292 @@
+"""Task kinds: what one campaign point actually executes.
+
+A *task function* maps ``(params, seed) -> JSON-able result dict``.  It
+runs inside worker processes, so it must be a module-level function and
+both its inputs and outputs must survive pickling/JSON.  Three kinds
+ship with the library:
+
+* ``lifetime`` — closed-form paper-scale lifetime of a (scheme, attack)
+  pair (:mod:`repro.analysis.lifetime`); deterministic, seed-free.
+* ``simulate`` — run one real attack against one scheme on the exact
+  simulator and report the attack outcome plus the wear Gini.  This is
+  the inner loop of the ``matrix`` subcommand and of
+  :func:`repro.experiments.attack_matrix`.
+* ``faults``   — one seeded fault-injection campaign
+  (:func:`repro.analysis.resilience.run_fault_campaign`); the PR-1
+  sweep, gridded.
+
+Register additional kinds with :func:`register_task_kind` (tests use
+this for crash/timeout probes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.campaign.spec import Scalar
+from repro.config import (
+    PAPER_PCM,
+    PCMConfig,
+    RBSGConfig,
+    SecurityRBSGConfig,
+    SRConfig,
+)
+from repro.wearlevel.base import WearLeveler
+
+TaskFn = Callable[[Mapping[str, Scalar], int], Dict[str, object]]
+
+_TASK_KINDS: Dict[str, TaskFn] = {}
+
+
+class TaskError(RuntimeError):
+    """A task cannot run with the given parameters."""
+
+
+def register_task_kind(name: str, fn: TaskFn) -> None:
+    """Add (or replace) a task kind in the registry."""
+    _TASK_KINDS[name] = fn
+
+
+def task_kinds() -> Tuple[str, ...]:
+    """The registered kind names, sorted."""
+    return tuple(sorted(_TASK_KINDS))
+
+
+def get_task(kind: str) -> TaskFn:
+    """Resolve a kind name; raises :class:`TaskError` when unknown."""
+    try:
+        return _TASK_KINDS[kind]
+    except KeyError:
+        raise TaskError(
+            f"unknown task kind {kind!r}; registered: {sorted(_TASK_KINDS)}"
+        ) from None
+
+
+def _int(params: Mapping[str, Scalar], name: str, default: int) -> int:
+    return int(params.get(name, default))  # type: ignore[arg-type]
+
+
+def _float(params: Mapping[str, Scalar], name: str, default: float) -> float:
+    return float(params.get(name, default))  # type: ignore[arg-type]
+
+
+def _str(params: Mapping[str, Scalar], name: str) -> str:
+    try:
+        return str(params[name])
+    except KeyError:
+        raise TaskError(f"task needs parameter {name!r}") from None
+
+
+# ------------------------------------------------------------- lifetime
+
+
+def run_lifetime_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """Closed-form lifetime of one (scheme, attack, config) point."""
+    from repro.analysis.lifetime import (
+        ideal_lifetime_ns,
+        raa_nowl_lifetime_ns,
+        raa_rbsg_lifetime_ns,
+        raa_security_rbsg_lifetime_ns,
+        raa_two_level_sr_lifetime_ns,
+        rta_rbsg_lifetime_ns,
+        rta_two_level_sr_lifetime_ns,
+    )
+
+    scheme = _str(params, "scheme")
+    attack = _str(params, "attack")
+    pcm = PAPER_PCM.scaled(
+        n_lines=_int(params, "lines", PAPER_PCM.n_lines),
+        endurance=_float(params, "endurance", PAPER_PCM.endurance),
+    )
+    if scheme == "none" and attack == "raa":
+        ns = raa_nowl_lifetime_ns(pcm)
+    elif scheme == "rbsg":
+        cfg = RBSGConfig(
+            _int(params, "regions", 32), _int(params, "interval", 100)
+        )
+        fn = rta_rbsg_lifetime_ns if attack == "rta" else raa_rbsg_lifetime_ns
+        ns = fn(pcm, cfg)
+    elif scheme == "two-level-sr":
+        sr = SRConfig(
+            _int(params, "subregions", 512),
+            _int(params, "inner", 64),
+            _int(params, "outer", 128),
+        )
+        fn2 = (
+            rta_two_level_sr_lifetime_ns
+            if attack == "rta"
+            else raa_two_level_sr_lifetime_ns
+        )
+        ns = fn2(pcm, sr)
+    elif scheme == "security-rbsg" and attack == "raa":
+        srbsg = SecurityRBSGConfig(
+            _int(params, "subregions", 512),
+            _int(params, "inner", 64),
+            _int(params, "outer", 128),
+            _int(params, "stages", 7),
+        )
+        ns = raa_security_rbsg_lifetime_ns(pcm, srbsg)
+    else:
+        raise TaskError(f"no lifetime model for pair {scheme} / {attack}")
+    ideal = ideal_lifetime_ns(pcm)
+    return {
+        "scheme": scheme,
+        "attack": attack,
+        "lifetime_ns": ns,
+        "ideal_ns": ideal,
+        "fraction_of_ideal": ns / ideal,
+    }
+
+
+# ------------------------------------------------------------- simulate
+
+
+def build_scheme(
+    name: str, n_lines: int, seed: int, params: Mapping[str, Scalar]
+) -> "WearLeveler":
+    """Construct one wear-leveling scheme instance by short name.
+
+    Defaults match :data:`repro.experiments.SCHEME_FACTORIES` exactly;
+    ``regions`` / ``interval`` / ``outer`` / ``stages`` parameters
+    override them (the knobs ``repro simulate`` has always exposed).
+    """
+    from repro.core.security_rbsg import SecurityRBSG
+    from repro.wearlevel import (
+        MultiWaySR,
+        NoWearLeveling,
+        RandomSwapWearLeveling,
+        RegionBasedStartGap,
+        SecurityRefresh,
+        StartGap,
+        TableBasedWearLeveling,
+        TwoLevelSecurityRefresh,
+    )
+
+    interval = _int(params, "interval", 16)
+    regions = _int(params, "regions", 8)
+    outer = _int(params, "outer", 2 * interval)
+    stages = _int(params, "stages", 7)
+    if name == "none":
+        return NoWearLeveling(n_lines)
+    if name == "start-gap":
+        return StartGap(n_lines, remap_interval=interval)
+    if name == "table":
+        return TableBasedWearLeveling(n_lines, swap_interval=interval)
+    if name == "random-swap":
+        return RandomSwapWearLeveling(
+            n_lines, swap_interval=interval, rng=seed
+        )
+    if name == "rbsg":
+        return RegionBasedStartGap(
+            n_lines, n_regions=regions, remap_interval=interval, rng=seed
+        )
+    if name == "sr":
+        return SecurityRefresh(n_lines, remap_interval=interval, rng=seed)
+    if name == "multiway-sr":
+        return MultiWaySR(
+            n_lines, n_subregions=regions, remap_interval=interval, rng=seed
+        )
+    if name == "two-level-sr":
+        return TwoLevelSecurityRefresh(
+            n_lines, n_subregions=regions, inner_interval=interval,
+            outer_interval=outer, rng=seed,
+        )
+    if name == "security-rbsg":
+        return SecurityRBSG(
+            n_lines, n_subregions=regions, inner_interval=interval,
+            outer_interval=outer, n_stages=stages, rng=seed,
+        )
+    raise TaskError(f"unknown scheme {name!r}")
+
+
+def run_simulate_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """Run one real attack to failure (or budget) on the exact simulator."""
+    from repro.attacks import (
+        AddressInferenceAttack,
+        BirthdayParadoxAttack,
+        RBSGTimingAttack,
+        RepeatedAddressAttack,
+        SRTimingAttack,
+    )
+    from repro.pcm.stats import WearStats
+    from repro.sim.memory_system import MemoryController
+
+    scheme_name = _str(params, "scheme")
+    attack_name = _str(params, "attack")
+    n_lines = _int(params, "lines", 512)
+    endurance = _float(params, "endurance", 2e4)
+    budget = _int(params, "budget", 50_000_000)
+    target = _int(params, "target", 5)
+
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    scheme = build_scheme(scheme_name, n_lines, seed, params)
+    controller = MemoryController(scheme, config)
+    attack: Any
+    if attack_name == "raa":
+        attack = RepeatedAddressAttack(controller, target_la=target)
+    elif attack_name == "bpa":
+        attack = BirthdayParadoxAttack(controller, rng=seed)
+    elif attack_name == "aia":
+        attack = AddressInferenceAttack(
+            controller,
+            knowledge_interval=_int(params, "knowledge_interval", 256),
+        )
+    elif attack_name == "rta" and scheme_name == "rbsg":
+        attack = RBSGTimingAttack(controller, target_la=target)
+    elif attack_name == "rta" and scheme_name == "sr":
+        attack = SRTimingAttack(controller, target_la=max(1, target))
+    else:
+        raise TaskError(
+            f"unsupported pair: {scheme_name} / {attack_name}"
+        )
+    result = attack.run(max_writes=budget)
+    gini = WearStats.from_wear(controller.array.wear).gini
+    return {
+        "scheme": scheme_name,
+        "attack": attack_name,
+        "attack_label": result.attack,
+        "user_writes": result.user_writes,
+        "elapsed_ns": result.elapsed_ns,
+        "failed": result.failed,
+        "failed_pa": result.failed_pa,
+        "detection_writes": result.detection_writes,
+        "lifetime_seconds": result.lifetime_seconds,
+        "wear_gini": gini,
+    }
+
+
+# --------------------------------------------------------------- faults
+
+
+def run_faults_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """One seeded fault-injection campaign on one (scheme, config) point."""
+    from repro.analysis.resilience import run_fault_campaign
+
+    scheme = _str(params, "scheme")
+    pcm_fields = {f.name for f in dataclasses.fields(PCMConfig)}
+    config = PCMConfig(  # type: ignore[arg-type]
+        **{k: v for k, v in params.items() if k in pcm_fields}
+    )
+    result = run_fault_campaign(
+        scheme,
+        config,
+        n_spares=_int(params, "n_spares", 8),
+        n_writes=_int(params, "n_writes", 20_000),
+        seed=seed,
+        degraded_mode=bool(params.get("degraded_mode", True)),
+    )
+    document = dataclasses.asdict(result)
+    document["retirements"] = [list(r) for r in result.retirements]
+    return document
+
+
+register_task_kind("lifetime", run_lifetime_task)
+register_task_kind("simulate", run_simulate_task)
+register_task_kind("faults", run_faults_task)

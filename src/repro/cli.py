@@ -9,6 +9,8 @@ Installed as ``python -m repro``.  Subcommands:
 * ``perf``      — the §V-C4 IPC-impact table,
 * ``faults``    — fault-injection campaigns and the verify-retry
   side-channel experiment,
+* ``campaign``  — parallel experiment campaigns with crash-safe
+  checkpointing: ``run`` / ``resume`` / ``status`` / ``report``,
 * ``lint``      — the reprolint simulator-invariant checker
   (also ``python -m repro.lint``).
 
@@ -17,17 +19,21 @@ Examples::
     python -m repro lifetime --scheme rbsg --attack rta
     python -m repro simulate --scheme rbsg --attack rta --lines 512 \
         --endurance 2e4
-    python -m repro overhead --stages 7
+    python -m repro overhead --stages 7 --json
     python -m repro stages --outer-interval 128
     python -m repro perf --interval 64 --ops 10000
     python -m repro faults --schemes none rbsg --rates 0 1e-3 1e-2
     python -m repro faults --side-channel
+    python -m repro campaign run examples/campaigns/fault_grid.toml \
+        --out out/fault-grid --workers 4
+    python -m repro campaign report out/fault-grid --format csv
     python -m repro lint src/repro --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -67,39 +73,58 @@ def _fmt_duration(ns: float) -> str:
 # ------------------------------------------------------------ subcommands
 
 
-def cmd_lifetime(args) -> int:
+def cmd_lifetime(args: argparse.Namespace) -> int:
     pcm = PAPER_PCM
     scheme, attack = args.scheme, args.attack
     if scheme == "none" and attack == "raa":
         ns = raa_nowl_lifetime_ns(pcm)
     elif scheme == "rbsg":
-        cfg = RBSGConfig(args.regions, args.interval)
+        rbsg_cfg = RBSGConfig(args.regions, args.interval)
         ns = (rta_rbsg_lifetime_ns if attack == "rta" else raa_rbsg_lifetime_ns)(
-            pcm, cfg
+            pcm, rbsg_cfg
         )
     elif scheme == "two-level-sr":
-        cfg = SRConfig(args.subregions, args.inner, args.outer)
+        sr_cfg = SRConfig(args.subregions, args.inner, args.outer)
         fn = (
             rta_two_level_sr_lifetime_ns
             if attack == "rta"
             else raa_two_level_sr_lifetime_ns
         )
-        ns = fn(pcm, cfg)
+        ns = fn(pcm, sr_cfg)
     elif scheme == "security-rbsg":
         if attack == "rta":
-            print(
-                "Security RBSG resists RTA by design: with a secure stage "
-                "count the DFN keys rotate before detection completes "
-                "(see `python -m repro stages`)."
-            )
+            if args.json:
+                print(json.dumps({
+                    "scheme": scheme,
+                    "attack": attack,
+                    "lifetime_ns": None,
+                    "resists_rta": True,
+                }, sort_keys=True))
+            else:
+                print(
+                    "Security RBSG resists RTA by design: with a secure "
+                    "stage count the DFN keys rotate before detection "
+                    "completes (see `python -m repro stages`)."
+                )
             return 0
-        cfg = SecurityRBSGConfig(args.subregions, args.inner, args.outer,
-                                 args.stages)
-        ns = raa_security_rbsg_lifetime_ns(pcm, cfg)
+        srbsg_cfg = SecurityRBSGConfig(args.subregions, args.inner,
+                                       args.outer, args.stages)
+        ns = raa_security_rbsg_lifetime_ns(pcm, srbsg_cfg)
     else:
         print(f"unsupported pair: {scheme} / {attack}", file=sys.stderr)
         return 2
     ideal = ideal_lifetime_ns(pcm)
+    if args.json:
+        print(json.dumps({
+            "scheme": scheme,
+            "attack": attack,
+            "endurance": pcm.endurance,
+            "n_lines": pcm.n_lines,
+            "lifetime_ns": ns,
+            "ideal_ns": ideal,
+            "fraction_of_ideal": ns / ideal,
+        }, sort_keys=True))
+        return 0
     print(f"device          : 1 GB bank, E={pcm.endurance:g} "
           f"(ideal {_fmt_duration(ideal)})")
     print(f"scheme / attack : {scheme} / {attack.upper()}")
@@ -108,7 +133,7 @@ def cmd_lifetime(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.attacks import (
         BirthdayParadoxAttack,
         RBSGTimingAttack,
@@ -173,11 +198,26 @@ def cmd_simulate(args) -> int:
     return 0
 
 
-def cmd_overhead(args) -> int:
+def cmd_overhead(args: argparse.Namespace) -> int:
     cfg = SecurityRBSGConfig(
         args.subregions, args.inner, args.outer, args.stages
     )
     overhead = security_rbsg_overhead(PAPER_PCM, cfg)
+    if args.json:
+        print(json.dumps({
+            "n_subregions": args.subregions,
+            "inner_interval": args.inner,
+            "outer_interval": args.outer,
+            "n_stages": args.stages,
+            "register_bits": overhead.register_bits,
+            "register_bytes": overhead.register_bytes,
+            "isremap_sram_bits": overhead.isremap_sram_bits,
+            "isremap_sram_bytes": overhead.isremap_sram_bytes,
+            "spare_lines": overhead.spare_lines,
+            "spare_bytes": overhead.spare_bytes,
+            "cubing_gates": overhead.cubing_gates,
+        }, sort_keys=True))
+        return 0
     print(f"Security RBSG overhead (1 GB bank, S={args.stages}, "
           f"R={args.subregions}):")
     print(f"  registers    : {overhead.register_bits} bits "
@@ -189,7 +229,7 @@ def cmd_overhead(args) -> int:
     return 0
 
 
-def cmd_stages(args) -> int:
+def cmd_stages(args: argparse.Namespace) -> int:
     minimum = min_secure_stages(PAPER_PCM, args.outer_interval)
     print(f"outer remapping interval {args.outer_interval}, "
           f"{PAPER_PCM.address_bits} key bits per stage:")
@@ -201,7 +241,7 @@ def cmd_stages(args) -> int:
     return 0
 
 
-def cmd_design(args) -> int:
+def cmd_design(args: argparse.Namespace) -> int:
     from repro.analysis.tradeoff import explore_design_space, pareto_front
 
     feasible = explore_design_space(
@@ -225,7 +265,7 @@ def cmd_design(args) -> int:
     return 0
 
 
-def cmd_matrix(args) -> int:
+def cmd_matrix(args: argparse.Namespace) -> int:
     from repro.experiments import attack_matrix, summarize_matrix
 
     cells = attack_matrix(
@@ -235,12 +275,13 @@ def cmd_matrix(args) -> int:
         attacks=args.attacks,
         budget=args.budget,
         seed=args.seed,
+        workers=args.workers,
     )
     print(summarize_matrix(cells))
     return 0
 
 
-def cmd_faults(args) -> int:
+def cmd_faults(args: argparse.Namespace) -> int:
     from repro.analysis.resilience import (
         side_channel_separation_ns,
         sweep_fault_rates,
@@ -274,6 +315,7 @@ def cmd_faults(args) -> int:
     results = sweep_fault_rates(
         args.schemes, config, args.rates,
         n_spares=args.spares, n_writes=args.writes, seed=args.seed,
+        workers=args.workers,
     )
     print(f"fault-injection campaign: {args.lines} lines, "
           f"E={args.endurance:g}, {args.spares} spares, "
@@ -288,7 +330,92 @@ def cmd_faults(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
+# ---------------------------------------------------------- campaigns
+
+
+def _campaign_execute(args: argparse.Namespace, resume: bool) -> int:
+    """Shared engine of ``campaign run`` and ``campaign resume``."""
+    from repro.campaign import (
+        CampaignStore,
+        RunnerConfig,
+        SpecError,
+        StoreError,
+        load_spec,
+        run_campaign,
+    )
+
+    try:
+        if resume:
+            store = CampaignStore.open(args.out)
+            spec = store.spec()
+        else:
+            spec = load_spec(args.spec)
+            store = CampaignStore.create(args.out, spec)
+    except (SpecError, StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = RunnerConfig(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        max_tasks=args.max_tasks,
+        progress=not args.quiet,
+    )
+    with store:
+        summary = run_campaign(spec, store, config)
+    note = " (stopped early: --max-tasks)" if summary.stopped_early else ""
+    print(f"campaign {spec.name}: {summary.n_ok} ok, "
+          f"{summary.n_failed} failed, {summary.n_skipped} skipped "
+          f"of {len(spec.expand())} tasks{note}")
+    return 0 if summary.complete else 1
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _campaign_execute(args, resume=False)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _campaign_execute(args, resume=True)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, StoreError
+
+    try:
+        status = CampaignStore.open(args.out).status()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state = "complete" if status.complete else "in progress"
+    print(f"campaign     : {status.name} (kind {status.kind})")
+    print(f"tasks        : {status.n_ok}/{status.n_tasks} ok, "
+          f"{status.n_error} errored, {status.n_pending} pending")
+    print(f"records      : {status.n_records}")
+    print(f"state        : {state}")
+    return 0 if status.complete else 1
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, StoreError, aggregate, to_csv, to_json
+
+    try:
+        store = CampaignStore.open(args.out)
+        records = store.records()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = aggregate(records)
+    text = to_csv(rows) if args.format == "csv" else to_json(rows)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(rows)} rows to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.runner import main as lint_main
 
     argv: List[str] = list(args.paths)
@@ -302,7 +429,7 @@ def cmd_lint(args) -> int:
     return lint_main(argv)
 
 
-def cmd_perf(args) -> int:
+def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perfmodel import PARSEC_LIKE, SPEC_LIKE
     from repro.perfmodel.cpu import ipc_degradation_percent
 
@@ -340,6 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inner", type=int, default=64)
     p.add_argument("--outer", type=int, default=128)
     p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="emit a single JSON object instead of text")
     p.set_defaults(func=cmd_lifetime)
 
     p = sub.add_parser("simulate", help="run a real attack (scaled device)")
@@ -361,6 +490,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inner", type=int, default=64)
     p.add_argument("--outer", type=int, default=128)
     p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="emit a single JSON object instead of text")
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser("stages", help="DFN security sizing (§IV-B)")
@@ -380,6 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--endurance", type=float, default=5e3)
     p.add_argument("--budget", type=int, default=30_000_000)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results identical to serial)")
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("faults", help="fault injection & resilience")
@@ -403,7 +536,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify-failure base rate for --side-channel")
     p.add_argument("--trials", type=int, default=400,
                    help="writes per probe for --side-channel")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results identical to serial)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel experiment campaigns (crash-safe, resumable)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_cmd", required=True)
+
+    def add_runner_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline, deterministic "
+                             "baseline)")
+        sp.add_argument("--timeout", type=float, default=None,
+                        help="per-task timeout in seconds")
+        sp.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per failing task")
+        sp.add_argument("--max-tasks", type=int, default=None,
+                        help="stop after at most N tasks (smoke tests)")
+        sp.add_argument("--quiet", action="store_true",
+                        help="suppress the stderr progress line")
+
+    sp = campaign_sub.add_parser("run", help="start a campaign from a spec")
+    sp.add_argument("spec", help="campaign spec file (.toml or .json)")
+    sp.add_argument("--out", required=True,
+                    help="campaign directory (manifest + results.jsonl)")
+    add_runner_args(sp)
+    sp.set_defaults(func=cmd_campaign_run)
+
+    sp = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign"
+    )
+    sp.add_argument("out", help="campaign directory")
+    add_runner_args(sp)
+    sp.set_defaults(func=cmd_campaign_resume)
+
+    sp = campaign_sub.add_parser("status", help="campaign progress counts")
+    sp.add_argument("out", help="campaign directory")
+    sp.set_defaults(func=cmd_campaign_status)
+
+    sp = campaign_sub.add_parser(
+        "report", help="aggregate results to JSON or CSV"
+    )
+    sp.add_argument("out", help="campaign directory")
+    sp.add_argument("--format", choices=["json", "csv"], default="json")
+    sp.add_argument("--output", metavar="FILE",
+                    help="write the report here instead of stdout")
+    sp.set_defaults(func=cmd_campaign_report)
 
     p = sub.add_parser(
         "lint", help="reprolint: simulator-invariant static analysis"
@@ -431,7 +612,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    result: int = args.func(args)
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,20 +22,14 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.attacks import (
-    AddressInferenceAttack,
     AttackResult,
-    BirthdayParadoxAttack,
     RBSGTimingAttack,
-    RepeatedAddressAttack,
     SRTimingAttack,
 )
-from repro.config import PCMConfig
 from repro.core.security_rbsg import SecurityRBSG
-from repro.pcm.stats import WearStats
-from repro.sim.memory_system import MemoryController
 from repro.wearlevel import (
     MultiWaySR,
     RandomSwapWearLeveling,
@@ -91,21 +85,25 @@ class MatrixCell:
         return self.result.lifetime_seconds
 
 
-def _build_attack(name: str, scheme_name: str, controller, seed: int):
-    if name == "raa":
-        return RepeatedAddressAttack(controller, target_la=5)
-    if name == "bpa":
-        return BirthdayParadoxAttack(controller, rng=seed)
-    if name == "aia":
-        return AddressInferenceAttack(controller, knowledge_interval=256)
-    if name == "rta":
-        cls = TIMING_ATTACKS["rta"].get(scheme_name)
-        if cls is None:
-            return None  # no RTA procedure for this scheme
-        if scheme_name == "sr":
-            return cls(controller, target_la=5)
-        return cls(controller, target_la=5)
-    raise ValueError(f"unknown attack {name!r}")
+def _cell_from_result(
+    scheme: str, attack: str, document: Mapping[str, object]
+) -> MatrixCell:
+    """Rebuild one :class:`MatrixCell` from a ``simulate`` task result."""
+    failed_pa = document.get("failed_pa")
+    result = AttackResult(
+        attack=str(document["attack_label"]),
+        user_writes=int(document["user_writes"]),  # type: ignore[arg-type]
+        elapsed_ns=float(document["elapsed_ns"]),  # type: ignore[arg-type]
+        failed=bool(document["failed"]),
+        failed_pa=None if failed_pa is None else int(failed_pa),  # type: ignore[arg-type]
+        detection_writes=int(document["detection_writes"]),  # type: ignore[arg-type]
+    )
+    return MatrixCell(
+        scheme=scheme,
+        attack=attack,
+        result=result,
+        wear_gini=float(document["wear_gini"]),  # type: ignore[arg-type]
+    )
 
 
 def attack_matrix(
@@ -115,35 +113,61 @@ def attack_matrix(
     attacks: Sequence[str] = ("raa",),
     budget: int = 50_000_000,
     seed: int = 7,
+    workers: int = 1,
 ) -> List[MatrixCell]:
     """Run every requested attack against every requested scheme.
 
     Each cell gets a fresh device; unsupported (scheme, attack) pairs —
     e.g. RTA against a scheme it has no procedure for — are skipped.
+
+    Cells execute on the :mod:`repro.campaign` runner: ``workers > 1``
+    fans them out across processes, and because every cell derives its
+    RNG from (scheme, attack, seed) — never from scheduling — the
+    results are identical to a serial run, in the same
+    scheme-major/attack-minor order.
     """
+    from repro.campaign import RunnerConfig, TaskKey, run_collect
+
     scheme_names = list(schemes or SCHEME_FACTORIES)
     unknown = set(scheme_names) - set(SCHEME_FACTORIES)
     if unknown:
         raise ValueError(f"unknown schemes: {sorted(unknown)}")
-    cells: List[MatrixCell] = []
+    known_attacks = set(GENERIC_ATTACKS) | set(TIMING_ATTACKS)
+    unknown_attacks = set(attacks) - known_attacks
+    if unknown_attacks:
+        raise ValueError(f"unknown attacks: {sorted(unknown_attacks)}")
+    keys: List[TaskKey] = []
     for scheme_name in scheme_names:
         for attack_name in attacks:
-            config = PCMConfig(n_lines=n_lines, endurance=endurance)
-            scheme = SCHEME_FACTORIES[scheme_name](n_lines, seed)
-            controller = MemoryController(scheme, config)
-            attack = _build_attack(attack_name, scheme_name, controller, seed)
-            if attack is None:
-                continue
-            result = attack.run(max_writes=budget)
-            gini = WearStats.from_wear(controller.array.wear).gini
-            cells.append(
-                MatrixCell(
-                    scheme=scheme_name,
-                    attack=attack_name,
-                    result=result,
-                    wear_gini=gini,
-                )
+            if (attack_name in TIMING_ATTACKS
+                    and scheme_name not in TIMING_ATTACKS[attack_name]):
+                continue  # no timing-attack procedure for this scheme
+            keys.append(TaskKey.create(
+                kind="simulate",
+                params={
+                    "scheme": scheme_name,
+                    "attack": attack_name,
+                    "lines": n_lines,
+                    "endurance": endurance,
+                    "budget": budget,
+                },
+                seed=seed,
+            ))
+    records = run_collect(keys, RunnerConfig(workers=workers, retries=0))
+    cells: List[MatrixCell] = []
+    for key, record in zip(keys, records):
+        if not record.ok:
+            raise RuntimeError(
+                f"matrix cell {key.param('scheme')}/{key.param('attack')} "
+                f"failed: {record.error}"
             )
+        cells.append(
+            _cell_from_result(
+                str(key.param("scheme")),
+                str(key.param("attack")),
+                record.result or {},
+            )
+        )
     return cells
 
 

@@ -1,10 +1,12 @@
-"""The simulator-invariant rules (REP001–REP006).
+"""The simulator-invariant rules (REP001–REP007).
 
 Every result this repository reproduces rests on two properties the test
 suite cannot economically check: the simulator is **bit-deterministic
 under a seed**, and it **never silently drops latency** on the
-attacker-observable write path.  These rules encode those invariants (plus
-three classic Python footguns that erode them indirectly) as AST checks.
+attacker-observable write path.  These rules encode those invariants —
+plus three classic Python footguns that erode them indirectly, and the
+architectural rule that parallelism lives only in ``repro.campaign`` —
+as AST checks.
 
 See ``docs/lint.md`` for the rationale, examples and suppression syntax
 of each rule.
@@ -164,7 +166,8 @@ class DiscardedLatency(Rule):
             if func.attr not in self._LATENCY_METHODS:
                 continue
             receiver = _identifier(func.value)
-            if receiver is not None and receiver.lower() in self._FILELIKE:
+            if (receiver is not None
+                    and receiver.lower().lstrip("_") in self._FILELIKE):
                 continue
             shown = f"{receiver}.{func.attr}" if receiver else func.attr
             yield self.diagnostic(
@@ -401,3 +404,69 @@ class ModuleLevelMutableState(Rule):
                     "couples runs in one process; use a tuple/frozenset "
                     "or construct it per experiment",
                 )
+
+
+# --------------------------------------------------------------- REP007
+
+
+@register
+class ParallelismOutsideCampaign(Rule):
+    """Process-level parallelism lives only in ``repro.campaign``.
+
+    ``repro.campaign.runner`` is the one audited fan-out: it derives
+    per-task seeds from task identity (not from scheduling), checkpoints
+    durably, and isolates worker crashes.  An ad-hoc ``Pool`` or
+    ``ProcessPoolExecutor`` elsewhere re-introduces exactly the
+    schedule-dependent seeding and silent partial results the campaign
+    layer exists to prevent — route the work through
+    ``repro.campaign.run_collect``/``run_tasks`` instead.  Tests and
+    benchmarks are exempt.
+    """
+
+    code = "REP007"
+    name = "parallelism-outside-campaign"
+
+    _BANNED_PREFIXES = ("multiprocessing", "concurrent.futures")
+    _EXEMPT_PARTS = frozenset({"campaign", "tests", "benchmarks"})
+
+    @classmethod
+    def _is_banned(cls, module_name: str) -> bool:
+        return any(
+            module_name == prefix or module_name.startswith(prefix + ".")
+            for prefix in cls._BANNED_PREFIXES
+        )
+
+    def check(self, module: LintModule) -> Iterator[Diagnostic]:
+        if self._EXEMPT_PARTS.intersection(module.parts):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_banned(alias.name):
+                        yield self.diagnostic(
+                            module, node,
+                            f"import of '{alias.name}' outside "
+                            "repro.campaign; use the campaign runner "
+                            "(repro.campaign.run_collect/run_tasks) for "
+                            "parallel work",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if self._is_banned(source):
+                    yield self.diagnostic(
+                        module, node,
+                        f"import from '{source}' outside repro.campaign; "
+                        "use the campaign runner "
+                        "(repro.campaign.run_collect/run_tasks) for "
+                        "parallel work",
+                    )
+                elif source == "concurrent":
+                    for alias in node.names:
+                        if alias.name == "futures":
+                            yield self.diagnostic(
+                                module, node,
+                                "import of 'concurrent.futures' outside "
+                                "repro.campaign; use the campaign runner "
+                                "(repro.campaign.run_collect/run_tasks) "
+                                "for parallel work",
+                            )

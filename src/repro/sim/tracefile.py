@@ -5,14 +5,19 @@ Lets experiments decouple workload generation from replay: generate once
 compactly, replay anywhere.  The on-disk format is a numpy ``.npz`` with
 two arrays (``las`` int64, ``data`` int8 — the LineData class per write)
 and a tiny JSON-ish metadata array.
+
+A damaged file (truncated copy, interrupted download, wrong format)
+raises :class:`TraceFileError` naming the file and the defect — at the
+*call* site, not lazily somewhere inside a replay loop.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +27,40 @@ from repro.sim.trace import TraceEntry
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+
+class TraceFileError(ValueError):
+    """A trace file is missing, truncated or not a trace at all."""
+
+
+def _read_arrays(path: PathLike, *names: str) -> Tuple[np.ndarray, ...]:
+    """Load the named arrays, translating low-level failures.
+
+    ``np.load`` on a truncated or non-zip file surfaces as a zoo of
+    ``BadZipFile``/``EOFError``/``OSError``/``ValueError``s depending on
+    where the bytes run out; fold them all into one
+    :class:`TraceFileError` that names the file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFileError(f"{path}: no such trace file")
+    try:
+        with np.load(path) as archive:
+            missing = [n for n in names if n not in archive.files]
+            if missing:
+                raise TraceFileError(
+                    f"{path}: not a trace file — missing array(s) "
+                    f"{missing}; expected {list(names)}"
+                )
+            return tuple(archive[name] for name in names)
+    except TraceFileError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError,
+            ValueError) as exc:
+        raise TraceFileError(
+            f"{path}: truncated or corrupt trace file "
+            f"({type(exc).__name__}: {exc}); re-save it with save_trace"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -61,26 +100,36 @@ def save_trace(
 
 
 def load_trace(path: PathLike) -> Iterator[TraceEntry]:
-    """Stream a stored trace back as :class:`TraceEntry` objects."""
-    with np.load(Path(path)) as archive:
-        las = archive["las"]
-        classes = archive["data"]
-    for la, cls in zip(las, classes):
-        yield TraceEntry(la=int(la), data=LineData(int(cls)))
+    """Stream a stored trace back as :class:`TraceEntry` objects.
+
+    The file is read (and validated) eagerly, so a damaged file raises
+    :class:`TraceFileError` here — not on the first ``next()`` deep in a
+    replay loop; only entry construction is lazy.
+    """
+    las, classes = _read_arrays(path, "las", "data")
+
+    def entries() -> Iterator[TraceEntry]:
+        for la, cls in zip(las, classes):
+            yield TraceEntry(la=int(la), data=LineData(int(cls)))
+
+    return entries()
 
 
 def load_metadata(path: PathLike) -> Dict[str, str]:
     """Read a stored trace's metadata header."""
-    with np.load(Path(path)) as archive:
-        raw = archive["meta"].tobytes().decode()
-    return json.loads(raw)
+    (meta,) = _read_arrays(path, "meta")
+    try:
+        document = json.loads(meta.tobytes().decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TraceFileError(
+            f"{Path(path)}: corrupt metadata header ({exc})"
+        ) from exc
+    return dict(document)
 
 
 def summarize_trace(path: PathLike) -> TraceSummary:
     """Compute summary statistics without building TraceEntry objects."""
-    with np.load(Path(path)) as archive:
-        las = archive["las"]
-        classes = archive["data"]
+    las, classes = _read_arrays(path, "las", "data")
     if las.size == 0:
         return TraceSummary(0, 0, -1, 0.0, {})
     values, counts = np.unique(las, return_counts=True)

@@ -7,10 +7,11 @@ from repro.util.bitops import (
     mask,
     set_bit,
 )
-from repro.util.rng import as_generator
+from repro.util.rng import as_generator, derive_seed
 
 __all__ = [
     "as_generator",
+    "derive_seed",
     "bit_length_exact",
     "get_bit",
     "is_power_of_two",

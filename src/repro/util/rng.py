@@ -9,7 +9,8 @@ top-level experiment reproduces the identical run.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+from typing import Union
 
 import numpy as np
 
@@ -25,3 +26,26 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(root: int, *context: object) -> int:
+    """Derive a child seed from ``root`` and arbitrary context, stably.
+
+    Hashes the root seed together with the ``repr`` of every context
+    component (task identifiers, retry attempt numbers, replicate
+    indices...) through SHA-256, so the result depends only on the
+    *values* — never on process, platform or execution order.  This is
+    what lets :mod:`repro.campaign` hand every parallel task its own
+    independent, reproducible RNG stream: the same ``(root, context)``
+    always yields the same seed, and distinct contexts yield (with
+    overwhelming probability) distinct seeds.
+
+    Returns a non-negative int that fits in 63 bits, suitable for
+    :func:`as_generator` and for JSON round-trips.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root)).encode())
+    for component in context:
+        digest.update(b"\x1f")
+        digest.update(repr(component).encode())
+    return int.from_bytes(digest.digest()[:8], "big") >> 1

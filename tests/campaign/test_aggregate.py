@@ -1,0 +1,102 @@
+"""Tests for campaign aggregation: grouping, stats, stable rendering."""
+
+from repro.campaign.aggregate import (
+    aggregate,
+    flatten_metrics,
+    successful_records,
+    to_csv,
+    to_json,
+)
+from repro.campaign.spec import TaskKey
+from repro.campaign.store import TaskRecord
+
+
+def record(x, seed, metric, status="ok", kind="k"):
+    key = TaskKey.create(kind, {"x": x}, seed=seed)
+    if status == "ok":
+        return TaskRecord(
+            key=key, attempt=0, task_seed=seed, status="ok",
+            result={"metric": metric, "x": x, "seed": seed},
+        )
+    return TaskRecord(
+        key=key, attempt=0, task_seed=seed, status="error", error="boom"
+    )
+
+
+class TestSuccessfulRecords:
+    def test_drops_errors_and_dedups_to_first_ok(self):
+        records = [
+            record(1, 0, 5.0, status="error"),
+            record(1, 0, 5.0),
+            record(1, 0, 99.0),  # later duplicate loses
+            record(2, 0, 7.0),
+        ]
+        chosen = successful_records(records)
+        assert [r.result["metric"] for r in chosen] == [5.0, 7.0]
+
+    def test_sorted_by_task_key_not_arrival(self):
+        records = [record(2, 1, 1.0), record(1, 0, 2.0), record(2, 0, 3.0)]
+        chosen = successful_records(records)
+        assert [(r.key.param("x"), r.key.seed) for r in chosen] == [
+            (1, 0), (2, 0), (2, 1)
+        ]
+
+
+class TestFlattenMetrics:
+    def test_numbers_bools_and_one_level_of_nesting(self):
+        metrics = flatten_metrics(
+            {
+                "count": 3,
+                "rate": 0.5,
+                "failed": True,
+                "label": "ignored",
+                "health": {"alive": False, "spares": 2},
+            }
+        )
+        assert metrics == {
+            "count": 3.0,
+            "rate": 0.5,
+            "failed": 1.0,
+            "health.alive": 0.0,
+            "health.spares": 2.0,
+        }
+
+
+class TestAggregate:
+    def test_groups_across_seeds(self):
+        rows = aggregate(
+            [record(1, 0, 1.0), record(1, 1, 3.0), record(2, 0, 10.0)]
+        )
+        assert len(rows) == 2
+        first = rows[0]
+        assert (first["x"], first["n_seeds"]) == (1, 2)
+        assert first["metric_mean"] == 2.0
+        assert first["metric_min"] == 1.0
+        assert first["metric_max"] == 3.0
+        assert first["metric_p50"] == 2.0
+
+    def test_echoed_params_and_seed_are_not_metrics(self):
+        rows = aggregate([record(1, 0, 1.0), record(1, 1, 3.0)])
+        names = set(rows[0])
+        assert not names & {"x_mean", "seed_mean", "x_p50"}
+        assert "x" in names  # still present as the grouping column
+
+
+class TestRendering:
+    def test_json_and_csv_are_input_order_independent(self):
+        a = [record(1, 0, 1.0), record(1, 1, 3.0), record(2, 0, 5.0)]
+        b = list(reversed(a))
+        assert to_json(aggregate(a)) == to_json(aggregate(b))
+        assert to_csv(aggregate(a)) == to_csv(aggregate(b))
+
+    def test_csv_layout(self):
+        text = to_csv(aggregate([record(1, 0, 1.0)]))
+        header, row = text.strip().split("\n")
+        assert header.startswith("kind,n_seeds,")
+        assert "metric_mean" in header
+        assert row.startswith("k,1,")
+
+    def test_empty_inputs(self):
+        assert to_csv([]) == ""
+        assert to_json([]) == "[]\n"
+        assert aggregate([]) == []

@@ -1,0 +1,162 @@
+"""Tests for campaign specs: parsing, expansion, determinism, hashing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    SpecError,
+    TaskKey,
+    load_spec,
+)
+
+TOML_SPEC = """\
+[campaign]
+name = "demo"
+kind = "faults"
+seed = 7
+n_seeds = 2
+
+[base]
+n_lines = 128
+
+[grid]
+scheme = ["none", "rbsg"]
+rate = [0.001, 0.01]
+"""
+
+
+class TestTaskKey:
+    def test_key_id_is_order_independent(self):
+        a = TaskKey.create("k", {"b": 2, "a": 1}, seed=3)
+        b = TaskKey.create("k", {"a": 1, "b": 2}, seed=3)
+        assert a == b
+        assert a.key_id == b.key_id
+
+    def test_key_id_depends_on_every_component(self):
+        base = TaskKey.create("k", {"a": 1}, seed=0)
+        assert TaskKey.create("k2", {"a": 1}, seed=0).key_id != base.key_id
+        assert TaskKey.create("k", {"a": 2}, seed=0).key_id != base.key_id
+        assert TaskKey.create("k", {"a": 1}, seed=1).key_id != base.key_id
+
+    def test_json_roundtrip(self):
+        key = TaskKey.create("simulate", {"scheme": "rbsg", "n": 4}, seed=9)
+        again = TaskKey.from_json(json.loads(json.dumps(key.to_json())))
+        assert again == key
+        assert again.key_id == key.key_id
+
+    def test_param_lookup(self):
+        key = TaskKey.create("k", {"scheme": "rbsg"}, seed=0)
+        assert key.param("scheme") == "rbsg"
+        assert key.param("absent", 42) == 42
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(SpecError, match="scalar"):
+            TaskKey.create("k", {"bad": [1, 2]}, seed=0)
+
+
+class TestExpansion:
+    def test_grid_expansion_order_and_count(self):
+        spec = CampaignSpec.create(
+            "demo", "faults", seed=7, n_seeds=2,
+            base={"n_lines": 128},
+            grid={"scheme": ["none", "rbsg"], "rate": [0.001, 0.01]},
+        )
+        tasks = spec.expand()
+        assert len(tasks) == 8  # 2 schemes x 2 rates x 2 seeds
+        # grid keys sorted (rate < scheme), values in listed order,
+        # seeds innermost
+        assert [
+            (t.param("rate"), t.param("scheme"), t.seed) for t in tasks[:4]
+        ] == [
+            (0.001, "none", 0), (0.001, "none", 1),
+            (0.001, "rbsg", 0), (0.001, "rbsg", 1),
+        ]
+
+    def test_expansion_is_deterministic(self):
+        make = lambda: CampaignSpec.create(
+            "demo", "k", grid={"a": [1, 2], "b": ["x", "y"]}, n_seeds=3
+        ).expand()
+        assert make() == make()
+
+    def test_points_override_grid_and_base(self):
+        spec = CampaignSpec.create(
+            "demo", "k",
+            base={"a": 0, "c": 9},
+            grid={"a": [1]},
+            points=[{"a": 5}],
+        )
+        (task,) = spec.expand()
+        assert task.param("a") == 5
+        assert task.param("c") == 9
+
+    def test_duplicate_tasks_rejected(self):
+        spec = CampaignSpec.create(
+            "demo", "k", points=[{"a": 1}, {"a": 1}]
+        )
+        with pytest.raises(SpecError, match="duplicate"):
+            spec.expand()
+
+    def test_seeds_and_n_seeds_mutually_exclusive(self):
+        with pytest.raises(SpecError, match="not both"):
+            CampaignSpec.create("demo", "k", seeds=[1], n_seeds=2)
+
+
+class TestDocumentForm:
+    def test_from_dict_to_dict_roundtrip(self):
+        spec = CampaignSpec.create(
+            "demo", "faults", seed=3, seeds=[4, 5],
+            base={"n": 1}, grid={"s": ["a"]}, points=[{"p": True}],
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_hash_stable_and_sensitive(self):
+        spec = CampaignSpec.create("demo", "k", base={"n": 1})
+        same = CampaignSpec.create("demo", "k", base={"n": 1})
+        other = CampaignSpec.create("demo", "k", base={"n": 2})
+        assert spec.spec_hash() == same.spec_hash()
+        assert spec.spec_hash() != other.spec_hash()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            CampaignSpec.from_dict(
+                {"campaign": {"name": "x", "kind": "k", "bogus": 1}}
+            )
+        with pytest.raises(SpecError, match="unknown top-level"):
+            CampaignSpec.from_dict(
+                {"campaign": {"name": "x", "kind": "k"}, "extra": {}}
+            )
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SpecError, match="invalid campaign name"):
+            CampaignSpec.create("../escape", "k")
+
+
+class TestLoading:
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(TOML_SPEC)
+        spec = load_spec(path)
+        assert spec.name == "demo"
+        assert spec.seeds == (0, 1)
+        assert len(spec.expand()) == 8
+
+    def test_load_json(self, tmp_path):
+        spec = CampaignSpec.create("demo", "k", grid={"a": [1, 2]})
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert load_spec(path) == spec
+
+    def test_invalid_toml_raises_spec_error(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[campaign\nname=")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            load_spec(path)
+
+    def test_example_specs_parse(self):
+        examples = Path(__file__).resolve().parents[2] / "examples" / "campaigns"
+        for path in sorted(examples.glob("*.toml")):
+            spec = load_spec(path)
+            assert spec.expand(), path.name

@@ -1,0 +1,136 @@
+"""Tests for the crash-safe campaign store: manifest, JSONL, resume."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, TaskKey
+from repro.campaign.store import (
+    CampaignStore,
+    StoreError,
+    TaskRecord,
+)
+
+
+def make_spec(**kwargs):
+    defaults = dict(grid={"a": [1, 2]}, n_seeds=2)
+    defaults.update(kwargs)
+    return CampaignSpec.create("demo", "k", **defaults)
+
+
+def ok_record(key, value=1.0):
+    return TaskRecord(
+        key=key, attempt=0, task_seed=key.seed, status="ok",
+        result={"metric": value},
+    )
+
+
+class TestCreateOpen:
+    def test_create_writes_manifest_and_empty_results(self, tmp_path):
+        spec = make_spec()
+        store = CampaignStore.create(tmp_path / "camp", spec)
+        assert (tmp_path / "camp" / "manifest.json").exists()
+        assert (tmp_path / "camp" / "results.jsonl").read_text() == ""
+        assert store.manifest["n_tasks"] == 4
+        assert store.spec() == spec
+
+    def test_create_refuses_existing_campaign(self, tmp_path):
+        spec = make_spec()
+        CampaignStore.create(tmp_path / "camp", spec)
+        with pytest.raises(StoreError, match="campaign resume"):
+            CampaignStore.create(tmp_path / "camp", spec)
+
+    def test_open_roundtrips_spec(self, tmp_path):
+        spec = make_spec()
+        CampaignStore.create(tmp_path / "camp", spec)
+        store = CampaignStore.open(tmp_path / "camp")
+        assert store.spec() == spec
+        assert store.spec().expand() == spec.expand()
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="not a campaign directory"):
+            CampaignStore.open(tmp_path / "nope")
+
+    def test_open_rejects_foreign_format_version(self, tmp_path):
+        store = CampaignStore.create(tmp_path / "camp", make_spec())
+        manifest = dict(store.manifest)
+        manifest["format_version"] = 99
+        (tmp_path / "camp" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="format 99"):
+            CampaignStore.open(tmp_path / "camp")
+
+    def test_open_detects_tampered_spec(self, tmp_path):
+        store = CampaignStore.create(tmp_path / "camp", make_spec())
+        manifest = dict(store.manifest)
+        manifest["spec"]["campaign"]["seed"] = 999
+        (tmp_path / "camp" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="does not match"):
+            CampaignStore.open(tmp_path / "camp")
+
+
+class TestRecords:
+    def test_append_then_reread(self, tmp_path):
+        spec = make_spec()
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            for key in tasks[:2]:
+                store.append(ok_record(key))
+        store = CampaignStore.open(tmp_path / "camp")
+        records = store.records()
+        assert [r.key for r in records] == tasks[:2]
+        assert all(r.ok and r.result == {"metric": 1.0} for r in records)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        spec = make_spec()
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            for key in tasks[:2]:
+                store.append(ok_record(key))
+        results = tmp_path / "camp" / "results.jsonl"
+        text = results.read_text()
+        # Simulate SIGKILL mid-append: half of a third record, no newline.
+        partial = json.dumps(ok_record(tasks[2]).to_json())
+        results.write_text(text + partial[: len(partial) // 2])
+        store = CampaignStore.open(tmp_path / "camp")
+        assert [r.key for r in store.records()] == tasks[:2]
+        assert store.completed_ids() == {k.key_id for k in tasks[:2]}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        spec = make_spec()
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            for key in tasks[:2]:
+                store.append(ok_record(key))
+        results = tmp_path / "camp" / "results.jsonl"
+        first, second = results.read_text().splitlines()
+        results.write_text(first[:10] + "\n" + second + "\n")
+        store = CampaignStore.open(tmp_path / "camp")
+        with pytest.raises(StoreError, match="only the final line"):
+            store.records()
+
+
+class TestStatus:
+    def test_status_counts_ok_error_pending(self, tmp_path):
+        spec = make_spec()  # 4 tasks
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            store.append(ok_record(tasks[0]))
+            store.append(
+                TaskRecord(
+                    key=tasks[1], attempt=0, task_seed=tasks[1].seed,
+                    status="error", error="boom",
+                )
+            )
+            # An errored task that later succeeded counts as ok only.
+            store.append(
+                TaskRecord(
+                    key=tasks[2], attempt=0, task_seed=tasks[2].seed,
+                    status="error", error="flaky",
+                )
+            )
+            store.append(ok_record(tasks[2]))
+        status = CampaignStore.open(tmp_path / "camp").status()
+        assert (status.n_tasks, status.n_ok, status.n_error) == (4, 2, 1)
+        assert status.n_records == 4
+        assert status.n_pending == 2
+        assert not status.complete

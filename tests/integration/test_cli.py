@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -73,6 +75,36 @@ class TestSimulate:
         assert main([
             "simulate", "--scheme", "security-rbsg", "--attack", "rta",
         ]) == 2
+
+
+class TestJsonOutput:
+    def test_lifetime_json(self, capsys):
+        assert main([
+            "lifetime", "--scheme", "rbsg", "--attack", "rta", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "rbsg"
+        assert payload["attack"] == "rta"
+        assert payload["lifetime_ns"] == pytest.approx(477749504000.0)
+        assert 0.0 < payload["fraction_of_ideal"] < 1.0
+
+    def test_lifetime_json_resistant_pair(self, capsys):
+        assert main([
+            "lifetime", "--scheme", "security-rbsg", "--attack", "rta",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lifetime_ns"] is None
+        assert payload["resists_rta"] is True
+
+    def test_overhead_json(self, capsys):
+        assert main(["overhead", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["register_bytes"] / 1024 == pytest.approx(
+            2.02, abs=0.005
+        )  # the "2.02 KB" the text renderer prints
+        assert payload["cubing_gates"] == 1270
+        assert {"n_subregions", "n_stages", "spare_bytes"} <= set(payload)
 
 
 class TestOtherCommands:

@@ -1,8 +1,9 @@
 """Annotation-completeness checks for the strictly-typed core modules.
 
 ``pyproject.toml`` holds ``repro.pcm.array``, ``repro.pcm.sparing``,
-``repro.sim.memory_system``, ``repro.wearlevel.base`` and ``repro.lint``
-to ``disallow_untyped_defs``/``disallow_incomplete_defs`` under mypy.
+``repro.sim.memory_system``, ``repro.wearlevel.base``, ``repro.cli``,
+``repro.campaign`` and ``repro.lint`` to
+``disallow_untyped_defs``/``disallow_incomplete_defs`` under mypy.
 mypy itself only runs in the CI lint job (it is not a runtime
 dependency), so this test enforces the same completeness property with
 ``ast``: every function in those modules must annotate its return type
@@ -27,6 +28,14 @@ STRICT_MODULES = [
     "repro/lint/rules.py",
     "repro/lint/runner.py",
     "repro/lint/suppress.py",
+    "repro/cli.py",
+    "repro/campaign/__init__.py",
+    "repro/campaign/aggregate.py",
+    "repro/campaign/progress.py",
+    "repro/campaign/runner.py",
+    "repro/campaign/spec.py",
+    "repro/campaign/store.py",
+    "repro/campaign/tasks.py",
 ]
 
 

@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for every reprolint rule (REP001–REP006).
+"""Fixture-snippet tests for every reprolint rule (REP001–REP007).
 
 Each rule gets a positive case (the violation fires, with the right code
 and line), a negative case (compliant code stays clean), and an
@@ -115,6 +115,14 @@ class TestREP002DiscardedLatency:
             def report(f):
                 f.write("hello")
                 sys.stdout.write("world")
+        """) == []
+
+    def test_private_filelike_attribute_ok(self):
+        assert codes("""\
+            class Reporter:
+                def emit(self, line):
+                    self._stream.write(line)
+                    self._handle.write(line)
         """) == []
 
     def test_trailing_suppression(self):
@@ -276,6 +284,52 @@ class TestREP006ModuleLevelMutableState:
         assert codes("""\
             _CACHE = {}  # reprolint: disable=REP006 cleared per run by reset()
         """, rel_path="src/repro/sim/fake.py") == []
+
+
+class TestREP007ParallelismOutsideCampaign:
+    def test_multiprocessing_import_flagged(self):
+        diags = run("""\
+            import multiprocessing
+            pool = multiprocessing.Pool
+        """)
+        assert [d.code for d in diags] == ["REP007"]
+        assert diags[0].line == 1
+
+    def test_concurrent_futures_import_styles_flagged(self):
+        assert codes("""\
+            import concurrent.futures
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent import futures
+            from multiprocessing import Pool
+            from multiprocessing.pool import ThreadPool
+        """) == ["REP007"] * 5
+
+    def test_unrelated_imports_ok(self):
+        assert codes("""\
+            import multiprocessing_logging
+            from concurrent import interpreters
+            import json
+        """) == []
+
+    def test_campaign_package_exempt(self):
+        assert codes(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+            import multiprocessing
+            """,
+            rel_path="src/repro/campaign/runner.py",
+        ) == []
+
+    def test_tests_exempt(self):
+        assert codes(
+            "import multiprocessing\n",
+            rel_path="tests/campaign/test_runner.py",
+        ) == []
+
+    def test_inline_suppression(self):
+        assert codes("""\
+            import multiprocessing  # reprolint: disable=REP007 demo only
+        """) == []
 
 
 class TestSuppressionMachinery:

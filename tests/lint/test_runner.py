@@ -16,9 +16,10 @@ SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         assert sorted(REGISTRY) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         ]
 
     def test_every_rule_documented(self):

@@ -2,9 +2,12 @@
 
 import pytest
 
+import numpy as np
+
 from repro.pcm.timing import ALL0, ALL1, MIXED
 from repro.sim.trace import TraceEntry, zipf_trace
 from repro.sim.tracefile import (
+    TraceFileError,
     load_metadata,
     load_trace,
     save_trace,
@@ -61,3 +64,53 @@ class TestSummary:
         summary = summarize_trace(path)
         assert summary.n_writes == 0
         assert summary.hottest_la == -1
+
+
+class TestDamagedFiles:
+    def _saved(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, [TraceEntry(1, ALL1), TraceEntry(2, ALL0)])
+        return path
+
+    def test_addresses_and_data_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "exact.npz"
+        entries = [
+            TraceEntry(la, data)
+            for la, data in zip((0, 5, 2**40, 5), (ALL0, ALL1, MIXED, ALL1))
+        ]
+        save_trace(path, entries)
+        loaded = list(load_trace(path))
+        assert [e.la for e in loaded] == [e.la for e in entries]
+        assert [e.data for e in loaded] == [e.data for e in entries]
+
+    def test_missing_file_raises_clear_error(self, tmp_path):
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(TraceFileError, match="no such trace file"):
+            load_trace(missing)
+
+    def test_truncated_file_raises_at_call_time(self, tmp_path):
+        path = self._saved(tmp_path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(TraceFileError, match="truncated or corrupt"):
+            load_trace(path)  # raises here, not on first next()
+
+    def test_truncated_file_summarize(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(TraceFileError, match=str(path.name)):
+            summarize_trace(path)
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TraceFileError, match="truncated or corrupt"):
+            load_trace(path)
+
+    def test_wrong_archive_contents(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(TraceFileError, match="missing array"):
+            load_trace(path)
+        with pytest.raises(TraceFileError, match="missing array"):
+            load_metadata(path)

@@ -14,9 +14,12 @@ Execution contract (the one the determinism tests pin down):
   and the campaign continues.  One bad point fails that point, not the
   campaign.
 * **Timeouts** — a task overrunning ``timeout_s`` is charged a failed
-  attempt immediately and its eventual result is discarded.  The worker
-  process is *not* killed mid-task (POSIX offers no safe way to do that
-  to a fork-sharing child); the pool drains it at shutdown.
+  attempt immediately and its eventual result is discarded.  The clock
+  starts when the task is observed *executing* in a worker, not at
+  submit, so time spent queued behind saturated workers never counts
+  against the limit.  The worker process is *not* killed mid-task
+  (POSIX offers no safe way to do that to a fork-sharing child); the
+  pool drains it at shutdown.
 * **Bounded in-flight** — at most ``max_inflight`` (default
   ``2 * workers``) tasks are submitted at once, so million-point grids
   don't materialise a million pickled futures.
@@ -25,6 +28,12 @@ Execution contract (the one the determinism tests pin down):
 no pickling — which is both the determinism baseline and the cheap path
 for small sweeps (``attack_matrix``, ``sweep_fault_rates`` defaults).
 
+Worker pools are created with the ``fork`` start method where the
+platform offers it, so task kinds registered at runtime
+(:func:`repro.campaign.tasks.register_task_kind`) are visible inside
+workers; under spawn/forkserver only kinds registered at import time of
+:mod:`repro.campaign.tasks` would survive the round-trip.
+
 Wall-clock use here times *host* execution (timeouts, throughput); the
 simulator's clock is untouched, hence the file-wide REP005 waiver.
 """
@@ -32,18 +41,42 @@ simulator's clock is untouched, hence the file-wide REP005 waiver.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, TaskKey
 from repro.campaign.store import CampaignStore, TaskRecord
 from repro.campaign.tasks import get_task
 from repro.util.rng import derive_seed
+
+# Task kinds registered at runtime (register_task_kind) live in this
+# process's registry dict; ``fork`` is the only start method that
+# carries those registrations into workers, so pin it where available
+# rather than inheriting a spawn/forkserver platform default.
+try:
+    _MP_CONTEXT: Optional[Any] = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover - non-POSIX platforms
+    _MP_CONTEXT = None
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, mp_context=_MP_CONTEXT)
 
 
 @dataclass(frozen=True)
@@ -165,12 +198,19 @@ def _run_serial(
 
 @dataclass
 class _Inflight:
-    """Bookkeeping for one submitted attempt."""
+    """Bookkeeping for one submitted attempt.
+
+    ``started`` is the monotonic time the attempt was first observed
+    occupying a worker slot — ``None`` while it is still queued behind
+    saturated workers, so queue wait never counts against ``timeout_s``.
+    (``Future.running()`` is useless for this: it flips as soon as the
+    executor buffers the item in its call queue, worker or no worker.)
+    """
 
     key: TaskKey
     attempt: int
     seed: int
-    started: float
+    started: Optional[float] = None
 
 
 def _payload_record(
@@ -197,15 +237,24 @@ def _run_parallel(
     max_inflight = config.max_inflight or 2 * config.workers
     pending: Deque[Tuple[TaskKey, int]] = deque((key, 0) for key in tasks)
     inflight: Dict["Future[Dict[str, object]]", _Inflight] = {}
+    # Timed-out attempts whose future could not be cancelled: the
+    # straggler still occupies a worker until it finishes, so it keeps
+    # counting against the executing-slot budget below.
+    abandoned: Set["Future[Dict[str, object]]"] = set()
     n_ok = n_failed = 0
-    executor = ProcessPoolExecutor(max_workers=config.workers)
+    executor = _make_pool(config.workers)
+
+    _POOL_BROKEN = {
+        "status": "error",
+        "error": "worker process crashed (pool broken)",
+    }
 
     def submit(key: TaskKey, attempt: int) -> None:
         seed = attempt_seed(key, attempt)
         future = executor.submit(
             _execute_attempt, key.kind, key.as_dict(), seed
         )
-        inflight[future] = _Inflight(key, attempt, seed, time.monotonic())
+        inflight[future] = _Inflight(key, attempt, seed)
 
     def settle(key: TaskKey, attempt: int, seed: int,
                payload: Dict[str, object]) -> None:
@@ -222,10 +271,30 @@ def _run_parallel(
         sink(record)
         reporter.task_done(record.ok)
 
+    def poison_inflight_and_rebuild() -> None:
+        """Every in-flight future is poisoned with the broken pool:
+        charge each task one attempt and start a fresh pool."""
+        nonlocal executor
+        for entry in list(inflight.values()):
+            settle(entry.key, entry.attempt, entry.seed, dict(_POOL_BROKEN))
+        inflight.clear()
+        abandoned.clear()  # stragglers died with their pool
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = _make_pool(config.workers)
+
     try:
         while pending or inflight:
             while pending and len(inflight) < max_inflight:
-                submit(*pending.popleft())
+                key, attempt = pending.popleft()
+                try:
+                    submit(key, attempt)
+                except BrokenProcessPool:
+                    # A worker crash can flag the pool mid-submit,
+                    # before any future.result() observes it.  The
+                    # attempt being submitted never ran: requeue it
+                    # uncharged and recover like any other break.
+                    pending.appendleft((key, attempt))
+                    poison_inflight_and_rebuild()
             done, _ = wait(
                 list(inflight), timeout=0.05, return_when=FIRST_COMPLETED
             )
@@ -236,10 +305,7 @@ def _run_parallel(
                     payload = future.result()
                 except BrokenProcessPool:
                     broken = True
-                    payload = {
-                        "status": "error",
-                        "error": "worker process crashed (pool broken)",
-                    }
+                    payload = dict(_POOL_BROKEN)
                 except Exception as exc:  # pickling errors and friends
                     payload = {
                         "status": "error",
@@ -247,28 +313,34 @@ def _run_parallel(
                     }
                 settle(entry.key, entry.attempt, entry.seed, payload)
             if broken:
-                # Every other in-flight future is poisoned too: charge
-                # each task one attempt and rebuild the pool.
-                for future, entry in list(inflight.items()):
-                    settle(
-                        entry.key, entry.attempt, entry.seed,
-                        {
-                            "status": "error",
-                            "error": "worker process crashed (pool broken)",
-                        },
-                    )
-                inflight.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=config.workers)
+                poison_inflight_and_rebuild()
                 continue
             if config.timeout_s is not None:
                 now = time.monotonic()
+                # Workers drain the call queue FIFO, so of the attempts
+                # not yet finished, the oldest ones — up to the worker
+                # count, minus stragglers still hogging a worker — are
+                # the ones executing.  Start (only) their clocks, and
+                # leave queued attempts untouched.
+                abandoned.difference_update(
+                    {f for f in abandoned if f.done()}
+                )
+                slots = config.workers - len(abandoned)
                 for future, entry in list(inflight.items()):
+                    if slots <= 0:
+                        break  # everything younger is still queued
+                    if future.done():
+                        continue  # settles on the next wait() pass
+                    slots -= 1
+                    if entry.started is None:
+                        entry.started = now
+                        continue
                     if now - entry.started <= config.timeout_s:
                         continue
                     # Charge the attempt now; the straggler's eventual
                     # result is dropped with the abandoned future.
-                    future.cancel()
+                    if not future.cancel():
+                        abandoned.add(future)
                     inflight.pop(future)
                     settle(
                         entry.key, entry.attempt, entry.seed,

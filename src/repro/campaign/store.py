@@ -235,11 +235,47 @@ class CampaignStore:
     def append(self, record: TaskRecord) -> None:
         """Durably append one record: write, flush, ``fsync``."""
         if self._handle is None:
+            self._repair_truncated_tail()
             self._handle = open(self._results_path, "a", encoding="utf-8")
         line = json.dumps(record.to_json(), sort_keys=True)
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    def _repair_truncated_tail(self) -> None:
+        """Truncate a partial final line left by a kill mid-append.
+
+        :meth:`records` tolerates a truncated *final* line, but appending
+        after one would concatenate the new record onto it, turning a
+        recoverable tail into a corrupt mid-file line that bricks every
+        later read.  So before the first append of a session, cut the
+        file back to its last newline; the half-written attempt simply
+        re-runs, which is the resume contract anyway.
+        """
+        try:
+            handle = open(self._results_path, "rb+")
+        except FileNotFoundError:
+            return
+        with handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            keep = 0
+            pos = size
+            while pos > 0:
+                step = min(4096, pos)
+                pos -= step
+                handle.seek(pos)
+                newline = handle.read(step).rfind(b"\n")
+                if newline != -1:
+                    keep = pos + newline + 1
+                    break
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -16,7 +16,10 @@ ship with the library:
   sweep, gridded.
 
 Register additional kinds with :func:`register_task_kind` (tests use
-this for crash/timeout probes).
+this for crash/timeout probes).  The registry is a plain dict in the
+registering process; the runner pins the ``fork`` start method so those
+runtime registrations reach workers — on platforms without ``fork``,
+register custom kinds at import time of an importable module instead.
 """
 
 from __future__ import annotations

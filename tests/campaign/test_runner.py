@@ -1,8 +1,8 @@
 """Tests for the campaign runner: determinism, retries, crash isolation.
 
-The custom task kinds are registered at import time; worker processes
-are forked (the platform default this suite runs under), so the
-registrations are visible inside the pool.
+The custom task kinds are registered at import time; the runner pins
+the ``fork`` start method, so the registrations are visible inside the
+pool regardless of the platform's default.
 """
 
 import os
@@ -172,6 +172,47 @@ class TestFailureHandling:
         assert all(r.ok for r in records)
         assert records[0].attempt == 1  # the crasher recovered on retry
 
+    def test_broken_pool_at_submit_time_recovers(self, monkeypatch):
+        # A worker crash can flag the pool while the main loop is mid
+        # submit batch, before any future.result() observes it; the
+        # runner must requeue the attempt and rebuild, not abort.
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.campaign.runner as runner_mod
+
+        real_make_pool = runner_mod._make_pool
+        pools = []
+
+        class TrippingPool:
+            """First submit of the first pool raises BrokenProcessPool."""
+
+            def __init__(self, pool):
+                self._pool = pool
+                self.tripped = False
+
+            def submit(self, *args, **kwargs):
+                if not self.tripped:
+                    self.tripped = True
+                    raise BrokenProcessPool("worker crashed during submit")
+                return self._pool.submit(*args, **kwargs)
+
+            def shutdown(self, *args, **kwargs):
+                return self._pool.shutdown(*args, **kwargs)
+
+        def make_pool(workers):
+            pool = real_make_pool(workers)
+            if not pools:
+                pool = TrippingPool(pool)
+            pools.append(pool)
+            return pool
+
+        monkeypatch.setattr(runner_mod, "_make_pool", make_pool)
+        keys = echo_keys(4)
+        records = run_collect(keys, RunnerConfig(workers=2, retries=0))
+        assert len(pools) == 2  # rebuilt exactly once
+        assert all(r.ok for r in records)  # nothing charged an attempt
+        assert all(r.attempt == 0 for r in records)
+
     def test_timeout_charges_the_attempt(self):
         keys = [TaskKey.create("t-sleep", {"duration": 1.5}, seed=0)]
         start = time.monotonic()
@@ -181,6 +222,21 @@ class TestFailureHandling:
         assert time.monotonic() - start < 1.4  # did not wait the sleep out
         assert not record.ok
         assert "timeout" in record.error
+
+    def test_queue_wait_is_not_charged_against_timeout(self):
+        # 4 sleeps on 2 workers with all 4 submitted up front: the back
+        # pair queues for ~one full task duration before running.  Each
+        # task's *execution* fits the timeout; queue wait must not be
+        # billed to it.
+        keys = [
+            TaskKey.create("t-sleep", {"duration": 0.5, "i": i}, seed=i)
+            for i in range(4)
+        ]
+        records = run_collect(
+            keys,
+            RunnerConfig(workers=2, max_inflight=4, timeout_s=0.75, retries=0),
+        )
+        assert all(r.ok for r in records), [r.error for r in records]
 
 
 class TestRunCampaign:

@@ -95,6 +95,39 @@ class TestRecords:
         assert [r.key for r in store.records()] == tasks[:2]
         assert store.completed_ids() == {k.key_id for k in tasks[:2]}
 
+    def test_append_after_truncated_tail_repairs_the_file(self, tmp_path):
+        # Kill mid-append, then RESUME and append more: the partial tail
+        # must not swallow the first new record into a corrupt mid-file
+        # line (that would brick the directory for every later read).
+        spec = make_spec()
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            for key in tasks[:2]:
+                store.append(ok_record(key))
+        results = tmp_path / "camp" / "results.jsonl"
+        partial = json.dumps(ok_record(tasks[2]).to_json())
+        results.write_text(results.read_text() + partial[: len(partial) // 2])
+        with CampaignStore.open(tmp_path / "camp") as store:
+            store.append(ok_record(tasks[2]))
+            store.append(ok_record(tasks[3]))
+        store = CampaignStore.open(tmp_path / "camp")
+        records = store.records()  # must not raise StoreError
+        assert [r.key for r in records] == tasks
+        assert store.completed_ids() == {k.key_id for k in tasks}
+        assert store.status().complete
+
+    def test_append_to_file_that_is_only_a_partial_line(self, tmp_path):
+        # Degenerate tail repair: the whole file is one truncated record.
+        spec = make_spec()
+        tasks = spec.expand()
+        store = CampaignStore.create(tmp_path / "camp", spec)
+        results = tmp_path / "camp" / "results.jsonl"
+        results.write_text(json.dumps(ok_record(tasks[0]).to_json())[:25])
+        with CampaignStore.open(tmp_path / "camp") as store:
+            store.append(ok_record(tasks[0]))
+        records = CampaignStore.open(tmp_path / "camp").records()
+        assert [r.key for r in records] == [tasks[0]]
+
     def test_mid_file_corruption_raises(self, tmp_path):
         spec = make_spec()
         tasks = spec.expand()

@@ -1,4 +1,4 @@
-.PHONY: install test bench examples smoke faults-smoke campaign-smoke lint clean
+.PHONY: install test bench examples smoke faults-smoke campaign-smoke lint lint-flow clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,12 @@ lint:
 	else \
 		echo "mypy not installed; skipping type check (CI runs it)"; \
 	fi
+
+lint-flow:
+	PYTHONPATH=src python -m repro.lint src/repro examples --check-suppressions
+	@mkdir -p build
+	PYTHONPATH=src python -m repro.lint src/repro examples --format sarif > build/reprolint.sarif
+	@echo "SARIF report written to build/reprolint.sarif"
 
 faults-smoke:
 	PYTHONPATH=src python -m repro faults --lines 128 --endurance 400 \

@@ -186,12 +186,14 @@ class RBSGTimingAttack:
                 )
                 info = self.mirror.count_write()
                 if info is None:
+                    _ = extra  # no remap fired: latency carries no signal
                     continue
                 carried_ia = self.mirror.slot_to_local_ia(
                     info.src, info.pre_start, info.pre_gap
                 )
                 t = (self.target_local_ia - carried_ia) % self.region_size
                 if t not in needed:
+                    _ = extra  # offset already recovered: observation is redundant
                     continue
                 if self.oracle.matches(extra, self.oracle.copy_all1):
                     recovered[t] |= 1 << j

@@ -143,6 +143,7 @@ class TwoLevelSRTimingAttack:
             extra = self.oracle.write(la, self._bit_pattern(la, j))
             step = self.mirror.count_write()
             if step is None:
+                _ = extra  # no boundary crossed: latency carries no vote
                 continue
             boundaries_seen += 1
             vote = self._classify_single(extra)

@@ -56,6 +56,17 @@ def task_kinds() -> Tuple[str, ...]:
     return tuple(sorted(_TASK_KINDS))
 
 
+def registered_tasks() -> Dict[str, TaskFn]:
+    """A snapshot of the registry: ``kind name -> task function``.
+
+    Exists so tooling (reprolint's REP103 campaign-determinism rule,
+    importable enumeration in tests) can compare the *runtime* registry
+    against what static analysis discovered, without reaching into the
+    private ``_TASK_KINDS`` dict.
+    """
+    return dict(_TASK_KINDS)
+
+
 def get_task(kind: str) -> TaskFn:
     """Resolve a kind name; raises :class:`TaskError` when unknown."""
     try:

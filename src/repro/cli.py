@@ -424,6 +424,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.ignore:
         argv += ["--ignore", args.ignore]
+    if not args.flow:
+        argv.append("--no-flow")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.check_suppressions:
+        argv.append("--check-suppressions")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -591,11 +597,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--select", metavar="CODES",
                    help="comma-separated rule codes to run")
     p.add_argument("--ignore", metavar="CODES",
                    help="comma-separated rule codes to skip")
+    p.add_argument("--flow", dest="flow", action="store_true", default=True,
+                   help="run flow-sensitive rules REP101-REP104 (default)")
+    p.add_argument("--no-flow", dest="flow", action="store_false",
+                   help="skip the flow-sensitive rules")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the incremental cache")
+    p.add_argument("--check-suppressions", action="store_true",
+                   help="report stale reprolint pragmas (REP100)")
     p.add_argument("--list-rules", action="store_true",
                    help="describe every registered rule and exit")
     p.set_defaults(func=cmd_lint)

@@ -4,7 +4,12 @@ The reproduction's headline numbers (RTA success rates, lifetime curves,
 fault-campaign availability) are only trustworthy when the simulator is
 bit-deterministic under a seed and accounts every nanosecond on the
 attacker-observable path.  This package enforces those invariants as
-lint rules (REP001–REP006, see ``docs/lint.md``) over the codebase:
+lint rules over the codebase (see ``docs/lint.md``):
+
+* REP001–REP007 — per-file syntactic rules;
+* REP101–REP104 — flow-sensitive rules built on an intra-procedural
+  dataflow engine (:mod:`repro.lint.flow`) and a cross-module call
+  graph (:mod:`repro.lint.callgraph`).
 
 >>> from repro.lint import lint_source
 >>> lint_source("import numpy as np\\nx = np.random.rand()\\n")[0].code
@@ -17,19 +22,35 @@ Run from the command line as ``python -m repro.lint [paths...]`` or
 from repro.lint.diagnostics import (
     REGISTRY,
     Diagnostic,
+    FlowRule,
     LintModule,
     Rule,
     Severity,
     all_rules,
     register,
 )
-from repro.lint import rules  # noqa: F401  (registers REP001–REP006)
-from repro.lint.runner import lint_paths, lint_source, main
+from repro.lint import rules  # noqa: F401  (registers REP001–REP007)
+from repro.lint import flowrules  # noqa: F401  (registers REP101–REP104)
+from repro.lint.cache import LintCache
+from repro.lint.callgraph import LintProject
+from repro.lint.runner import (
+    LintResult,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    lint_tree,
+    main,
+)
+from repro.lint.sarif import render_sarif, to_sarif
 from repro.lint.suppress import SuppressionMap, parse_suppressions
 
 __all__ = (
     "Diagnostic",
+    "FlowRule",
+    "LintCache",
     "LintModule",
+    "LintProject",
+    "LintResult",
     "REGISTRY",
     "Rule",
     "Severity",
@@ -37,7 +58,11 @@ __all__ = (
     "all_rules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "lint_tree",
     "main",
     "parse_suppressions",
     "register",
+    "render_sarif",
+    "to_sarif",
 )

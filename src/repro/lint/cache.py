@@ -1,0 +1,183 @@
+"""Incremental lint cache (``build/.lintcache``).
+
+Linting the whole tree with the flow rules costs a few seconds — cheap
+enough for CI, annoying on every local ``make lint``.  The cache makes
+a repeat run over an unchanged tree near-instant:
+
+* **Per-file** results (the syntactic rules REP001–REP007) are keyed by
+  ``(sha256(source), rules-version, selected-codes)``.  Editing one
+  file re-lints that file only.
+* **Project-level** results (the flow rules; any file can change any
+  other file's findings through the call graph) are keyed by the hash
+  of *every* file's content hash, so any edit anywhere invalidates
+  them as a unit.
+
+The ``rules-version`` component is the hash of the lint package's own
+source files — changing a rule invalidates everything automatically;
+no manually-bumped version constant to forget.  Cache files are plain
+JSON, written atomically (tmp + replace); a corrupt or stale cache is
+silently ignored and rebuilt.  ``--no-cache`` bypasses all of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path("build") / ".lintcache"
+
+_CACHE_FILE = "reprolint.json"
+_FORMAT = 1
+
+
+def _lint_package_version() -> str:
+    """Hash of the lint package's own sources — the rules version."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+_VERSION: Optional[str] = None
+
+
+def rules_version() -> str:
+    """Memoised :func:`_lint_package_version`."""
+    global _VERSION
+    if _VERSION is None:
+        _VERSION = _lint_package_version()
+    return _VERSION
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def project_key(file_shas: Dict[str, str]) -> str:
+    """One hash over every ``path -> sha`` pair, order-independent."""
+    digest = hashlib.sha256()
+    for path in sorted(file_shas):
+        digest.update(path.encode())
+        digest.update(b"\x1f")
+        digest.update(file_shas[path].encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Load/store lint results keyed as described in the module doc."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.path = self.root / _CACHE_FILE
+        self._data: Dict[str, object] = {}
+        self._dirty = False
+        self._load()
+
+    # -- persistence -------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            raw = {}
+        if (
+            not isinstance(raw, dict)
+            or raw.get("format") != _FORMAT
+            or raw.get("rules_version") != rules_version()
+        ):
+            raw = {}
+        self._data = {
+            "format": _FORMAT,
+            "rules_version": rules_version(),
+            "files": raw.get("files", {}) if raw else {},
+            "flow": raw.get("flow", {}) if raw else {},
+        }
+
+    def save(self) -> None:
+        """Write the cache atomically; failures are non-fatal."""
+        if not self._dirty:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".reprolint-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._data, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+        self._dirty = False
+
+    # -- per-file entries --------------------------------------------
+
+    @staticmethod
+    def _file_key(path: str, sha: str, codes_key: str) -> str:
+        return f"{path}\x1f{sha}\x1f{codes_key}"
+
+    def get_file(
+        self, path: str, sha: str, codes_key: str
+    ) -> Optional[List[Diagnostic]]:
+        files = self._data["files"]
+        assert isinstance(files, dict)
+        entry = files.get(self._file_key(path, sha, codes_key))
+        if entry is None:
+            return None
+        return _decode(entry)
+
+    def put_file(
+        self,
+        path: str,
+        sha: str,
+        codes_key: str,
+        diagnostics: Sequence[Diagnostic],
+    ) -> None:
+        files = self._data["files"]
+        assert isinstance(files, dict)
+        files[self._file_key(path, sha, codes_key)] = [
+            d.to_json() for d in diagnostics
+        ]
+        self._dirty = True
+
+    # -- flow (project-wide) entries ---------------------------------
+
+    def get_flow(
+        self, key: str, codes_key: str
+    ) -> Optional[List[Diagnostic]]:
+        flow = self._data["flow"]
+        assert isinstance(flow, dict)
+        entry = flow.get(f"{key}\x1f{codes_key}")
+        if entry is None:
+            return None
+        return _decode(entry)
+
+    def put_flow(
+        self, key: str, codes_key: str, diagnostics: Sequence[Diagnostic]
+    ) -> None:
+        flow = self._data["flow"]
+        assert isinstance(flow, dict)
+        # A new project key supersedes every older flow entry: keep the
+        # cache from accreting one stale blob per historical tree state.
+        stale = [k for k in flow if not k.startswith(f"{key}\x1f")]
+        for k in stale:
+            del flow[k]
+        flow[f"{key}\x1f{codes_key}"] = [d.to_json() for d in diagnostics]
+        self._dirty = True
+
+
+def _decode(entry: object) -> Optional[List[Diagnostic]]:
+    if not isinstance(entry, list):
+        return None
+    try:
+        return [Diagnostic.from_json(item) for item in entry]
+    except (KeyError, TypeError, ValueError):
+        return None

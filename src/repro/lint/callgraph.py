@@ -1,0 +1,373 @@
+"""Module-level symbol tables and a cross-module call graph.
+
+The flow rules need to see *through* module boundaries: a latency
+helper defined in ``repro.sim`` and called from an attack, a campaign
+task function whose inner loop lives three imports away.  This module
+builds, from nothing but the parsed sources handed to one lint run:
+
+* a :class:`ModuleTable` per file — top-level functions, class methods
+  (``Class.method`` qualnames, with ``Class`` itself resolving to its
+  ``__init__``), import aliases, and a classification of every
+  module-level assignment (mutable literal / RNG / open file handle);
+* a :class:`LintProject` — the tables keyed by dotted module name, a
+  dotted-name resolver for call expressions (``helper(...)``,
+  ``mod.helper(...)``, ``pkg.mod.Class(...)``, ``self.method(...)``),
+  and a breadth-first :meth:`LintProject.reachable` walk that follows
+  resolvable call edges, honouring function-local imports (the
+  repository's cycle-avoidance idiom).
+
+Resolution is deliberately conservative: a call that cannot be resolved
+statically (a method on an arbitrary object, a callable passed as a
+value) simply contributes no edge.  Flow rules treat unresolved calls
+as opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.diagnostics import LintModule
+from repro.lint.rules import dotted_name
+
+
+class StateKind(enum.Enum):
+    """What a module-level assignment binds, as far as REP103 cares."""
+
+    MUTABLE = "mutable"  #: list/dict/set literal or mutable constructor
+    RNG = "rng"  #: a numpy Generator constructed at import time
+    FILE = "file"  #: an ``open(...)`` handle held at module level
+    OTHER = "other"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque",
+     "Counter", "OrderedDict"}
+)
+_RNG_CALLS = frozenset({"default_rng", "as_generator", "RandomState",
+                        "Generator"})
+
+
+def classify_value(value: ast.expr) -> StateKind:
+    """Classify one module-level initializer expression."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return StateKind.MUTABLE
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        leaf = dotted.split(".")[-1] if dotted else None
+        if leaf in _MUTABLE_CALLS:
+            return StateKind.MUTABLE
+        if leaf in _RNG_CALLS:
+            return StateKind.RNG
+        if leaf == "open":
+            return StateKind.FILE
+    return StateKind.OTHER
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a file path (``src/repro/x.py`` -> ``repro.x``).
+
+    A leading ``src`` component is dropped so the names line up with the
+    import statements in the tree; anything else (``examples/foo.py``)
+    keeps its path-derived name, which only has to be *consistent*.
+    """
+    parts = list(PurePosixPath(rel_path.replace("\\", "/")).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    while parts and parts[0] in ("src", ".", ".."):
+        parts.pop(0)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One statically known function or method."""
+
+    modname: str
+    qualname: str  #: ``helper`` or ``Class.method``
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    module: LintModule
+
+    @property
+    def fq(self) -> str:
+        return f"{self.modname}.{self.qualname}"
+
+    @property
+    def class_name(self) -> Optional[str]:
+        if "." in self.qualname:
+            return self.qualname.split(".", 1)[0]
+        return None
+
+
+@dataclass
+class ModuleState:
+    """One module-level binding and its classification."""
+
+    name: str
+    kind: StateKind
+    node: ast.stmt
+
+
+@dataclass
+class ModuleTable:
+    """Symbol table of one module."""
+
+    modname: str
+    module: LintModule
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local alias -> fully qualified dotted target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    state: Dict[str, ModuleState] = field(default_factory=dict)
+
+
+def _collect_imports(
+    stmts: Iterable[ast.stmt], into: Dict[str, str]
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    into[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted call names are
+                    # resolved against full module names directly.
+                    into[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:
+                continue  # repo uses absolute imports; skip relative ones
+            base = stmt.module or ""
+            for alias in stmt.names:
+                bound = alias.asname or alias.name
+                into[bound] = f"{base}.{alias.name}" if base else alias.name
+
+
+def local_imports(fn: ast.AST) -> Dict[str, str]:
+    """Import aliases established *inside* one function body."""
+    table: Dict[str, str] = {}
+    stmts = [n for n in ast.walk(fn)
+             if isinstance(n, (ast.Import, ast.ImportFrom))]
+    _collect_imports(stmts, table)
+    return table
+
+
+def build_table(module: LintModule) -> ModuleTable:
+    """Build the symbol table of one parsed module."""
+    table = ModuleTable(module_name_for(module.rel_path), module)
+    _collect_imports(
+        (s for s in module.tree.body
+         if isinstance(s, (ast.Import, ast.ImportFrom))),
+        table.imports,
+    )
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.functions[stmt.name] = FunctionInfo(
+                table.modname, stmt.name, stmt, module
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{stmt.name}.{item.name}"
+                    table.functions[qual] = FunctionInfo(
+                        table.modname, qual, item, module
+                    )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    table.state[target.id] = ModuleState(
+                        target.id, classify_value(stmt.value), stmt
+                    )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                table.state[stmt.target.id] = ModuleState(
+                    stmt.target.id, classify_value(stmt.value), stmt
+                )
+    return table
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge, for path reporting."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    node: ast.Call
+
+
+class LintProject:
+    """All modules of one lint run, cross-referenced."""
+
+    def __init__(self, modules: Sequence[LintModule]) -> None:
+        self.modules = list(modules)
+        self.tables: Dict[str, ModuleTable] = {}
+        self.by_path: Dict[str, ModuleTable] = {}
+        for module in self.modules:
+            table = build_table(module)
+            self.tables[table.modname] = table
+            self.by_path[module.rel_path] = table
+
+    # -- lookup ------------------------------------------------------
+
+    def function(self, fq: str, _depth: int = 0) -> Optional[FunctionInfo]:
+        """Resolve ``pkg.mod.helper`` / ``pkg.mod.Class.method`` /
+        ``pkg.mod.Class`` (the latter to its ``__init__``).
+
+        Re-exports are chased: when a package ``__init__`` merely
+        imports the symbol, resolution follows the import (bounded
+        depth, cycles cut off).
+        """
+        if _depth > 5:
+            return None
+        parts = fq.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            modname = ".".join(parts[:split])
+            table = self.tables.get(modname)
+            if table is None:
+                continue
+            rest = parts[split:]
+            qual = ".".join(rest)
+            info = table.functions.get(qual)
+            if info is not None:
+                return info
+            ctor = table.functions.get(f"{qual}.__init__")
+            if ctor is not None:
+                return ctor
+            target = table.imports.get(rest[0])
+            if target is not None and target != fq:
+                tail = parts[split + 1:]
+                return self.function(".".join([target] + tail), _depth + 1)
+        return None
+
+    def resolve_call(
+        self,
+        table: ModuleTable,
+        call: ast.Call,
+        extra_imports: Optional[Dict[str, str]] = None,
+        self_class: Optional[str] = None,
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call expression to a known function, if possible."""
+        return self.resolve_name(
+            table, call.func, extra_imports, self_class
+        )
+
+    def resolve_name(
+        self,
+        table: ModuleTable,
+        func: ast.expr,
+        extra_imports: Optional[Dict[str, str]] = None,
+        self_class: Optional[str] = None,
+    ) -> Optional[FunctionInfo]:
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if (self_class is not None and len(parts) == 2
+                and parts[0] in ("self", "cls")):
+            info = table.functions.get(f"{self_class}.{parts[1]}")
+            if info is not None:
+                return info
+        aliases = dict(table.imports)
+        if extra_imports:
+            aliases.update(extra_imports)
+        head, rest = parts[0], parts[1:]
+        if not rest:
+            # Bare name: local function first, then an imported symbol.
+            info = table.functions.get(head)
+            if info is not None:
+                return info
+            ctor = table.functions.get(f"{head}.__init__")
+            if ctor is not None:
+                return ctor
+            target = aliases.get(head)
+            if target is not None and target != head:
+                return self.function(target)
+            return None
+        target = aliases.get(head)
+        if target is not None:
+            return self.function(".".join([target] + rest))
+        # Fully dotted module path used directly (``import a.b.c``).
+        return self.function(dotted)
+
+    # -- traversal ---------------------------------------------------
+
+    def iter_calls(
+        self, info: FunctionInfo
+    ) -> Iterator[Tuple[ast.Call, Optional[FunctionInfo]]]:
+        """Every call inside ``info``, with its resolution (or None)."""
+        table = self.by_path[info.module.rel_path]
+        extra = local_imports(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                yield node, self.resolve_call(
+                    table, node, extra, info.class_name
+                )
+
+    def reachable(
+        self, roots: Sequence[FunctionInfo]
+    ) -> Dict[str, Tuple[FunctionInfo, Tuple[str, ...]]]:
+        """BFS over resolvable call edges from ``roots``.
+
+        Returns ``fq -> (info, path)`` where ``path`` is the chain of
+        fully qualified names from a root to the function (roots map to
+        a one-element path).
+        """
+        seen: Dict[str, Tuple[FunctionInfo, Tuple[str, ...]]] = {}
+        queue: List[Tuple[FunctionInfo, Tuple[str, ...]]] = [
+            (root, (root.fq,)) for root in roots
+        ]
+        while queue:
+            info, path = queue.pop(0)
+            if info.fq in seen:
+                continue
+            seen[info.fq] = (info, path)
+            for _, callee in self.iter_calls(info):
+                if callee is not None and callee.fq not in seen:
+                    queue.append((callee, path + (callee.fq,)))
+        return seen
+
+
+def find_task_registrations(
+    project: LintProject,
+) -> List[Tuple[ModuleTable, ast.Call, Optional[str],
+                Optional[FunctionInfo]]]:
+    """Every ``register_task_kind(name, fn)`` call in the project.
+
+    Yields ``(table, call, kind_name, target)``; ``target`` is None when
+    the registered callable is not a resolvable module-level function
+    (a lambda, a closure, a bound method...) — REP103 flags those.
+    """
+    found: List[Tuple[ModuleTable, ast.Call, Optional[str],
+                      Optional[FunctionInfo]]] = []
+    for table in project.tables.values():
+        for node in ast.walk(table.module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or dotted.split(".")[-1] != "register_task_kind":
+                continue
+            kind_name: Optional[str] = None
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                kind_name = node.args[0].value
+            fn_expr: Optional[ast.expr] = None
+            if len(node.args) >= 2:
+                fn_expr = node.args[1]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "fn":
+                        fn_expr = kw.value
+            target = None
+            if fn_expr is not None:
+                target = project.resolve_name(table, fn_expr)
+            found.append((table, node, kind_name, target))
+    return found

@@ -1,0 +1,591 @@
+"""The flow-sensitive rule family (REP101–REP104).
+
+These rules run over the whole lint run at once (see
+:class:`repro.lint.diagnostics.FlowRule`), combining the
+intra-procedural taint engine (:mod:`repro.lint.flow`) with the
+cross-module call graph (:mod:`repro.lint.callgraph`):
+
+* **REP101 latency-taint** — the flow-sensitive superset of REP002: a
+  latency value (from ``PCMArray.write/copy/swap/read_with_latency``,
+  ``MemoryController.write``, scheme ``remap`` hooks, *or any helper
+  wrapper that returns one of those*) must reach an accumulator, a
+  return, an escaping store or an explicit ``_ =`` discard on **every**
+  normal path.  REP002 remains the syntactic fallback for bare-Expr
+  discards of the named methods; REP101 covers aliases, branches and
+  wrapper indirection.
+* **REP102 rng-provenance** — a generator built outside
+  ``repro.util.rng`` (no seed, or a hard-coded constant seed) must not
+  flow into a stochastic component (``faults`` / ``wearlevel`` /
+  ``attacks``).
+* **REP103 campaign-determinism** — everything reachable from a
+  ``register_task_kind`` target runs inside worker processes in
+  parallel; module-level mutable state, shared module-level RNGs,
+  module-level file handles and ``global`` rebinding make those
+  attempts schedule-dependent.
+* **REP104 wall-clock-taint** — host-clock values (``time.time`` and
+  friends) must never flow into simulated-latency arithmetic, even in
+  files that legitimately read the wall clock (the REP005 waivers in
+  ``repro.campaign``).
+
+See ``docs/lint.md`` ("Flow rules") for examples and suppression
+guidance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    LintProject,
+    ModuleTable,
+    StateKind,
+    find_task_registrations,
+    local_imports,
+)
+from repro.lint.diagnostics import Diagnostic, FlowRule, register
+from repro.lint.flow import TaintSpec, TaintToken, analyze_function
+from repro.lint.rules import DiscardedLatency, WallClock, dotted_name, _identifier
+
+#: Methods whose return value is a latency (REP002's list).
+LATENCY_METHODS = DiscardedLatency._LATENCY_METHODS
+_FILELIKE = DiscardedLatency._FILELIKE
+
+#: ``copy``/``swap`` exist on dicts, lists and ndarrays too; only treat
+#: them as latency sources on receivers that look like memory devices.
+_AMBIGUOUS_METHODS = frozenset({"copy", "swap"})
+_PCM_RECEIVERS = ("array", "controller", "oracle", "pcm", "mem")
+
+
+def is_latency_method_call(call: ast.Call) -> bool:
+    """Syntactic test: does this call return a latency by convention?"""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr not in LATENCY_METHODS:
+        return False
+    receiver = _identifier(func.value)
+    if receiver is not None:
+        lowered = receiver.lower().lstrip("_")
+        if lowered in _FILELIKE:
+            return False
+        if func.attr in _AMBIGUOUS_METHODS:
+            return any(part in lowered for part in _PCM_RECEIVERS)
+    return True
+
+
+def latency_returning_functions(project: LintProject) -> Set[str]:
+    """Fixpoint: fully-qualified names of helpers that return latency.
+
+    A function returns latency when some ``return`` expression contains
+    a latency-method call, a call to an already-known wrapper, or a
+    name assigned from either anywhere in the function body.
+    """
+    known: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for table in project.tables.values():
+            for info in table.functions.values():
+                if info.fq in known:
+                    continue
+                if _returns_latency(project, table, info, known):
+                    known.add(info.fq)
+                    changed = True
+    return known
+
+
+def _call_is_latency(
+    project: LintProject,
+    table: ModuleTable,
+    info: FunctionInfo,
+    call: ast.Call,
+    known: Set[str],
+    extra: Dict[str, str],
+) -> bool:
+    if is_latency_method_call(call):
+        return True
+    resolved = project.resolve_call(table, call, extra, info.class_name)
+    return resolved is not None and resolved.fq in known
+
+
+def _returns_latency(
+    project: LintProject,
+    table: ModuleTable,
+    info: FunctionInfo,
+    known: Set[str],
+) -> bool:
+    extra = local_imports(info.node)
+    tainted: Set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _call_is_latency(project, table, info, node.value, known,
+                                extra):
+                tainted.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Call) and _call_is_latency(
+                    project, table, info, sub, known, extra):
+                return True
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                return True
+    return False
+
+
+# --------------------------------------------------------------- REP101
+
+
+class _LatencySpec(TaintSpec):
+    """Taint spec: latency sources, everything-is-a-valid-use sinks."""
+
+    def __init__(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        info: FunctionInfo,
+        wrappers: Set[str],
+    ) -> None:
+        self.project = project
+        self.table = table
+        self.info = info
+        self.wrappers = wrappers
+        self.extra = local_imports(info.node)
+
+    def source(self, call: ast.Call) -> Optional[str]:
+        if is_latency_method_call(call):
+            func = call.func
+            assert isinstance(func, ast.Attribute)
+            receiver = _identifier(func.value)
+            shown = f"{receiver}.{func.attr}" if receiver else func.attr
+            return f"{shown}()"
+        resolved = self.project.resolve_call(
+            self.table, call, self.extra, self.info.class_name
+        )
+        if resolved is not None and resolved.fq in self.wrappers:
+            return f"{resolved.qualname}() [returns latency]"
+        return None
+
+    def skip_bare_expr_source(self, call: ast.Call) -> bool:
+        """Bare-statement discards of the *named* methods stay REP002's
+        (syntactic) findings; REP101 keeps wrapper discards."""
+        return is_latency_method_call(call)
+
+
+@register
+class LatencyTaint(FlowRule):
+    """Latency values must be consumed on every path.
+
+    The write path's return value *is* the paper's timing side channel.
+    REP002 already catches a bare ``controller.write(la, data)``
+    statement; this rule follows the value after it is *assigned* —
+    through aliases, branches and helper wrappers — and fires when any
+    normal path to the end of the function drops it unconsumed.  Consume
+    means: accumulate (``total += lat``), return, pass to a call, store
+    into an object, branch on it, or discard explicitly (``_ = ...``).
+    """
+
+    code = "REP101"
+    name = "latency-taint"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        wrappers = latency_returning_functions(project)
+        for table in _sorted_tables(project):
+            for info in _sorted_functions(table):
+                spec = _LatencySpec(project, table, info, wrappers)
+                analysis = analyze_function(info.node, spec)
+                for token in analysis.pending_at_exit:
+                    holder = (
+                        f"assigned to '{token.first_holder}' "
+                        if token.first_holder else "discarded unnamed "
+                    )
+                    yield self.diagnostic(
+                        table.module,
+                        _at(token.site),
+                        f"latency from {token.desc} {holder}in "
+                        f"{info.qualname}() is dropped on some path; "
+                        "accumulate it, return it, or discard explicitly "
+                        "with '_ = ...'",
+                    )
+
+
+# --------------------------------------------------------------- REP102
+
+
+_STOCHASTIC_PARTS = frozenset({"faults", "wearlevel", "attacks"})
+_RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
+
+
+class _RngSpec(TaintSpec):
+    """Taint spec: fresh/hard-coded generators, stochastic-call sinks."""
+
+    def __init__(
+        self, project: LintProject, table: ModuleTable, info: FunctionInfo
+    ) -> None:
+        self.project = project
+        self.table = table
+        self.info = info
+        self.extra = local_imports(info.node)
+
+    def source(self, call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        leaf = dotted.split(".")[-1]
+        if leaf not in _RNG_CONSTRUCTORS:
+            return None
+        if leaf == "Generator" and not dotted.startswith(
+                ("np.random", "numpy.random")):
+            return None
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if args and not all(isinstance(a, ast.Constant) for a in args):
+            # Seeded from a variable (a threaded seed, derive_seed(...),
+            # a Generator): provenance flows from the caller — blessed.
+            return None
+        detail = "no seed" if not args else "hard-coded seed"
+        return f"{dotted}() [{detail}]"
+
+    def on_call_arg(
+        self,
+        call: ast.Call,
+        tokens: Sequence[TaintToken],
+        node: ast.AST,
+    ) -> Optional[str]:
+        resolved = self.project.resolve_call(
+            self.table, call, self.extra, self.info.class_name
+        )
+        if resolved is not None:
+            parts = set(resolved.modname.split("."))
+            callee = resolved.qualname
+        else:
+            # Callee not in the linted tree: fall back to the import
+            # path the name came from, so partial trees still check.
+            dotted = dotted_name(call.func)
+            if dotted is None:
+                return None
+            head, _, _ = dotted.partition(".")
+            target = self.extra.get(head) or self.table.imports.get(head)
+            if target is None:
+                return None
+            parts = set(target.split("."))
+            callee = dotted
+        if not parts & _STOCHASTIC_PARTS:
+            return None
+        return (
+            f"generator from {tokens[0].desc} reaches stochastic "
+            f"{callee}(); derive it from repro.util.rng "
+            "(derive_seed / as_generator) so replays stay seeded"
+        )
+
+
+@register
+class RngProvenance(FlowRule):
+    """Generators reaching stochastic components must come from
+    ``repro.util.rng``.
+
+    Campaign replays rely on every stochastic component being seeded
+    through ``derive_seed``/``as_generator``.  A ``default_rng()`` (or
+    a hard-coded ``default_rng(1234)``) constructed locally and handed
+    to a fault model, wear-leveler or attack silently severs a whole
+    subtree of an experiment from its root seed.
+    """
+
+    code = "REP102"
+    name = "rng-provenance"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table in _sorted_tables(project):
+            if table.module.is_rng_module:
+                continue
+            for info in _sorted_functions(table):
+                spec = _RngSpec(project, table, info)
+                analysis = analyze_function(info.node, spec)
+                for hit in analysis.sink_hits:
+                    yield self.diagnostic(table.module, hit.node, hit.detail)
+
+
+# --------------------------------------------------------------- REP103
+
+
+@register
+class CampaignDeterminism(FlowRule):
+    """Campaign task functions must be schedule-independent.
+
+    Everything reachable from a ``register_task_kind`` target executes
+    inside worker processes, many attempts at once.  Module-level
+    mutable state (even *reads* — another worker's import may have
+    mutated it), shared module-level RNG streams, module-level open
+    file handles and ``global`` rebinding all make the result of one
+    attempt depend on what the scheduler ran before it, which is
+    exactly what the campaign layer's derive-seed contract forbids.
+    """
+
+    code = "REP103"
+    name = "campaign-determinism"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        registrations = find_task_registrations(project)
+        roots: List[FunctionInfo] = []
+        kind_of: Dict[str, str] = {}
+        for table, call, kind, target in registrations:
+            label = kind if kind is not None else "?"
+            if target is None:
+                yield self.diagnostic(
+                    table.module, call,
+                    f"task kind '{label}' is registered with a callable "
+                    "that is not a module-level function; closures and "
+                    "lambdas capture schedule-dependent state and do not "
+                    "survive worker spawn",
+                )
+                continue
+            roots.append(target)
+            kind_of.setdefault(target.fq, label)
+        if not roots:
+            return
+        reached = project.reachable(roots)
+        seen: Set[Tuple[str, int, str]] = set()
+        for fq in sorted(reached):
+            info, path = reached[fq]
+            table = project.by_path[info.module.rel_path]
+            via = kind_of.get(path[0], "?")
+            chain = " -> ".join(p.rsplit(".", 1)[-1] for p in path)
+            for diag in self._check_function(
+                    project, table, info, via, chain, seen):
+                yield diag
+
+    def _check_function(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        info: FunctionInfo,
+        kind: str,
+        chain: str,
+        seen: Set[Tuple[str, int, str]],
+    ) -> Iterator[Diagnostic]:
+        bound = _locally_bound_names(info.node)
+        extra = local_imports(info.node)
+        declared_global: Set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                for name in node.names:
+                    key = (table.module.rel_path, node.lineno, name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.diagnostic(
+                        table.module, node,
+                        f"campaign task '{kind}' rebinds module-level "
+                        f"'{name}' via 'global' (reached via {chain}); "
+                        "worker attempts become schedule-dependent",
+                    )
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Name):
+                continue
+            name = node.id
+            if name in bound and name not in declared_global:
+                continue
+            state = self._lookup_state(project, table, name, extra)
+            if state is None or state[1] is StateKind.OTHER:
+                continue
+            owner, kind_found = state
+            key = (table.module.rel_path, node.lineno, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            what = {
+                StateKind.MUTABLE: "module-level mutable state",
+                StateKind.RNG: "a shared module-level RNG",
+                StateKind.FILE: "a module-level open file handle",
+            }[kind_found]
+            yield self.diagnostic(
+                table.module, node,
+                f"campaign task '{kind}' touches {what} "
+                f"'{name}' (defined in {owner}; reached via {chain}); "
+                "parallel attempts become schedule-dependent — pass the "
+                "state through params/seed instead",
+            )
+
+    def _lookup_state(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        name: str,
+        extra: Dict[str, str],
+    ) -> Optional[Tuple[str, StateKind]]:
+        local = table.state.get(name)
+        if local is not None:
+            return table.modname, local.kind
+        target = extra.get(name) or table.imports.get(name)
+        if target is None or "." not in target:
+            return None
+        modname, symbol = target.rsplit(".", 1)
+        owner = project.tables.get(modname)
+        if owner is None:
+            return None
+        remote = owner.state.get(symbol)
+        if remote is None:
+            return None
+        return owner.modname, remote.kind
+
+
+def _locally_bound_names(fn: ast.AST) -> Set[str]:
+    """Every name bound inside ``fn`` (params, assignments, loop and
+    ``with`` targets, except-clauses, nested defs, local imports)."""
+    bound: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            bound.update(a.arg for a in group)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pass
+    return bound
+
+
+# --------------------------------------------------------------- REP104
+
+
+_WALL_CLOCK_LEAVES = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns"}
+)
+
+
+def _is_sim_latency_name(name: Optional[str]) -> bool:
+    """Names that denote *simulated* time (not host durations)."""
+    if name is None:
+        return False
+    lowered = name.lower()
+    return (
+        "latency" in lowered
+        or lowered.endswith("_ns")
+        or lowered == "ns"
+        or "elapsed_ns" in lowered
+        or "simulated" in lowered
+    )
+
+
+class _WallClockSpec(TaintSpec):
+    """Taint spec: host-clock sources, simulated-latency sinks."""
+
+    def __init__(self, table: ModuleTable, info: FunctionInfo) -> None:
+        self.table = table
+        self.info = info
+        self.extra = local_imports(info.node)
+
+    def source(self, call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        if dotted in WallClock._BANNED_DOTTED:
+            return f"{dotted}()"
+        parts = dotted.split(".")
+        alias = self.extra.get(parts[0]) or self.table.imports.get(parts[0])
+        if alias is not None:
+            expanded = ".".join([alias] + parts[1:])
+            if expanded in WallClock._BANNED_DOTTED:
+                return f"{dotted}()"
+            if (len(parts) == 1 and expanded.startswith("time.")
+                    and expanded.split(".")[-1] in _WALL_CLOCK_LEAVES):
+                return f"{dotted}()"
+        return None
+
+    def on_bind(
+        self, name: str, tokens: Sequence[TaintToken], node: ast.AST
+    ) -> Optional[str]:
+        if not _is_sim_latency_name(name):
+            return None
+        return (
+            f"wall-clock value from {tokens[0].desc} flows into "
+            f"simulated-latency name '{name}'; simulated time must come "
+            "from elapsed_ns, never the host clock"
+        )
+
+    def on_binop(
+        self,
+        binop: ast.BinOp,
+        tokens: Sequence[TaintToken],
+        other: ast.AST,
+    ) -> Optional[str]:
+        if not _is_sim_latency_name(_identifier(other)):
+            return None
+        return (
+            f"wall-clock value from {tokens[0].desc} mixed into "
+            f"arithmetic with simulated-latency "
+            f"'{_identifier(other)}'; host time and simulated time "
+            "must never meet"
+        )
+
+
+@register
+class WallClockTaint(FlowRule):
+    """Host-clock values must never reach simulated-latency arithmetic.
+
+    REP005 bans wall-clock reads in simulator code wholesale, but the
+    campaign/progress layers legitimately waive it for host-side
+    throughput accounting.  This rule guards the boundary those waivers
+    open: a ``time.perf_counter()`` value that flows into a
+    ``*latency*`` / ``*_ns`` computation corrupts the side channel no
+    matter which file it happens in.
+    """
+
+    code = "REP104"
+    name = "wall-clock-taint"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table in _sorted_tables(project):
+            for info in _sorted_functions(table):
+                spec = _WallClockSpec(table, info)
+                analysis = analyze_function(info.node, spec)
+                for hit in analysis.sink_hits:
+                    yield self.diagnostic(table.module, hit.node, hit.detail)
+
+
+# --------------------------------------------------------------- shared
+
+
+def _sorted_tables(project: LintProject) -> List[ModuleTable]:
+    return [project.tables[name] for name in sorted(project.tables)]
+
+
+def _sorted_functions(table: ModuleTable) -> List[FunctionInfo]:
+    infos = list(table.functions.values())
+    infos.sort(key=lambda i: (i.node.lineno, i.qualname))  # type: ignore[attr-defined]
+    return infos
+
+
+class _Anchor:
+    """Minimal AST-node stand-in carrying a location."""
+
+    def __init__(self, line: int, col: int) -> None:
+        self.lineno = line
+        self.col_offset = col
+
+
+def _at(site: Tuple[int, int]) -> ast.AST:
+    anchor = _Anchor(site[0], site[1])
+    return anchor  # type: ignore[return-value]

@@ -1,7 +1,20 @@
-"""reprolint driver: file discovery, rule execution, reporting.
+"""reprolint driver: file discovery, rule execution, caching, reporting.
 
 Run as ``python -m repro.lint [paths...]`` or ``python -m repro lint``.
 Exit status: 0 clean, 1 violations found, 2 usage error.
+
+Two rule families run per invocation:
+
+* the syntactic rules (REP001–REP007) check each file independently;
+* the flow rules (REP101–REP104, on by default, ``--no-flow`` to skip)
+  see the whole run at once through a cross-module call graph.
+
+Results are cached under ``build/.lintcache`` (``--no-cache`` bypasses):
+per-file for the syntactic family, whole-project for the flow family.
+``--check-suppressions`` additionally reports stale
+``# reprolint: disable=...`` pragmas that no longer shield anything, as
+REP100 diagnostics (this mode disables the cache — usage accounting
+needs every rule to actually run).
 """
 
 from __future__ import annotations
@@ -10,22 +23,31 @@ import argparse
 import ast
 import json
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.lint import rules as _rules  # noqa: F401  (populates REGISTRY)
+from repro.lint import flowrules as _flowrules  # noqa: F401  (REP101–REP104)
+from repro.lint.cache import LintCache, project_key, source_sha
+from repro.lint.callgraph import LintProject
 from repro.lint.diagnostics import (
     REGISTRY,
     Diagnostic,
+    FlowRule,
     LintModule,
     Rule,
     Severity,
     all_rules,
 )
-from repro.lint.suppress import parse_suppressions
+from repro.lint.sarif import render_sarif
+from repro.lint.suppress import SuppressionMap, parse_suppressions
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "build",
                         "dist", ".pytest_cache"})
+
+#: Diagnostic code for a stale suppression (``--check-suppressions``).
+UNUSED_SUPPRESSION_CODE = "REP100"
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -42,46 +64,190 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             raise FileNotFoundError(raw)
 
 
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    #: rel_path -> that file's pragma map (with usage marks).
+    suppressions: Dict[str, SuppressionMap] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+
+def _split_rules(
+    selected: Iterable[Rule], flow: bool
+) -> Tuple[List[Rule], List[FlowRule]]:
+    syntactic: List[Rule] = []
+    flow_rules: List[FlowRule] = []
+    for rule in selected:
+        if isinstance(rule, FlowRule):
+            if flow:
+                flow_rules.append(rule)
+        else:
+            syntactic.append(rule)
+    return syntactic, flow_rules
+
+
+def _codes_key(rules: Sequence[Rule]) -> str:
+    return ",".join(sorted(r.code for r in rules))
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    selected: Optional[Iterable[Rule]] = None,
+    flow: bool = True,
+    cache: Optional[LintCache] = None,
+) -> LintResult:
+    """Lint a mapping of ``rel_path -> source``; the core engine.
+
+    Multi-file input is what gives the flow rules their cross-module
+    view; tests hand in small dict fixtures, :func:`lint_paths` hands
+    in the real tree.
+    """
+    chosen = list(all_rules() if selected is None else selected)
+    syntactic, flow_rules = _split_rules(chosen, flow)
+    result = LintResult(files_checked=len(sources))
+
+    modules: List[LintModule] = []
+    shas: Dict[str, str] = {}
+    for rel_path, source in sources.items():
+        shas[rel_path] = source_sha(source)
+        smap = parse_suppressions(source)
+        result.suppressions[rel_path] = smap
+        try:
+            tree = ast.parse(source, filename=rel_path)
+        except SyntaxError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    path=rel_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    code="REP000",
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        module = LintModule(rel_path=rel_path, source=source, tree=tree)
+        modules.append(module)
+
+        file_key = _codes_key(syntactic)
+        cached = (
+            cache.get_file(rel_path, shas[rel_path], file_key)
+            if cache is not None else None
+        )
+        if cached is not None:
+            result.diagnostics.extend(cached)
+            continue
+        file_diags: List[Diagnostic] = []
+        for rule in syntactic:
+            for diag in rule.check(module):
+                if not smap.is_suppressed(diag.code, diag.line):
+                    file_diags.append(diag)
+        if cache is not None:
+            cache.put_file(rel_path, shas[rel_path], file_key, file_diags)
+        result.diagnostics.extend(file_diags)
+
+    if flow_rules and modules:
+        flow_key = project_key(shas)
+        flow_codes = _codes_key(flow_rules)
+        cached_flow = (
+            cache.get_flow(flow_key, flow_codes)
+            if cache is not None else None
+        )
+        if cached_flow is not None:
+            result.diagnostics.extend(cached_flow)
+        else:
+            project = LintProject(modules)
+            flow_diags: List[Diagnostic] = []
+            for rule in flow_rules:
+                for diag in rule.check_project(project):
+                    smap = result.suppressions.get(diag.path)
+                    if smap is not None and smap.is_suppressed(
+                            diag.code, diag.line):
+                        continue
+                    flow_diags.append(diag)
+            if cache is not None:
+                cache.put_flow(flow_key, flow_codes, flow_diags)
+            result.diagnostics.extend(flow_diags)
+
+    if cache is not None:
+        cache.save()
+    result.diagnostics.sort()
+    return result
+
+
 def lint_source(
     source: str,
     rel_path: str = "<string>",
     selected: Optional[Iterable[Rule]] = None,
+    flow: bool = False,
 ) -> List[Diagnostic]:
-    """Lint one source string; the core entry point tests exercise."""
-    try:
-        tree = ast.parse(source, filename=rel_path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=rel_path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                code="REP000",
-                message=f"syntax error: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
-    module = LintModule(rel_path=rel_path, source=source, tree=tree)
-    suppressions = parse_suppressions(source)
-    diagnostics: List[Diagnostic] = []
-    for rule in (all_rules() if selected is None else selected):
-        for diag in rule.check(module):
-            if not suppressions.is_suppressed(diag.code, diag.line):
-                diagnostics.append(diag)
-    return sorted(diagnostics)
+    """Lint one source string (flow rules opt-in for single files)."""
+    return lint_sources(
+        {rel_path: source}, selected=selected, flow=flow
+    ).diagnostics
 
 
 def lint_paths(
     paths: Sequence[str],
     selected: Optional[Iterable[Rule]] = None,
+    flow: bool = True,
+    cache: Optional[LintCache] = None,
 ) -> List[Diagnostic]:
     """Lint every python file reachable from ``paths``."""
-    chosen = list(all_rules() if selected is None else selected)
-    diagnostics: List[Diagnostic] = []
+    return lint_tree(paths, selected, flow=flow, cache=cache).diagnostics
+
+
+def lint_tree(
+    paths: Sequence[str],
+    selected: Optional[Iterable[Rule]] = None,
+    flow: bool = True,
+    cache: Optional[LintCache] = None,
+) -> LintResult:
+    """Like :func:`lint_paths`, returning the full :class:`LintResult`."""
+    sources: Dict[str, str] = {}
     for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        diagnostics.extend(lint_source(source, path.as_posix(), chosen))
-    return diagnostics
+        sources[path.as_posix()] = path.read_text(encoding="utf-8")
+    return lint_sources(sources, selected, flow=flow, cache=cache)
+
+
+def unused_suppression_diagnostics(
+    result: LintResult, ran_codes: Iterable[str]
+) -> List[Diagnostic]:
+    """REP100 diagnostics for pragmas that shielded nothing.
+
+    A pragma code only counts as stale when the rule it names actually
+    ran (or names no known rule at all — a typo is always stale).
+    """
+    ran = set(ran_codes)
+    stale: List[Diagnostic] = []
+    for rel_path in sorted(result.suppressions):
+        smap = result.suppressions[rel_path]
+        for entry, code in smap.iter_stale():
+            if code != "all" and code in REGISTRY and code not in ran:
+                continue
+            scope = ("file-wide " if entry.target is None else "")
+            stale.append(
+                Diagnostic(
+                    path=rel_path,
+                    line=entry.pragma_line,
+                    col=1,
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        f"{scope}suppression of {code} matches no "
+                        "diagnostic; remove the stale pragma (or the "
+                        "stale code from its list)"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+    return stale
 
 
 def _resolve_rules(
@@ -119,7 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="diagnostic output format",
     )
     parser.add_argument(
@@ -131,6 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--flow", dest="flow", action="store_true", default=True,
+        help="run the flow-sensitive rules REP101-REP104 (default)",
+    )
+    parser.add_argument(
+        "--no-flow", dest="flow", action="store_false",
+        help="skip the flow-sensitive rules",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental cache under build/.lintcache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache directory (default: build/.lintcache)",
+    )
+    parser.add_argument(
+        "--check-suppressions", action="store_true",
+        help=(
+            "also report stale '# reprolint: disable' pragmas that no "
+            "longer suppress anything (REP100; disables the cache)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="describe every registered rule and exit",
     )
@@ -139,7 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_rule_listing() -> None:
     for rule in all_rules():
-        print(f"{rule.code} ({rule.name}) [{rule.severity}]")
+        flavor = " [flow]" if isinstance(rule, FlowRule) else ""
+        print(f"{rule.code} ({rule.name}) [{rule.severity}]{flavor}")
         print(f"    {rule.description}")
 
 
@@ -153,12 +343,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"unknown rule code(s): {exc.args[0]}", file=sys.stderr)
         return 2
+    use_cache = not args.no_cache and not args.check_suppressions
+    cache = (
+        LintCache(Path(args.cache_dir) if args.cache_dir else None)
+        if use_cache else None
+    )
     try:
-        diagnostics = lint_paths(args.paths, selected)
+        result = lint_tree(args.paths, selected, flow=args.flow,
+                           cache=cache)
     except FileNotFoundError as exc:
         print(f"no such file or directory: {exc.args[0]}", file=sys.stderr)
         return 2
-    n_files = sum(1 for _ in iter_python_files(args.paths))
+    diagnostics = result.diagnostics
+    if args.check_suppressions:
+        ran_codes = [r.code for r in selected
+                     if args.flow or not isinstance(r, FlowRule)]
+        diagnostics = sorted(
+            diagnostics + unused_suppression_diagnostics(result, ran_codes)
+        )
+    n_files = result.files_checked
     if args.format == "json":
         print(json.dumps(
             {
@@ -168,6 +371,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             },
             indent=2,
         ))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics, selected))
     else:
         for diag in diagnostics:
             print(diag.render())

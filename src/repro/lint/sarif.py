@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output for reprolint (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning ingests; emitting it lets the CI lint job
+surface reprolint findings as inline pull-request annotations.  Only
+the small, stable core of the spec is produced: one ``run`` with the
+tool's rule metadata and one ``result`` per diagnostic.
+
+The JSON is rendered with sorted keys and a fixed indent so repeated
+runs over an unchanged tree are byte-identical (the same stability
+contract the text and JSON formats keep).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Rule, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_entry(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result_entry(diag: Diagnostic) -> Dict[str, object]:
+    return {
+        "ruleId": diag.code,
+        "level": _LEVELS.get(diag.severity, "error"),
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": diag.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """Build the SARIF document as a JSON-able dict."""
+    driver: Dict[str, object] = {
+        "name": "reprolint",
+        "informationUri": "https://github.com/",
+        "version": tool_version,
+        "rules": [_rule_entry(rule)
+                  for rule in sorted(rules, key=lambda r: r.code)],
+    }
+    results: List[Dict[str, object]] = [
+        _result_entry(diag) for diag in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    tool_version: str = "1.0.0",
+) -> str:
+    """The SARIF document as a deterministic JSON string."""
+    return json.dumps(
+        to_sarif(diagnostics, rules, tool_version),
+        indent=2,
+        sort_keys=True,
+    )

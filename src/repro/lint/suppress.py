@@ -14,6 +14,11 @@ Two forms, mirroring pylint's pragmas:
 
 Comments are located with :mod:`tokenize` so ``#`` characters inside
 string literals cannot masquerade as pragmas.
+
+Every pragma is tracked individually (:class:`PragmaEntry`), recording
+which of its codes actually shielded a diagnostic during a run — that
+is what ``--check-suppressions`` reads to report stale pragmas that no
+longer suppress anything.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 _PRAGMA = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
@@ -34,22 +39,71 @@ ALL_CODES = "all"
 
 
 @dataclass
+class PragmaEntry:
+    """One ``# reprolint: disable[-file]=...`` comment in one file."""
+
+    #: line the pragma comment itself sits on (diagnostic anchor).
+    pragma_line: int
+    #: line the pragma shields, or ``None`` for a file-wide pragma.
+    target: Optional[int]
+    codes: FrozenSet[str]
+    #: codes (or :data:`ALL_CODES`) that suppressed at least one
+    #: diagnostic during the run.
+    used: Set[str] = field(default_factory=set)
+
+    def matches_line(self, line: int) -> bool:
+        return self.target is None or self.target == line
+
+    def stale_codes(self) -> List[str]:
+        """The codes this pragma names that shielded nothing."""
+        if ALL_CODES in self.codes:
+            return [] if self.used else [ALL_CODES]
+        return sorted(self.codes - self.used)
+
+
+@dataclass
 class SuppressionMap:
     """Which rule codes are suppressed where, for one source file."""
 
-    #: line number -> codes disabled on that line (``ALL_CODES`` = any).
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    #: codes disabled for the entire file.
-    file_wide: Set[str] = field(default_factory=set)
+    entries: List[PragmaEntry] = field(default_factory=list)
+
+    @property
+    def by_line(self) -> Dict[int, Set[str]]:
+        """line -> codes disabled there (compat view over entries)."""
+        view: Dict[int, Set[str]] = {}
+        for entry in self.entries:
+            if entry.target is not None:
+                view.setdefault(entry.target, set()).update(entry.codes)
+        return view
+
+    @property
+    def file_wide(self) -> Set[str]:
+        """Codes disabled for the entire file (compat view)."""
+        wide: Set[str] = set()
+        for entry in self.entries:
+            if entry.target is None:
+                wide.update(entry.codes)
+        return wide
 
     def is_suppressed(self, code: str, line: int) -> bool:
-        """True when ``code`` is disabled at ``line``."""
-        if ALL_CODES in self.file_wide or code in self.file_wide:
-            return True
-        active = self.by_line.get(line)
-        if active is None:
-            return False
-        return ALL_CODES in active or code in active
+        """True when ``code`` is disabled at ``line``; marks usage."""
+        hit = False
+        for entry in self.entries:
+            if not entry.matches_line(line):
+                continue
+            if ALL_CODES in entry.codes:
+                entry.used.add(ALL_CODES)
+                hit = True
+            elif code in entry.codes:
+                entry.used.add(code)
+                hit = True
+        return hit
+
+    def iter_stale(self) -> Iterator[Tuple[PragmaEntry, str]]:
+        """``(entry, code)`` pairs that suppressed nothing this run."""
+        for entry in self.entries:
+            for code in entry.stale_codes():
+                yield entry, code
 
 
 def _comments(source: str) -> List[Tuple[int, int, str]]:
@@ -86,11 +140,11 @@ def parse_suppressions(source: str) -> SuppressionMap:
             if code.strip()
         )
         if match.group("kind") == "disable-file":
-            smap.file_wide.update(codes)
+            smap.entries.append(PragmaEntry(line, None, codes))
             continue
         # A standalone pragma (nothing but whitespace before the ``#``)
         # shields the statement on the following line.
         text_before = lines[line - 1][:col] if line - 1 < len(lines) else ""
         target = line + 1 if not text_before.strip() else line
-        smap.by_line.setdefault(target, set()).update(codes)
+        smap.entries.append(PragmaEntry(line, target, codes))
     return smap

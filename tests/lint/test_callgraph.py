@@ -1,0 +1,244 @@
+"""Symbol-table / call-graph tests, including the static-vs-runtime
+comparison of the campaign task registry."""
+
+import ast
+from pathlib import Path
+
+from repro.campaign import registered_tasks
+from repro.lint.callgraph import (
+    LintProject,
+    StateKind,
+    build_table,
+    classify_value,
+    find_task_registrations,
+    module_name_for,
+)
+from repro.lint.diagnostics import LintModule
+from repro.lint.runner import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _module(rel_path, source):
+    return LintModule(rel_path=rel_path, source=source,
+                      tree=ast.parse(source))
+
+
+def _project(sources):
+    return LintProject([_module(p, s) for p, s in sources.items()])
+
+
+class TestModuleNames:
+    def test_src_prefix_dropped(self):
+        assert module_name_for("src/repro/pcm/array.py") == "repro.pcm.array"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_absolute_path_truncates_at_repro(self):
+        assert (
+            module_name_for("/root/repo/src/repro/util/rng.py")
+            == "repro.util.rng"
+        )
+
+    def test_non_repro_path_keeps_shape(self):
+        assert module_name_for("examples/demo.py") == "examples.demo"
+
+
+class TestClassify:
+    def _kind(self, expr):
+        return classify_value(ast.parse(expr, mode="eval").body)
+
+    def test_literals(self):
+        assert self._kind("[]") is StateKind.MUTABLE
+        assert self._kind("{}") is StateKind.MUTABLE
+        assert self._kind("{1}") is StateKind.MUTABLE
+
+    def test_constructors(self):
+        assert self._kind("dict()") is StateKind.MUTABLE
+        assert self._kind("collections.defaultdict(list)") is StateKind.MUTABLE
+
+    def test_rng(self):
+        assert self._kind("np.random.default_rng(0)") is StateKind.RNG
+
+    def test_file(self):
+        assert self._kind("open('x')") is StateKind.FILE
+
+    def test_benign(self):
+        assert self._kind("3") is StateKind.OTHER
+        assert self._kind("(1, 2)") is StateKind.OTHER
+
+
+class TestSymbolTable:
+    SRC = (
+        "import numpy as np\n"
+        "from repro.util.rng import derive_seed\n"
+        "_CACHE = {}\n"
+        "LIMIT = 4\n"
+        "def helper():\n"
+        "    pass\n"
+        "class Thing:\n"
+        "    def method(self):\n"
+        "        return helper()\n"
+    )
+
+    def test_functions_and_methods(self):
+        table = build_table(_module("src/repro/demo.py", self.SRC))
+        assert set(table.functions) == {"helper", "Thing.method"}
+        assert table.functions["Thing.method"].class_name == "Thing"
+        assert table.functions["helper"].fq == "repro.demo.helper"
+
+    def test_imports_and_state(self):
+        table = build_table(_module("src/repro/demo.py", self.SRC))
+        assert table.imports["np"] == "numpy"
+        assert table.imports["derive_seed"] == "repro.util.rng.derive_seed"
+        assert table.state["_CACHE"].kind is StateKind.MUTABLE
+        assert table.state["LIMIT"].kind is StateKind.OTHER
+
+
+class TestResolution:
+    def test_cross_module_call(self):
+        project = _project({
+            "src/repro/a.py": (
+                "from repro.b import helper\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+            "src/repro/b.py": "def helper():\n    return 1\n",
+        })
+        table = project.tables["repro.a"]
+        call = table.functions["caller"].node.body[0].value
+        resolved = project.resolve_call(table, call)
+        assert resolved is not None and resolved.fq == "repro.b.helper"
+
+    def test_self_method_call(self):
+        project = _project({
+            "src/repro/a.py": (
+                "class C:\n"
+                "    def one(self):\n"
+                "        return self.two()\n"
+                "    def two(self):\n"
+                "        return 2\n"
+            ),
+        })
+        table = project.tables["repro.a"]
+        call = table.functions["C.one"].node.body[0].value
+        resolved = project.resolve_call(table, call, self_class="C")
+        assert resolved is not None and resolved.fq == "repro.a.C.two"
+
+    def test_constructor_resolves_to_init(self):
+        project = _project({
+            "src/repro/a.py": (
+                "from repro.b import Gadget\n"
+                "def build():\n"
+                "    return Gadget()\n"
+            ),
+            "src/repro/b.py": (
+                "class Gadget:\n"
+                "    def __init__(self):\n"
+                "        self.x = 1\n"
+            ),
+        })
+        table = project.tables["repro.a"]
+        call = table.functions["build"].node.body[0].value
+        resolved = project.resolve_call(table, call)
+        assert resolved is not None and resolved.fq == "repro.b.Gadget.__init__"
+
+    def test_reexport_through_package_init(self):
+        project = _project({
+            "src/repro/pkg/__init__.py": "from repro.pkg.impl import thing\n",
+            "src/repro/pkg/impl.py": "def thing():\n    return 0\n",
+            "src/repro/user.py": (
+                "from repro.pkg import thing\n"
+                "def go():\n"
+                "    return thing()\n"
+            ),
+        })
+        table = project.tables["repro.user"]
+        call = table.functions["go"].node.body[0].value
+        resolved = project.resolve_call(table, call)
+        assert resolved is not None and resolved.fq == "repro.pkg.impl.thing"
+
+    def test_function_local_import(self):
+        project = _project({
+            "src/repro/a.py": (
+                "def lazy():\n"
+                "    from repro.b import helper\n"
+                "    return helper()\n"
+            ),
+            "src/repro/b.py": "def helper():\n    return 1\n",
+        })
+        table = project.tables["repro.a"]
+        info = table.functions["lazy"]
+        edges = list(project.iter_calls(info))
+        assert any(
+            callee is not None and callee.fq == "repro.b.helper"
+            for _, callee in edges
+        )
+
+
+class TestReachability:
+    def test_bfs_crosses_modules(self):
+        project = _project({
+            "src/repro/a.py": (
+                "from repro.b import mid\n"
+                "def root():\n"
+                "    return mid()\n"
+            ),
+            "src/repro/b.py": (
+                "from repro.c import leaf\n"
+                "def mid():\n"
+                "    return leaf()\n"
+            ),
+            "src/repro/c.py": "def leaf():\n    return 1\n",
+        })
+        root = project.tables["repro.a"].functions["root"]
+        reach = project.reachable([root])
+        assert set(reach) == {"repro.a.root", "repro.b.mid", "repro.c.leaf"}
+        info, path = reach["repro.c.leaf"]
+        assert path == ("repro.a.root", "repro.b.mid", "repro.c.leaf")
+
+
+class TestTaskRegistrations:
+    def test_fixture_registration_scan(self):
+        project = _project({
+            "src/repro/tasks.py": (
+                "from repro.campaign.tasks import register_task_kind\n"
+                "def run_x(spec):\n"
+                "    return {}\n"
+                "register_task_kind('x', run_x)\n"
+                "register_task_kind('y', lambda spec: {})\n"
+            ),
+        })
+        regs = list(find_task_registrations(project))
+        by_kind = {kind: target for _, _, kind, target in regs}
+        assert by_kind["x"].fq == "repro.tasks.run_x"
+        assert by_kind["y"] is None  # lambda: unresolvable target
+
+    def test_static_scan_matches_runtime_registry(self):
+        """Every kind the campaign registry knows at runtime must be
+        discoverable statically (REP103's roots would otherwise be
+        incomplete), and resolve to the same function names."""
+        modules = []
+        for path in iter_python_files([str(REPO_ROOT / "src" / "repro")]):
+            source = path.read_text(encoding="utf-8")
+            modules.append(
+                LintModule(rel_path=path.as_posix(), source=source,
+                           tree=ast.parse(source))
+            )
+        project = LintProject(modules)
+        static = {
+            kind: target
+            for _, _, kind, target in find_task_registrations(project)
+        }
+        # Other tests may have registered throwaway kinds in-process;
+        # only kinds implemented inside src/repro must be found.
+        runtime = {
+            kind: fn for kind, fn in registered_tasks().items()
+            if fn.__module__.startswith("repro.")
+        }
+        assert set(static) == set(runtime)
+        for kind, fn in runtime.items():
+            target = static[kind]
+            assert target is not None, f"kind {kind!r} did not resolve"
+            assert target.qualname == fn.__name__

@@ -16,11 +16,19 @@ SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_eleven_rules_registered(self):
         assert sorted(REGISTRY) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
             "REP007",
+            "REP101", "REP102", "REP103", "REP104",
         ]
+
+    def test_flow_rules_are_flow_rules(self):
+        from repro.lint import FlowRule
+
+        flow = {code for code, rule in REGISTRY.items()
+                if isinstance(rule, FlowRule)}
+        assert flow == {"REP101", "REP102", "REP103", "REP104"}
 
     def test_every_rule_documented(self):
         for rule in all_rules():
@@ -96,6 +104,131 @@ class TestRepoIsClean:
             env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestFlowFlag:
+    _DROP = (
+        "def f(ctrl, n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        lat = ctrl.write(i, b'x')\n"
+        "        if i % 2:\n"
+        "            total += lat\n"
+        "    return total\n"
+    )
+
+    def test_flow_on_by_default(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self._DROP)
+        assert main([str(bad), "--no-cache"]) == 1
+
+    def test_no_flow_skips_flow_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self._DROP)
+        assert main([str(bad), "--no-flow", "--no-cache"]) == 0
+
+    def test_flow_diagnostics_respect_suppressions(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        src = self._DROP.replace(
+            "lat = ctrl.write(i, b'x')",
+            "lat = ctrl.write(i, b'x')  "
+            "# reprolint: disable=REP101 -- odd probes only",
+        )
+        bad.write_text(src)
+        assert main([str(bad), "--no-cache"]) == 0
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert main([str(bad), "--format", "sarif", "--no-cache"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        [run] = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(REGISTRY)
+        [result] = run["results"]
+        assert result["ruleId"] == "REP004"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+
+    def test_sarif_is_byte_stable(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        main([str(bad), "--format", "sarif", "--no-cache"])
+        first = capsys.readouterr().out
+        main([str(bad), "--format", "sarif", "--no-cache"])
+        assert capsys.readouterr().out == first
+
+
+class TestCache:
+    def test_cache_round_trip_same_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        cache_dir = tmp_path / "cache"
+        argv = [str(bad), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        assert (cache_dir / "reprolint.json").exists()
+        assert main(argv) == 1
+        assert capsys.readouterr().out == cold
+
+    def test_edit_invalidates_file_entry(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        cache_dir = tmp_path / "cache"
+        argv = [str(target), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        target.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main(argv) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "reprolint.json").write_text("{not json")
+        assert main([str(bad), "--cache-dir", str(cache_dir)]) == 1
+
+
+class TestCheckSuppressions:
+    def test_stale_pragma_reported(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "x = 1  # reprolint: disable=REP001 -- nothing here anymore\n"
+        )
+        assert main([str(mod), "--check-suppressions"]) == 1
+        out = capsys.readouterr().out
+        assert "REP100" in out and "REP001" in out
+
+    def test_used_pragma_not_reported(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand()  # reprolint: disable=REP001 -- fixture\n"
+        )
+        assert main([str(mod), "--check-suppressions"]) == 0
+
+    def test_unknown_code_in_pragma_is_stale(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # reprolint: disable=REP999\n")
+        assert main([str(mod), "--check-suppressions"]) == 1
+        assert "REP999" in capsys.readouterr().out
+
+    def test_pragma_for_unselected_rule_is_not_stale(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # reprolint: disable=REP001 -- fixture\n")
+        assert main(
+            [str(mod), "--check-suppressions", "--select", "REP004"]
+        ) == 0
+
+    def test_repo_has_no_stale_suppressions(self):
+        assert main([str(SRC_REPRO), str(REPO_ROOT / "examples"),
+                     "--check-suppressions"]) == 0
 
 
 class TestMypyGate:

@@ -1,4 +1,4 @@
-.PHONY: install test bench examples smoke faults-smoke campaign-smoke lint lint-flow clean
+.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke lint lint-flow clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,6 +8,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Batched-vs-scalar engine throughput: asserts bit-identical results and
+# batched >= scalar on every scheme, then writes BENCH_5.json at the repo
+# root (the committed copy documents the reference-machine numbers).
+bench-fast:
+	PYTHONPATH=src python -m pytest benchmarks/test_engine_throughput.py -q -s
+	@test -s BENCH_5.json && echo "bench-fast: OK"
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done

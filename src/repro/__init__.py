@@ -41,7 +41,12 @@ from repro.core import (
     SecurityRBSG,
 )
 from repro.pcm import ALL0, ALL1, MIXED, LineData, LineFailure, PCMArray
-from repro.sim import MemoryController, SimulationResult, run_trace
+from repro.sim import (
+    MemoryController,
+    SimulationResult,
+    run_trace,
+    run_trace_fast,
+)
 from repro.wearlevel import (
     MultiWaySR,
     NoWearLeveling,
@@ -83,4 +88,5 @@ __all__ = [
     "TableBasedWearLeveling",
     "TwoLevelSecurityRefresh",
     "run_trace",
+    "run_trace_fast",
 ]

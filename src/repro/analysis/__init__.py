@@ -19,6 +19,7 @@ from repro.analysis.bpa import (
 from repro.analysis.lifetime import (
     bpa_two_level_sr_lifetime_ns,
     ideal_lifetime_ns,
+    measured_lifetime_ns,
     raa_nowl_lifetime_ns,
     raa_rbsg_lifetime_ns,
     raa_security_rbsg_lifetime_ns,
@@ -32,7 +33,11 @@ from repro.analysis.endurance import (
     spares_to_recover,
     uniform_lifetime_fraction,
 )
-from repro.analysis.overhead import HardwareOverhead, security_rbsg_overhead
+from repro.analysis.overhead import (
+    HardwareOverhead,
+    measured_write_overhead,
+    security_rbsg_overhead,
+)
 from repro.analysis.resilience import (
     CampaignResult,
     SideChannelProbe,
@@ -77,6 +82,8 @@ __all__ = [
     "spares_to_recover",
     "uniform_lifetime_fraction",
     "ideal_lifetime_ns",
+    "measured_lifetime_ns",
+    "measured_write_overhead",
     "key_detection_writes",
     "min_secure_stages",
     "raa_nowl_lifetime_ns",

@@ -20,9 +20,14 @@ detection ⇒ shorter lifetime.  See DESIGN.md / EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.analysis.ballsbins import dwells_to_max_load
 from repro.config import PCMConfig, RBSGConfig, SecurityRBSGConfig, SRConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import FastTrace
+    from repro.wearlevel.base import WearLeveler
 
 
 def ideal_lifetime_ns(pcm: PCMConfig) -> float:
@@ -165,3 +170,42 @@ def raa_security_rbsg_lifetime_ns(
     rounds = mu / coverage
     round_writes = n * cfg.outer_interval
     return rounds * round_writes * pcm.set_ns
+
+
+# ---------------------------------------------------- measured lifetime
+
+
+def measured_lifetime_ns(
+    scheme: "WearLeveler",
+    pcm: PCMConfig,
+    trace: "FastTrace",
+    max_writes: int = 10_000_000,
+    fast: bool = True,
+) -> float:
+    """Lifetime *measured* on the exact simulator, not modelled.
+
+    Drives ``scheme`` with ``trace`` until the first line failure and
+    returns the elapsed nanoseconds — the empirical counterpart of the
+    closed-form models above, for the scheme/workload pairs they do not
+    cover.  ``fast=True`` (default) uses the chunked vectorized engine,
+    which is bit-identical to the scalar path (``fast=False``) and falls
+    back to it automatically where chunking does not apply.
+
+    Raises ``RuntimeError`` if the device survives ``max_writes`` user
+    writes — a lifetime measurement must end in a failure.
+    """
+    from repro.sim.engine import run_trace, run_trace_fast
+    from repro.sim.memory_system import MemoryController
+    from repro.sim.trace import trace_entries
+
+    controller = MemoryController(scheme, pcm)
+    if not fast:
+        trace = trace_entries(trace)
+    driver = run_trace_fast if fast else run_trace
+    result = driver(controller, trace, max_writes=max_writes)
+    if not result.failed:
+        raise RuntimeError(
+            f"device did not fail within {max_writes} writes; "
+            "increase max_writes or reduce endurance for this experiment"
+        )
+    return result.elapsed_ns

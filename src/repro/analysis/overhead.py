@@ -22,8 +22,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import PCMConfig, SecurityRBSGConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import FastTrace, SimulationResult
+    from repro.wearlevel.base import WearLeveler
 
 
 @dataclass(frozen=True)
@@ -66,3 +71,34 @@ def security_rbsg_overhead(
         isremap_sram_bits=n,
         cubing_gates=gates,
     )
+
+
+# ------------------------------------------------- measured write cost
+
+
+def measured_write_overhead(
+    scheme: "WearLeveler",
+    pcm: PCMConfig,
+    trace: "FastTrace",
+    max_writes: int,
+    fast: bool = True,
+) -> "SimulationResult":
+    """Write overhead *measured* on the exact simulator.
+
+    Drives ``scheme`` with up to ``max_writes`` writes of ``trace`` and
+    returns the :class:`~repro.sim.engine.SimulationResult`, whose
+    ``write_amplification`` (physical writes per user write) is the
+    empirical counterpart of the hardware table above: it counts the
+    actual remap movements the workload triggered.  ``fast=True``
+    (default) uses the chunked vectorized engine — bit-identical to the
+    scalar path, with automatic fallback where chunking does not apply.
+    """
+    from repro.sim.engine import run_trace, run_trace_fast
+    from repro.sim.memory_system import MemoryController
+    from repro.sim.trace import trace_entries
+
+    controller = MemoryController(scheme, pcm, raise_on_failure=False)
+    if not fast:
+        trace = trace_entries(trace)
+    driver = run_trace_fast if fast else run_trace
+    return driver(controller, trace, max_writes=max_writes)

@@ -2,7 +2,7 @@
 
 A *task function* maps ``(params, seed) -> JSON-able result dict``.  It
 runs inside worker processes, so it must be a module-level function and
-both its inputs and outputs must survive pickling/JSON.  Three kinds
+both its inputs and outputs must survive pickling/JSON.  Four kinds
 ship with the library:
 
 * ``lifetime`` — closed-form paper-scale lifetime of a (scheme, attack)
@@ -11,6 +11,10 @@ ship with the library:
   simulator and report the attack outcome plus the wear Gini.  This is
   the inner loop of the ``matrix`` subcommand and of
   :func:`repro.experiments.attack_matrix`.
+* ``trace-lifetime`` — drive one scheme with one synthetic trace
+  (uniform / zipf / sequential / raa) to failure or budget on the
+  batched engine (:func:`repro.sim.engine.run_trace_fast`); measured
+  lifetime and write overhead rather than closed-form.
 * ``faults``   — one seeded fault-injection campaign
   (:func:`repro.analysis.resilience.run_fault_campaign`); the PR-1
   sweep, gridded.
@@ -274,6 +278,84 @@ def run_simulate_task(
     }
 
 
+# ------------------------------------------------------- trace lifetime
+
+
+def run_trace_lifetime_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """Measured lifetime / write overhead of one (scheme, trace) point.
+
+    Drives the exact simulator with a synthetic trace until failure or
+    the ``max_writes`` budget, on the batched engine by default
+    (``fast = false`` selects the scalar reference; both are
+    bit-identical, see :mod:`repro.sim.engine`).
+    """
+    from repro.pcm.stats import WearStats
+    from repro.sim.engine import run_trace, run_trace_fast
+    from repro.sim.memory_system import MemoryController
+    from repro.sim.trace import (
+        repeated_address_chunks,
+        repeated_address_trace,
+        sequential_chunks,
+        sequential_trace,
+        uniform_random_chunks,
+        uniform_random_trace,
+        zipf_chunks,
+        zipf_trace,
+    )
+
+    scheme_name = _str(params, "scheme")
+    trace_name = _str(params, "trace")
+    n_lines = _int(params, "lines", 4096)
+    endurance = _float(params, "endurance", 1e4)
+    max_writes = _int(params, "max_writes", 10_000_000)
+    alpha = _float(params, "alpha", 1.2)
+    target = _int(params, "target", 5)
+    fast = bool(params.get("fast", True))
+
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    scheme = build_scheme(scheme_name, n_lines, seed, params)
+    controller = MemoryController(scheme, config)
+
+    # Chunked and scalar generators draw the identical RNG stream, so the
+    # engine choice cannot change the trace.
+    trace: Any
+    if trace_name == "uniform":
+        trace = (uniform_random_chunks(n_lines, rng=seed) if fast
+                 else uniform_random_trace(n_lines, rng=seed))
+    elif trace_name == "zipf":
+        trace = (zipf_chunks(n_lines, alpha=alpha, rng=seed) if fast
+                 else zipf_trace(n_lines, alpha=alpha, rng=seed))
+    elif trace_name == "sequential":
+        trace = (sequential_chunks(n_lines) if fast
+                 else sequential_trace(n_lines))
+    elif trace_name == "raa":
+        trace = (repeated_address_chunks(target) if fast
+                 else repeated_address_trace(target))
+    else:
+        raise TaskError(
+            f"unknown trace kind {trace_name!r}; "
+            "expected uniform / zipf / sequential / raa"
+        )
+    driver = run_trace_fast if fast else run_trace
+    result = driver(controller, trace, max_writes=max_writes)
+    gini = WearStats.from_wear(controller.array.wear).gini
+    return {
+        "scheme": scheme_name,
+        "trace": trace_name,
+        "engine": "batched" if fast else "scalar",
+        "user_writes": result.user_writes,
+        "total_writes": result.total_writes,
+        "elapsed_ns": result.elapsed_ns,
+        "write_amplification": result.write_amplification,
+        "failed": result.failed,
+        "failed_pa": result.failed_pa,
+        "lifetime_seconds": result.lifetime_seconds,
+        "wear_gini": gini,
+    }
+
+
 # --------------------------------------------------------------- faults
 
 
@@ -303,4 +385,5 @@ def run_faults_task(
 
 register_task_kind("lifetime", run_lifetime_task)
 register_task_kind("simulate", run_simulate_task)
+register_task_kind("trace-lifetime", run_trace_lifetime_task)
 register_task_kind("faults", run_faults_task)

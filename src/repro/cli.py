@@ -4,6 +4,8 @@ Installed as ``python -m repro``.  Subcommands:
 
 * ``lifetime``  — analytic paper-scale lifetimes for a scheme/attack pair,
 * ``simulate``  — run a real attack on the exact simulator (scaled config),
+* ``trace``     — measured lifetime/overhead under a synthetic trace on
+  the batched fast engine (``--no-fast`` for the scalar reference),
 * ``overhead``  — the §V-C3 hardware-cost table,
 * ``stages``    — security sizing of the dynamic Feistel network,
 * ``perf``      — the §V-C4 IPC-impact table,
@@ -19,6 +21,8 @@ Examples::
     python -m repro lifetime --scheme rbsg --attack rta
     python -m repro simulate --scheme rbsg --attack rta --lines 512 \
         --endurance 2e4
+    python -m repro trace --scheme security-rbsg --trace uniform \
+        --lines 4096 --endurance 1e4 --json
     python -m repro overhead --stages 7 --json
     python -m repro stages --outer-interval 128
     python -m repro perf --interval 64 --ops 10000
@@ -195,6 +199,50 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"({_fmt_duration(result.elapsed_ns)})")
     if result.detection_writes:
         print(f"side-channel detection cost: {result.detection_writes} writes")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.campaign.tasks import TaskError, run_trace_lifetime_task
+
+    params = {
+        "scheme": args.scheme,
+        "trace": args.trace,
+        "lines": args.lines,
+        "endurance": args.endurance,
+        "max_writes": args.budget,
+        "interval": args.interval,
+        "regions": args.regions,
+        "stages": args.stages,
+        "alpha": args.alpha,
+        "target": args.target,
+        "fast": not args.no_fast,
+    }
+    if args.outer is not None:
+        params["outer"] = args.outer
+    try:
+        result = run_trace_lifetime_task(params, args.seed)
+    except TaskError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    print(f"scheme / trace  : {args.scheme} / {args.trace} "
+          f"({result['engine']} engine)")
+    print(f"device          : {args.lines} lines, E={args.endurance:g}")
+    elapsed_ns = float(result["elapsed_ns"])  # type: ignore[arg-type]
+    if result["failed"]:
+        print(f"FAILED line {result['failed_pa']} after "
+              f"{result['user_writes']} user writes = "
+              f"{_fmt_duration(elapsed_ns)}")
+    else:
+        print(f"survived {result['user_writes']} user writes "
+              f"({_fmt_duration(elapsed_ns)})")
+    amplification = float(result["write_amplification"])  # type: ignore[arg-type]
+    gini = float(result["wear_gini"])  # type: ignore[arg-type]
+    print(f"write overhead  : {amplification:.4f}x physical/user writes")
+    print(f"wear gini       : {gini:.4f}")
     return 0
 
 
@@ -490,6 +538,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=50_000_000)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "trace",
+        help="measured lifetime/overhead under a synthetic trace "
+             "(batched engine)",
+    )
+    p.add_argument("--scheme", required=True,
+                   choices=["none", "start-gap", "table", "random-swap",
+                            "rbsg", "sr", "multiway-sr", "two-level-sr",
+                            "security-rbsg"])
+    p.add_argument("--trace", required=True,
+                   choices=["uniform", "zipf", "sequential", "raa"])
+    p.add_argument("--lines", type=int, default=4096)
+    p.add_argument("--endurance", type=float, default=1e4)
+    p.add_argument("--budget", type=int, default=10_000_000,
+                   help="stop after this many user writes")
+    p.add_argument("--interval", type=int, default=16)
+    p.add_argument("--regions", type=int, default=8)
+    p.add_argument("--outer", type=int, default=None,
+                   help="outer remap interval (default: 2x --interval)")
+    p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--alpha", type=float, default=1.2,
+                   help="zipf skew exponent")
+    p.add_argument("--target", type=int, default=5,
+                   help="hammered address for --trace raa")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--no-fast", action="store_true",
+                   help="use the scalar reference engine instead of the "
+                        "batched fast path (results are bit-identical)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a single JSON object instead of text")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("overhead", help="hardware overhead table (§V-C3)")
     p.add_argument("--subregions", type=int, default=512)

@@ -116,6 +116,33 @@ class DynamicFeistelMapper:
             return self.displaced_slot
         return int(self.feistel_p.encrypt(la))
 
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` (bounds are the caller's problem).
+
+        The parked and displaced lines are never marked remapped while
+        their registers are live, so the two patches below never collide
+        with the ``is_remapped`` branch.
+        """
+        las = np.asarray(las, dtype=np.int64)
+        u64 = las.astype(np.uint64)
+        remapped = self.is_remapped[las]
+        out = np.empty(las.size, dtype=np.int64)
+        if remapped.all():  # common case (boot state, round just ended)
+            out[:] = np.asarray(self.feistel_c.encrypt(u64)).astype(np.int64)
+        else:
+            out[remapped] = np.asarray(
+                self.feistel_c.encrypt(u64[remapped])
+            ).astype(np.int64)
+            old = ~remapped
+            out[old] = np.asarray(self.feistel_p.encrypt(u64[old])).astype(
+                np.int64
+            )
+        if self.parked_la is not None:
+            out[las == self.parked_la] = self.spare_slot
+        if self.displaced_la is not None:
+            out[las == self.displaced_la] = self.displaced_slot
+        return out
+
     def round_complete(self) -> bool:
         """True when every line has been remapped in the current round."""
         return self._n_remapped == self.n_lines

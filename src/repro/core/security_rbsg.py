@@ -26,11 +26,19 @@ document here and in :mod:`repro.analysis.overhead`.)
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.core.dynamic_feistel import DynamicFeistelMapper
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import CopyMove, Move, SwapMove, WearLeveler
+from repro.wearlevel.base import (
+    CopyMove,
+    Move,
+    SwapMove,
+    WearLeveler,
+    grouped_cumcount,
+)
 from repro.wearlevel.startgap import StartGapRegion
 
 
@@ -138,6 +146,92 @@ class SecurityRBSG(WearLeveler):
                 src, dst = inner_move
                 moves.append(CopyMove(src=base + src, dst=base + dst))
         return moves
+
+    # ------------------------------------------------------- batched API
+
+    def _phys_of_ias(self, ias: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_phys_of_ia` (spare slot handled by patch)."""
+        spare = ias == self.outer.spare_slot
+        regions = np.where(spare, 0, ias // self.subregion_size)
+        starts = np.fromiter(
+            (r.start for r in self.inners),
+            dtype=np.int64,
+            count=self.n_subregions,
+        )
+        gaps = np.fromiter(
+            (r.gap for r in self.inners),
+            dtype=np.int64,
+            count=self.n_subregions,
+        )
+        local = (ias % self.subregion_size + starts[regions]) % self.subregion_size
+        local += local >= gaps[regions]
+        pas = regions * self._region_stride + local
+        pas[spare] = self._outer_spare_pa
+        return pas
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self._phys_of_ias(
+            self.outer.translate_many(np.asarray(las, dtype=np.int64))
+        )
+
+    def writes_until_next_remap(self) -> int:
+        outer_rem = self.outer_interval - (
+            self.outer_write_count % self.outer_interval
+        )
+        inner_min = min(r.writes_until_next_movement for r in self.inners)
+        return min(outer_rem, inner_min)
+
+    def consume_chunk(self, las: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Exact split: global outer counter, per-sub-region inner counters.
+
+        Writes landing on the outer spare slot advance no inner counter —
+        exactly as :meth:`record_write` skips them — so they are excluded
+        from the grouped occurrence count.
+        """
+        if las.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        outer_rem = self.outer_interval - (
+            self.outer_write_count % self.outer_interval
+        )
+        limit = min(int(las.size), outer_rem - 1)
+        if limit <= 0:
+            return np.empty(0, dtype=np.int64), 0
+        remaining = np.fromiter(
+            (r.writes_until_next_movement for r in self.inners),
+            dtype=np.int64,
+            count=self.n_subregions,
+        )
+        # Trigger right at index 0 (the call after an inner remap) needs
+        # no scan: one scalar DFN translate tells whether the first write
+        # hits a region whose counter is about to fire (spare-slot writes
+        # never do).
+        first_ia = self.outer.translate(int(las[0]))
+        if (first_ia != self.outer.spare_slot
+                and remaining[first_ia // self.subregion_size] <= 1):
+            return np.empty(0, dtype=np.int64), 0
+        # Inner scan-window cap (same rationale as RBSG's consume_chunk);
+        # spare-slot writes hit no inner counter, so the bound stays safe
+        # (they only stretch the run, never trigger inside it).
+        limit = min(limit, max(int(remaining.sum()), 1))
+        las = np.asarray(las[:limit], dtype=np.int64)
+        ias = self.outer.translate_many(las)
+        spare = ias == self.outer.spare_slot
+        # Spare-slot writes get group -1: they keep their position in the
+        # chunk but never match a region's remaining count.
+        regions = np.where(spare, -1, ias // self.subregion_size)
+        occ = grouped_cumcount(regions)
+        hits = (occ + 1 >= remaining[np.where(spare, 0, regions)]) & ~spare
+        trigger = np.nonzero(hits)[0]
+        n = int(trigger[0]) if trigger.size else limit
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        pas = self._phys_of_ias(ias[:n])
+        self.outer_write_count += n
+        inner_regions = regions[:n][~spare[:n]]
+        counts = np.bincount(inner_regions, minlength=self.n_subregions)
+        for r in np.nonzero(counts)[0]:
+            self.inners[int(r)].write_count += int(counts[r])
+        return pas, n
 
     # ------------------------------------------------------------- queries
 

@@ -50,6 +50,8 @@ from repro.lint.rules import DiscardedLatency, WallClock, dotted_name, _identifi
 
 #: Methods whose return value is a latency (REP002's list).
 LATENCY_METHODS = DiscardedLatency._LATENCY_METHODS
+#: Module-level latency-carrying functions (bare-name calls count too).
+LATENCY_FUNCTIONS = DiscardedLatency._LATENCY_FUNCTIONS
 _FILELIKE = DiscardedLatency._FILELIKE
 
 #: ``copy``/``swap`` exist on dicts, lists and ndarrays too; only treat
@@ -61,8 +63,12 @@ _PCM_RECEIVERS = ("array", "controller", "oracle", "pcm", "mem")
 def is_latency_method_call(call: ast.Call) -> bool:
     """Syntactic test: does this call return a latency by convention?"""
     func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in LATENCY_FUNCTIONS
     if not isinstance(func, ast.Attribute):
         return False
+    if func.attr in LATENCY_FUNCTIONS:
+        return True
     if func.attr not in LATENCY_METHODS:
         return False
     receiver = _identifier(func.value)
@@ -73,6 +79,16 @@ def is_latency_method_call(call: ast.Call) -> bool:
         if func.attr in _AMBIGUOUS_METHODS:
             return any(part in lowered for part in _PCM_RECEIVERS)
     return True
+
+
+def _shown_callable(call: ast.Call) -> str:
+    """Human-readable name of a latency call (Name or Attribute form)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    assert isinstance(func, ast.Attribute)
+    receiver = _identifier(func.value)
+    return f"{receiver}.{func.attr}" if receiver else func.attr
 
 
 def latency_returning_functions(project: LintProject) -> Set[str]:
@@ -158,11 +174,7 @@ class _LatencySpec(TaintSpec):
 
     def source(self, call: ast.Call) -> Optional[str]:
         if is_latency_method_call(call):
-            func = call.func
-            assert isinstance(func, ast.Attribute)
-            receiver = _identifier(func.value)
-            shown = f"{receiver}.{func.attr}" if receiver else func.attr
-            return f"{shown}()"
+            return f"{_shown_callable(call)}()"
         resolved = self.project.resolve_call(
             self.table, call, self.extra, self.info.class_name
         )

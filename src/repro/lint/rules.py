@@ -131,21 +131,31 @@ class UnseededRandomness(Rule):
 class DiscardedLatency(Rule):
     """No discarded latency on the attacker-observable write path.
 
-    ``PCMArray.write/copy/swap/read_with_latency``,
-    ``MemoryController.write`` and scheme ``remap`` hooks *return* the
-    operation's latency in nanoseconds — the paper's timing side channel.
-    Calling one as a bare expression statement silently drops that
-    number; an experiment that should observe it will quietly measure
-    nothing.  Assign the result (``_ = controller.write(...)`` for an
-    intentional discard) or suppress with a reason.
+    ``PCMArray.write/copy/swap/write_many/read_with_latency``,
+    ``MemoryController.write/write_chunk`` and scheme ``remap`` hooks
+    *return* the operation's latency in nanoseconds — the paper's timing
+    side channel.  The batched drivers are sinks of the same kind:
+    ``run_trace_fast`` returns the ``SimulationResult`` holding the
+    elapsed time its chunks accumulated.  Calling one as a bare
+    expression statement silently drops that number; an experiment that
+    should observe it will quietly measure nothing.  Assign the result
+    (``_ = controller.write(...)`` for an intentional discard) or
+    suppress with a reason.
     """
 
     code = "REP002"
     name = "discarded-latency"
 
     _LATENCY_METHODS = frozenset(
-        {"write", "copy", "swap", "read_with_latency", "remap"}
+        {
+            "write", "copy", "swap", "read_with_latency", "remap",
+            "write_many", "write_chunk",
+        }
     )
+    #: Module-level latency-carrying functions, recognised whether called
+    #: bare (``run_trace_fast(...)``) or through a module attribute
+    #: (``engine.run_trace_fast(...)``).
+    _LATENCY_FUNCTIONS = frozenset({"run_trace_fast"})
     #: Receivers whose ``.write()`` is file-like, not PCM-like.
     _FILELIKE = frozenset(
         {
@@ -161,15 +171,21 @@ class DiscardedLatency(Rule):
                     and isinstance(node.value, ast.Call)):
                 continue
             func = node.value.func
-            if not isinstance(func, ast.Attribute):
+            if isinstance(func, ast.Name):
+                if func.id not in self._LATENCY_FUNCTIONS:
+                    continue
+                shown = func.id
+            elif isinstance(func, ast.Attribute):
+                if (func.attr not in self._LATENCY_METHODS
+                        and func.attr not in self._LATENCY_FUNCTIONS):
+                    continue
+                receiver = _identifier(func.value)
+                if (receiver is not None
+                        and receiver.lower().lstrip("_") in self._FILELIKE):
+                    continue
+                shown = f"{receiver}.{func.attr}" if receiver else func.attr
+            else:
                 continue
-            if func.attr not in self._LATENCY_METHODS:
-                continue
-            receiver = _identifier(func.value)
-            if (receiver is not None
-                    and receiver.lower().lstrip("_") in self._FILELIKE):
-                continue
-            shown = f"{receiver}.{func.attr}" if receiver else func.attr
             yield self.diagnostic(
                 module, node,
                 f"return value of {shown}() (latency in ns) is discarded; "

@@ -39,7 +39,17 @@ from repro.util.rng import SeedLike, as_generator
 
 
 class LineFailure(Exception):
-    """Raised when a write lands on a line whose endurance is exhausted."""
+    """Raised when a write lands on a line whose endurance is exhausted.
+
+    When the failing write was part of a :meth:`PCMArray.write_many`
+    chunk, :attr:`chunk_index` carries its position within the chunk so
+    the batched engine can attribute user-write counts exactly as the
+    scalar engine would.
+    """
+
+    #: Index of the failing write within its ``write_many`` chunk (None
+    #: for scalar writes and remap movements).
+    chunk_index: Optional[int] = None
 
     def __init__(
         self, pa: int, wear: int, total_writes: int, elapsed_ns: float
@@ -295,6 +305,111 @@ class PCMArray:
         self.data[pa_a] = int(db)
         self.data[pa_b] = int(da)
         return latency
+
+    # ------------------------------------------------------- batched I/O
+
+    def write_many(self, pas: np.ndarray, datas: np.ndarray) -> float:
+        """Write a chunk of lines; return the chunk's total latency in ns.
+
+        Bit-identical to calling :meth:`write` once per element: the same
+        ``elapsed_ns`` (latencies are integer-valued ns, so the float sum
+        is exact), the same per-line ``wear``/``total_writes``, and —
+        when a write exhausts a line — a :class:`LineFailure` for the
+        *earliest* failing write with the exact scalar-path state at that
+        point (its :attr:`LineFailure.chunk_index` is set so callers can
+        attribute partial progress).
+
+        Fast-path preconditions checked here, not by the caller:
+
+        * fault injection armed ⇒ per-write scalar fallback (retry loops
+          and stuck-cell accounting stay exact);
+        * a possible endurance failure inside the chunk ⇒ scalar replay
+          of the whole chunk (no state was mutated yet, so the replay is
+          the scalar path verbatim).
+
+        Duplicate ``pas`` are handled exactly: wear accumulates per
+        occurrence (``np.add.at``), differential-write transitions chain
+        through the chunk, and the last write wins for stored data.
+        """
+        pas = np.ascontiguousarray(pas, dtype=np.int64)
+        datas = np.ascontiguousarray(datas, dtype=np.int8)
+        n = int(pas.size)
+        if n == 0:
+            return 0.0
+        if self.faults is not None:
+            return self._write_many_scalar(pas, datas)
+        if self.config.differential_writes:
+            old = self._chunk_old_data(pas, datas)
+            lat = self.timing.transition_latency_table[old, datas]
+            wears = self.timing.transition_wears_table[old, datas]
+            wear_pas = pas[wears]
+            n_wearing = int(wear_pas.size)
+        else:
+            lat = self.timing.latency_table[datas]
+            wear_pas = pas
+            n_wearing = n
+        if self._first_failure is None and n_wearing:
+            # Cheap screen first: even if every wearing write of the
+            # chunk landed on the single most-worn line touched, could
+            # anything fail?  Only then pay for the exact per-line test.
+            touched_wear = self.wear[wear_pas]
+            if self.endurance_map is None:
+                limit_min: float = self.config.endurance
+            else:
+                limit_min = float(self.endurance_map[wear_pas].min())
+            if int(touched_wear.max()) + n_wearing >= limit_min:
+                unique, counts = np.unique(wear_pas, return_counts=True)
+                if self.endurance_map is None:
+                    limit: Union[float, np.ndarray] = self.config.endurance
+                else:
+                    limit = self.endurance_map[unique]
+                if bool(np.any(self.wear[unique] + counts >= limit)):
+                    # Someone fails by the end of this chunk; replay it
+                    # scalar so the failure snapshot (wear, total_writes,
+                    # elapsed_ns at the failing write) matches exactly.
+                    return self._write_many_scalar(pas, datas)
+        chunk_ns = float(np.sum(lat))
+        self.elapsed_ns += chunk_ns
+        if n_wearing:
+            np.add.at(self.wear, wear_pas, 1)
+            self.total_writes += n_wearing
+        # Last write wins per pa: numpy fancy-index assignment stores
+        # values in index order, so a repeated pa ends up holding its
+        # chronologically last value (the equivalence suite pins this).
+        self.data[pas] = datas
+        return chunk_ns
+
+    def _write_many_scalar(self, pas: np.ndarray, datas: np.ndarray) -> float:
+        """Scalar fallback of :meth:`write_many`; tags failure positions."""
+        latency = 0.0
+        for i in range(pas.size):
+            try:
+                latency += self.write(int(pas[i]), LineData(int(datas[i])))
+            except LineFailure as failure:
+                if failure.chunk_index is None:
+                    failure.chunk_index = i
+                raise
+        return latency
+
+    def _chunk_old_data(self, pas: np.ndarray, datas: np.ndarray) -> np.ndarray:
+        """Per-write *old* latency class, honouring intra-chunk rewrites.
+
+        The first write to a pa within the chunk reads the array state;
+        every repeat reads whatever the chunk itself last wrote there.
+        """
+        n = int(pas.size)
+        order = np.argsort(pas, kind="stable")
+        sorted_pas = pas[order]
+        sorted_datas = datas[order]
+        first = np.ones(n, dtype=bool)
+        first[1:] = sorted_pas[1:] != sorted_pas[:-1]
+        old_sorted = np.empty(n, dtype=np.int8)
+        old_sorted[first] = self.data[sorted_pas[first]]
+        repeats = np.nonzero(~first)[0]
+        old_sorted[repeats] = sorted_datas[repeats - 1]
+        old = np.empty(n, dtype=np.int8)
+        old[order] = old_sorted
+        return old
 
     # ---------------------------------------------------- verify / faults
 

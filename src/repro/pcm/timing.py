@@ -19,8 +19,11 @@ The observable composite latencies the paper derives (Fig. 4) follow:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Tuple
+
+import numpy as np
 
 from repro.config import PCMConfig
 
@@ -41,9 +44,73 @@ MIXED = LineData.MIXED
 
 @dataclass(frozen=True)
 class TimingModel:
-    """Maps operations on latency-classed data to nanosecond costs."""
+    """Maps operations on latency-classed data to nanosecond costs.
+
+    All per-:class:`LineData` costs are precomputed once at construction
+    into lookup tables, shared by the scalar path (tuple lookups, no
+    branches per write) and the vectorized batched path (ndarray fancy
+    indexing in :meth:`repro.pcm.array.PCMArray.write_many`).
+    """
 
     config: PCMConfig
+    #: ``latency_table[data]`` — write latency (ns) of one latency class.
+    latency_table: np.ndarray = field(init=False, repr=False, compare=False)
+    #: ``transition_latency_table[old, new]`` — write latency of ``new``
+    #: over ``old`` under the configured differential-write mode.
+    transition_latency_table: np.ndarray = field(
+        init=False, repr=False, compare=False
+    )
+    #: ``transition_wears_table[old, new]`` — does that write wear the line?
+    transition_wears_table: np.ndarray = field(
+        init=False, repr=False, compare=False
+    )
+    # Scalar-path twins of the arrays above (plain tuples: a tuple lookup
+    # is cheaper than an ndarray scalar index *and* than the two branches
+    # the lookup replaces).
+    _latency_lut: Tuple[float, ...] = field(init=False, repr=False, compare=False)
+    _transition_lut: Tuple[Tuple[Tuple[float, bool], ...], ...] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        write_ns = (cfg.reset_ns, cfg.set_ns, cfg.set_ns)  # ALL0, ALL1, MIXED
+        transitions = []
+        for old in LineData:
+            row = []
+            for new in LineData:
+                if not cfg.differential_writes:
+                    row.append((write_ns[new], True))
+                elif old == new and new != LineData.MIXED:
+                    # Verify read only, no cell flips, no wear.
+                    row.append((cfg.read_ns, False))
+                elif new == LineData.ALL0:
+                    # Only 1->0 transitions remain: RESET time.
+                    row.append((cfg.reset_ns, True))
+                else:
+                    row.append((cfg.set_ns, True))
+            transitions.append(tuple(row))
+        object.__setattr__(self, "_latency_lut", write_ns)
+        object.__setattr__(self, "_transition_lut", tuple(transitions))
+        object.__setattr__(
+            self, "latency_table", np.array(write_ns, dtype=np.float64)
+        )
+        object.__setattr__(
+            self,
+            "transition_latency_table",
+            np.array(
+                [[lat for lat, _ in row] for row in transitions],
+                dtype=np.float64,
+            ),
+        )
+        object.__setattr__(
+            self,
+            "transition_wears_table",
+            np.array(
+                [[wears for _, wears in row] for row in transitions],
+                dtype=bool,
+            ),
+        )
 
     def read_latency(self) -> float:
         """Latency of reading one line."""
@@ -55,11 +122,9 @@ class TimingModel:
         The paper's model: the line write is as slow as its slowest cell,
         so anything containing a '1' costs a full SET pulse.
         """
-        if data == LineData.ALL0:
-            return self.config.reset_ns
-        return self.config.set_ns
+        return self._latency_lut[data]
 
-    def write_transition(self, old: LineData, new: LineData):
+    def write_transition(self, old: LineData, new: LineData) -> Tuple[float, bool]:
         """Latency and wear of writing ``new`` over ``old``.
 
         Returns ``(latency_ns, wears)``.  In the paper's model (the
@@ -69,14 +134,7 @@ class TimingModel:
         read and causes no wear (MIXED content is conservatively assumed
         to change).
         """
-        if not self.config.differential_writes:
-            return self.write_latency(new), True
-        if old == new and new != LineData.MIXED:
-            return self.read_latency(), False  # verify only, no cell flips
-        if new == LineData.ALL0:
-            # Only 1->0 transitions remain: RESET time.
-            return self.config.reset_ns, True
-        return self.config.set_ns, True
+        return self._transition_lut[old][new]
 
     def copy_latency(self, data: LineData) -> float:
         """Latency of one remap movement: read the source, write the target.

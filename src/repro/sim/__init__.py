@@ -11,7 +11,12 @@ Three granularities, trading exactness for reach:
 * :mod:`repro.analysis.lifetime` (separate package) — closed-form models.
 """
 
-from repro.sim.engine import SimulationResult, run_trace, run_until_failure
+from repro.sim.engine import (
+    SimulationResult,
+    run_trace,
+    run_trace_fast,
+    run_until_failure,
+)
 from repro.sim.memory_system import MemoryController
 from repro.sim.multibank import MultiBankSystem
 from repro.sim.roundsim import (
@@ -22,9 +27,15 @@ from repro.sim.roundsim import (
 )
 from repro.sim.trace import (
     TraceEntry,
+    repeated_address_chunks,
     repeated_address_trace,
+    sequential_chunks,
     sequential_trace,
+    trace_chunks,
+    trace_entries,
+    uniform_random_chunks,
     uniform_random_trace,
+    zipf_chunks,
     zipf_trace,
 )
 
@@ -37,10 +48,17 @@ __all__ = [
     "SimulationResult",
     "TraceEntry",
     "TwoLevelSRRAASim",
+    "repeated_address_chunks",
     "repeated_address_trace",
     "run_trace",
+    "run_trace_fast",
     "run_until_failure",
+    "sequential_chunks",
     "sequential_trace",
+    "trace_chunks",
+    "trace_entries",
+    "uniform_random_chunks",
     "uniform_random_trace",
+    "zipf_chunks",
     "zipf_trace",
 ]

@@ -1,13 +1,30 @@
-"""Exact per-write simulation drivers and lifetime measurement."""
+"""Exact per-write simulation drivers and lifetime measurement.
+
+Two drivers, one result type:
+
+* :func:`run_trace` — the scalar reference: one Python call chain per
+  logical write.
+* :func:`run_trace_fast` — the chunked fast path: translates and applies
+  whole remap-free runs of writes as numpy array operations, dropping to
+  the scalar path only for the writes that may trigger a remap (and for
+  schemes/configurations that cannot be chunked).  Bit-identical to
+  :func:`run_trace`: same ``elapsed_ns``, ``total_writes``, per-line
+  wear, failure PA, and RNG stream.  See ``docs/performance.md``.
+"""
 
 from __future__ import annotations
 
+from itertools import chain
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
 from dataclasses import dataclass
-from typing import Iterable, Optional
+
+import numpy as np
 
 from repro.pcm.array import LineFailure
+from repro.pcm.timing import LineData
 from repro.sim.memory_system import MemoryController
-from repro.sim.trace import TraceEntry
+from repro.sim.trace import TraceChunk, TraceEntry, trace_chunks
 
 
 @dataclass(frozen=True)
@@ -51,6 +68,82 @@ def run_trace(
     except LineFailure as failure:
         return SimulationResult(
             user_writes=user_writes + 1,
+            total_writes=controller.total_writes,
+            elapsed_ns=controller.elapsed_ns,
+            failed=True,
+            failed_pa=failure.pa,
+        )
+    return SimulationResult(
+        user_writes=user_writes,
+        total_writes=controller.total_writes,
+        elapsed_ns=controller.elapsed_ns,
+        failed=False,
+    )
+
+
+FastTrace = Union[Iterable[TraceEntry], Iterable[TraceChunk]]
+
+
+def _as_chunks(trace: FastTrace, batch: int) -> Iterator[TraceChunk]:
+    """Accept either granularity: entry streams are batched, chunked
+    streams pass through untouched."""
+    it = iter(trace)
+    try:
+        first = next(it)
+    except StopIteration:
+        return iter(())
+    rest = chain([first], it)
+    if isinstance(first, TraceEntry):
+        return trace_chunks(rest, batch=batch)
+    return rest  # type: ignore[return-value]
+
+
+def run_trace_fast(
+    controller: MemoryController,
+    trace: FastTrace,
+    max_writes: Optional[int] = None,
+    *,
+    batch: int = 8192,
+) -> SimulationResult:
+    """Chunked twin of :func:`run_trace`; bit-identical results.
+
+    ``trace`` may be a scalar :class:`TraceEntry` stream (batched here
+    via :func:`repro.sim.trace.trace_chunks`) or a native chunked stream
+    of ``(las, datas)`` arrays (e.g. ``uniform_random_chunks``), which
+    skips per-entry Python objects entirely.
+
+    Each chunk is cut at remap boundaries by the scheme itself
+    (``consume_chunk``); the boundary writes — and everything else when a
+    scheme cannot bound its next remap — run through the scalar
+    ``controller.write``, so remap movements and every RNG draw happen in
+    exactly the scalar order.  Failures mid-chunk are attributed to the
+    precise failing write via ``LineFailure.chunk_index``.
+    """
+    user_writes = 0
+    try:
+        for las, datas in _as_chunks(trace, batch):
+            pos = 0
+            size = int(las.size)
+            while pos < size:
+                if max_writes is not None and user_writes >= max_writes:
+                    break
+                end = size
+                if max_writes is not None:
+                    end = min(size, pos + (max_writes - user_writes))
+                _, n = controller.write_chunk(las[pos:end], datas[pos:end])
+                if n == 0:
+                    # The next write may remap: issue it scalar.
+                    # reprolint: disable=REP002 trace replay
+                    controller.write(int(las[pos]), LineData(int(datas[pos])))
+                    n = 1
+                user_writes += n
+                pos += n
+            if max_writes is not None and user_writes >= max_writes:
+                break
+    except LineFailure as failure:
+        completed = failure.chunk_index if failure.chunk_index is not None else 0
+        return SimulationResult(
+            user_writes=user_writes + completed + 1,
             total_writes=controller.total_writes,
             elapsed_ns=controller.elapsed_ns,
             failed=True,

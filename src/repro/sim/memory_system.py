@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 from repro.config import PCMConfig
 from repro.pcm.array import PCMArray
 from repro.pcm.health import DeviceHealth
@@ -89,6 +91,27 @@ class MemoryController:
         pa = self.scheme.translate(la)
         latency += self.array.write(pa, data)
         return latency
+
+    def write_chunk(
+        self, las: np.ndarray, datas: np.ndarray
+    ) -> Tuple[float, int]:
+        """Write the longest remap-free prefix of a chunk in one batch.
+
+        Returns ``(latency_ns, n)``: the accumulated latency of the ``n``
+        writes executed.  ``n == 0`` means the very next write may trigger
+        a remap and must go through the scalar :meth:`write` (remap
+        movements are rare and attacker-observable, so they always execute
+        scalar).  Bit-identical to ``n`` scalar :meth:`write` calls — see
+        :meth:`repro.pcm.array.PCMArray.write_many` for the guarantees.
+        """
+        las = np.asarray(las, dtype=np.int64)
+        if las.size and (int(las.min()) < 0 or int(las.max()) >= self.config.n_lines):
+            bad = las[(las < 0) | (las >= self.config.n_lines)][0]
+            self._check_la(int(bad))
+        pas, n = self.scheme.consume_chunk(las)
+        if n == 0:
+            return 0.0, 0
+        return self.array.write_many(pas, np.asarray(datas)[:n]), n
 
     def read(self, la: int) -> Tuple[LineData, float]:
         """Read logical line ``la``; return ``(data, latency_ns)``.

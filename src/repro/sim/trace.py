@@ -1,20 +1,34 @@
 """Synthetic write-trace generators.
 
-Traces are lazy iterators of :class:`TraceEntry` so arbitrarily long streams
-cost O(1) memory.  They model the workload classes the paper's discussion
-relies on: benign uniform / skewed (zipf) / sequential traffic, and the
-degenerate single-address stream of a Repeated Address Attack.
+Traces come in two granularities sharing one RNG draw discipline:
+
+* *scalar* — lazy iterators of :class:`TraceEntry` (``la`` is always a
+  plain ``int``), the interface every attack and the scalar engine use;
+* *chunked* — iterators of ``(las, datas)`` numpy array pairs, what the
+  vectorized fast engine (:func:`repro.sim.engine.run_trace_fast`)
+  consumes without per-entry Python objects.
+
+The scalar generators are thin loops over their chunked twins, so for the
+same seed and ``batch`` both granularities draw the *identical* random
+stream — an experiment can switch engines without changing its trace.
+
+They model the workload classes the paper's discussion relies on: benign
+uniform / skewed (zipf) / sequential traffic, and the degenerate
+single-address stream of a Repeated Address Attack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from itertools import chain, islice
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.pcm.timing import ALL1, LineData
 from repro.util.rng import SeedLike, as_generator
+
+TraceChunk = Tuple[np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -25,24 +39,159 @@ class TraceEntry:
     data: LineData = ALL1
 
 
+# ------------------------------------------------------- chunked traces
+
+
+def _sizes(n_writes: Optional[int], batch: int) -> Iterator[int]:
+    """Chunk sizes covering ``n_writes`` (or forever) in ``batch`` steps."""
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    count = 0
+    while n_writes is None or count < n_writes:
+        size = batch if n_writes is None else min(batch, n_writes - count)
+        yield size
+        count += size
+
+
+def repeated_address_chunks(
+    la: int,
+    n_writes: Optional[int] = None,
+    data: LineData = ALL1,
+    batch: int = 4096,
+) -> Iterator[TraceChunk]:
+    """Chunked RAA stream: hammer one logical address."""
+    for size in _sizes(n_writes, batch):
+        yield (
+            np.full(size, la, dtype=np.int64),
+            np.full(size, int(data), dtype=np.int8),
+        )
+
+
+def sequential_chunks(
+    n_lines: int,
+    n_writes: Optional[int] = None,
+    data: LineData = ALL1,
+    batch: int = 4096,
+) -> Iterator[TraceChunk]:
+    """Chunked round-robin over the address space."""
+    count = 0
+    for size in _sizes(n_writes, batch):
+        las = np.arange(count, count + size, dtype=np.int64) % n_lines
+        yield las, np.full(size, int(data), dtype=np.int8)
+        count += size
+
+
+def uniform_random_chunks(
+    n_lines: int,
+    n_writes: Optional[int] = None,
+    data: LineData = ALL1,
+    rng: SeedLike = None,
+    batch: int = 4096,
+) -> Iterator[TraceChunk]:
+    """Chunked uniformly random addresses (one RNG draw per chunk)."""
+    gen = as_generator(rng)
+    for size in _sizes(n_writes, batch):
+        las = np.asarray(gen.integers(0, n_lines, size=size), dtype=np.int64)
+        yield las, np.full(size, int(data), dtype=np.int8)
+
+
+def zipf_chunks(
+    n_lines: int,
+    n_writes: Optional[int] = None,
+    alpha: float = 1.2,
+    data: LineData = ALL1,
+    rng: SeedLike = None,
+    batch: int = 4096,
+) -> Iterator[TraceChunk]:
+    """Chunked Zipf-skewed addresses (one RNG draw per chunk)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    gen = as_generator(rng)
+    weights = (np.arange(1, n_lines + 1, dtype=np.float64)) ** (-alpha)
+    probabilities = weights / weights.sum()
+    for size in _sizes(n_writes, batch):
+        las = np.asarray(
+            gen.choice(n_lines, size=size, p=probabilities), dtype=np.int64
+        )
+        yield las, np.full(size, int(data), dtype=np.int8)
+
+
+def trace_chunks(
+    trace: Iterable[TraceEntry], batch: int = 4096
+) -> Iterator[TraceChunk]:
+    """Batch any scalar trace into ``(las, datas)`` array chunks.
+
+    The adapter the fast engine applies to traces that only exist in
+    scalar form (attack streams, recorded traces); the synthetic
+    generators above have native chunked twins that skip the per-entry
+    Python objects entirely.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    it = iter(trace)
+    while True:
+        block = list(islice(it, batch))
+        if not block:
+            return
+        las = np.fromiter(
+            (entry.la for entry in block), dtype=np.int64, count=len(block)
+        )
+        datas = np.fromiter(
+            (int(entry.data) for entry in block),
+            dtype=np.int8,
+            count=len(block),
+        )
+        yield las, datas
+
+
+def trace_entries(
+    trace: Iterable[Union[TraceEntry, TraceChunk]],
+) -> Iterator[TraceEntry]:
+    """Unroll either granularity into :class:`TraceEntry` objects.
+
+    The inverse of :func:`trace_chunks`: chunked ``(las, datas)`` streams
+    become per-entry streams (``la`` as plain ``int``); entry streams pass
+    through untouched.  This is what lets the scalar engine consume a
+    trace built for the fast one.
+    """
+    it = iter(trace)
+    try:
+        first = next(it)
+    except StopIteration:
+        return
+    stream = chain([first], it)
+    if isinstance(first, TraceEntry):
+        yield from stream  # type: ignore[misc]
+        return
+    for las, datas in stream:  # type: ignore[misc]
+        for la, data in zip(las.tolist(), datas.tolist()):
+            yield TraceEntry(la=la, data=LineData(data))
+
+
+# -------------------------------------------------------- scalar traces
+
+
+def _scalar(
+    chunks: Iterator[TraceChunk], data: LineData
+) -> Iterator[TraceEntry]:
+    """Unroll a chunked trace into entries (``la`` as plain ``int``)."""
+    for las, _ in chunks:
+        for la in las.tolist():  # tolist() yields Python ints, not np.int64
+            yield TraceEntry(la=la, data=data)
+
+
 def repeated_address_trace(
     la: int, n_writes: Optional[int] = None, data: LineData = ALL1
 ) -> Iterator[TraceEntry]:
     """The RAA stream: hammer one logical address forever (or n_writes)."""
-    count = 0
-    while n_writes is None or count < n_writes:
-        yield TraceEntry(la=la, data=data)
-        count += 1
+    return _scalar(repeated_address_chunks(la, n_writes, data), data)
 
 
 def sequential_trace(
     n_lines: int, n_writes: Optional[int] = None, data: LineData = ALL1
 ) -> Iterator[TraceEntry]:
     """Round-robin over the address space (streaming workload)."""
-    count = 0
-    while n_writes is None or count < n_writes:
-        yield TraceEntry(la=count % n_lines, data=data)
-        count += 1
+    return _scalar(sequential_chunks(n_lines, n_writes, data), data)
 
 
 def uniform_random_trace(
@@ -53,13 +202,9 @@ def uniform_random_trace(
     batch: int = 4096,
 ) -> Iterator[TraceEntry]:
     """Uniformly random addresses (drawn in batches for speed)."""
-    gen = as_generator(rng)
-    count = 0
-    while n_writes is None or count < n_writes:
-        size = batch if n_writes is None else min(batch, n_writes - count)
-        for la in gen.integers(0, n_lines, size=size):
-            yield TraceEntry(la=int(la), data=data)
-        count += size
+    return _scalar(
+        uniform_random_chunks(n_lines, n_writes, data, rng, batch), data
+    )
 
 
 def zipf_trace(
@@ -77,14 +222,6 @@ def zipf_trace(
     ``(r+1)**-alpha``; ranks are identity-mapped to addresses so address 0
     is the hottest line.
     """
-    if alpha <= 0:
-        raise ValueError("alpha must be positive")
-    gen = as_generator(rng)
-    weights = (np.arange(1, n_lines + 1, dtype=np.float64)) ** (-alpha)
-    probabilities = weights / weights.sum()
-    count = 0
-    while n_writes is None or count < n_writes:
-        size = batch if n_writes is None else min(batch, n_writes - count)
-        for la in gen.choice(n_lines, size=size, p=probabilities):
-            yield TraceEntry(la=int(la), data=data)
-        count += size
+    return _scalar(
+        zipf_chunks(n_lines, n_writes, alpha, data, rng, batch), data
+    )

@@ -16,7 +16,33 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Tuple, Union
+
+import numpy as np
+
+
+def grouped_cumcount(groups: np.ndarray) -> np.ndarray:
+    """Occurrence number (0-based) of each element within its group.
+
+    ``grouped_cumcount([3, 1, 3, 3, 1]) == [0, 0, 1, 2, 1]``.  This is the
+    primitive the region-partitioned schemes use to find the first write of
+    a chunk that reaches a region's remap trigger: element ``i`` is its
+    region's ``occ[i]``-th write in the chunk.
+    """
+    n = int(groups.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    positions = np.arange(n, dtype=np.int64)
+    group_start = positions.copy()
+    group_start[1:] = np.where(
+        sorted_groups[1:] != sorted_groups[:-1], positions[1:], 0
+    )
+    np.maximum.accumulate(group_start, out=group_start)
+    occ = np.empty(n, dtype=np.int64)
+    occ[order] = positions - group_start
+    return occ
 
 
 @dataclass(frozen=True)
@@ -72,6 +98,76 @@ class WearLeveler(abc.ABC):
         The returned movements reflect remappings whose effect is *already*
         visible through :meth:`translate`.
         """
+
+    # ------------------------------------------------------- batched API
+    #
+    # The fast simulation engine exploits the schemes' shared structure:
+    # between remap triggers the LA→PA mapping is *static*, so a chunk of
+    # writes can be translated and accounted as numpy array operations.
+    # The contract has three parts; `consume_chunk` composes them and is
+    # what the controller actually calls.
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` of in-range addresses.
+
+        The default loops the scalar method (correct for any scheme);
+        every shipped scheme overrides it with array arithmetic.  Bounds
+        are the caller's responsibility (the controller validates whole
+        chunks at once).
+        """
+        return np.fromiter(
+            (self.translate(int(la)) for la in las),
+            dtype=np.int64,
+            count=int(las.size),
+        )
+
+    def writes_until_next_remap(self) -> int:
+        """``k``: the ``k``-th next write *may* trigger a remap.
+
+        The first ``k - 1`` writes are guaranteed remap-free regardless of
+        their addresses.  The base class returns 1 — "the very next write
+        may remap" — which is always safe and makes the fast engine fall
+        back to the scalar path transparently.  Schemes with countable
+        triggers return their real counter distance; region-partitioned
+        schemes return a conservative minimum here and do the exact
+        per-address split in :meth:`consume_chunk`.
+        """
+        return 1
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        """Account a run of writes *known* to trigger no remap.
+
+        Only valid for the remap-free prefix established by
+        :meth:`writes_until_next_remap` / :meth:`consume_chunk`.  The
+        default loops :meth:`record_write` and insists nothing fires.
+        """
+        for la in las:
+            if self.record_write(int(la)):
+                raise RuntimeError(
+                    "record_writes_many crossed a remap trigger; "
+                    "writes_until_next_remap over-promised"
+                )
+
+    def consume_chunk(self, las: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Translate and account the longest remap-free prefix of ``las``.
+
+        Returns ``(pas, n)``: physical addresses of the first ``n`` writes,
+        whose counters are now advanced.  ``n == 0`` means the very next
+        write may remap — the caller must issue it through the scalar
+        :meth:`record_write`/:meth:`translate` path (executing any
+        movements), then try the next chunk.
+
+        Translation happens against the pre-chunk state, which equals the
+        per-write state because no remap fires inside the prefix — the
+        static-mapping invariant the fast engine is built on.
+        """
+        n = min(int(las.size), self.writes_until_next_remap() - 1)
+        if n <= 0:
+            return np.empty(0, dtype=np.int64), 0
+        prefix = las[:n]
+        pas = self.translate_many(prefix)
+        self.record_writes_many(prefix)
+        return pas, n
 
     # ------------------------------------------------------------- helpers
 

@@ -14,11 +14,13 @@ sub-region can be worn out.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import Move, SwapMove, WearLeveler
+from repro.wearlevel.base import Move, SwapMove, WearLeveler, grouped_cumcount
 from repro.wearlevel.security_refresh import SRRegion
 
 
@@ -66,3 +68,63 @@ class MultiWaySR(WearLeveler):
         if swap is None:
             return []
         return [SwapMove(pa_a=base + swap[0], pa_b=base + swap[1])]
+
+    # ------------------------------------------------------- batched API
+
+    def _translate_locals(
+        self, regions: np.ndarray, locals_: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized per-region SR translate of region-local addresses."""
+        keycs = np.fromiter(
+            (r.keyc for r in self.regions), dtype=np.int64, count=self.n_subregions
+        )
+        keyps = np.fromiter(
+            (r.keyp for r in self.regions), dtype=np.int64, count=self.n_subregions
+        )
+        crps = np.fromiter(
+            (r.crp for r in self.regions), dtype=np.int64, count=self.n_subregions
+        )
+        kc = keycs[regions]
+        kp = keyps[regions]
+        pairs = locals_ ^ kc ^ kp
+        remapped = np.minimum(locals_, pairs) < crps[regions]
+        return regions * self.subregion_size + (
+            locals_ ^ np.where(remapped, kc, kp)
+        )
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        las = np.asarray(las, dtype=np.int64)
+        return self._translate_locals(
+            las // self.subregion_size, las % self.subregion_size
+        )
+
+    def writes_until_next_remap(self) -> int:
+        return min(r.writes_until_next_remap for r in self.regions)
+
+    def consume_chunk(self, las: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Exact split on the first write that reaches a region's trigger."""
+        if las.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        remaining = np.fromiter(
+            (r.writes_until_next_remap for r in self.regions),
+            dtype=np.int64,
+            count=self.n_subregions,
+        )
+        # Trigger right at index 0 (the call after a remap) needs no scan.
+        if remaining[int(las[0]) // self.subregion_size] <= 1:
+            return np.empty(0, dtype=np.int64), 0
+        # Scan-window cap at sum(remaining), same rationale as RBSG's
+        # consume_chunk: a window that long always contains a trigger.
+        window = min(int(las.size), max(int(remaining.sum()), 1))
+        las = np.asarray(las[:window], dtype=np.int64)
+        regions = las // self.subregion_size
+        trigger = np.nonzero(grouped_cumcount(regions) + 1 >= remaining[regions])[0]
+        n = int(trigger[0]) if trigger.size else window
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        regions = regions[:n]
+        pas = self._translate_locals(regions, las[:n] % self.subregion_size)
+        counts = np.bincount(regions, minlength=self.n_subregions)
+        for r in np.nonzero(counts)[0]:
+            self.regions[int(r)].write_count += int(counts[r])
+        return pas, n

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.wearlevel.base import Move, WearLeveler
 
 
@@ -28,3 +30,14 @@ class NoWearLeveling(WearLeveler):
     def record_write(self, la: int) -> List[Move]:
         self._check_la(la)
         return []
+
+    # ------------------------------------------------------- batched API
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return np.asarray(las, dtype=np.int64)
+
+    def writes_until_next_remap(self) -> int:
+        return 1 << 62  # never
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        pass

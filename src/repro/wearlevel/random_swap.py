@@ -74,3 +74,16 @@ class RandomSwapWearLeveling(WearLeveler):
         la_b = int(self.inverse[pa_b])
         self.table[la_a], self.table[la_b] = pa_b, pa_a
         self.inverse[pa_a], self.inverse[pa_b] = la_b, la_a
+
+    # ------------------------------------------------------- batched API
+    # The RNG is drawn only at swap triggers, which the fast engine always
+    # executes through the scalar record_write — the stream is preserved.
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self.table[las]
+
+    def writes_until_next_remap(self) -> int:
+        return self.swap_interval - (self.write_count % self.swap_interval)
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        self.write_count += int(las.size)

@@ -20,13 +20,15 @@ slots plus one gap slot each.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.feistel import FeistelNetwork
 from repro.core.randomizer import RandomInvertibleMatrix
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import CopyMove, Move, WearLeveler
+from repro.wearlevel.base import CopyMove, Move, WearLeveler, grouped_cumcount
 from repro.wearlevel.startgap import StartGapRegion
 
 
@@ -122,6 +124,80 @@ class RegionBasedStartGap(WearLeveler):
         base = self._region_base(region)
         src, dst = move
         return [CopyMove(src=base + src, dst=base + dst)]
+
+    # ------------------------------------------------------- batched API
+
+    def randomize_many(self, las: np.ndarray) -> np.ndarray:
+        """Vectorized static LA → IA mapping."""
+        if self._randomizer is None:
+            return np.asarray(las, dtype=np.int64)
+        out = self._randomizer.encrypt(np.asarray(las, dtype=np.uint64))
+        return np.asarray(out).astype(np.int64)
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        ias = self.randomize_many(las)
+        regions = ias // self.region_size
+        starts = np.fromiter(
+            (r.start for r in self.regions), dtype=np.int64, count=self.n_regions
+        )
+        gaps = np.fromiter(
+            (r.gap for r in self.regions), dtype=np.int64, count=self.n_regions
+        )
+        local = (ias % self.region_size + starts[regions]) % self.region_size
+        local += local >= gaps[regions]
+        return regions * (self.region_size + 1) + local
+
+    def writes_until_next_remap(self) -> int:
+        # Conservative (any region's trigger might be hit first); the
+        # exact per-address split lives in consume_chunk.
+        return min(r.writes_until_next_movement for r in self.regions)
+
+    def consume_chunk(self, las: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Exact split: stop right before the first write that remaps.
+
+        Only the target region's counter advances per write, so the first
+        trigger is the first write whose occurrence number within its
+        region reaches that region's remaining count — a grouped cumcount,
+        not a global minimum.  This is what keeps chunks long under
+        spread-out traffic.
+        """
+        if las.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        remaining = np.fromiter(
+            (r.writes_until_next_movement for r in self.regions),
+            dtype=np.int64,
+            count=self.n_regions,
+        )
+        # The call right after a remap sees the trigger at index 0; one
+        # scalar randomize answers that without scanning a whole window.
+        first_region = self.randomize(int(las[0])) // self.region_size
+        if remaining[first_region] <= 1:
+            return np.empty(0, dtype=np.int64), 0
+        # Cap the scan window at sum(remaining): by pigeonhole a window
+        # that long always contains a trigger, so one scan per remap
+        # cycle suffices — while scanning further than that only
+        # re-randomizes and re-sorts tail writes a later call must redo.
+        window = min(int(las.size), max(int(remaining.sum()), 1))
+        ias = self.randomize_many(np.asarray(las[:window], dtype=np.int64))
+        regions = ias // self.region_size
+        trigger = np.nonzero(grouped_cumcount(regions) + 1 >= remaining[regions])[0]
+        n = int(trigger[0]) if trigger.size else window
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        regions = regions[:n]
+        starts = np.fromiter(
+            (r.start for r in self.regions), dtype=np.int64, count=self.n_regions
+        )
+        gaps = np.fromiter(
+            (r.gap for r in self.regions), dtype=np.int64, count=self.n_regions
+        )
+        local = (ias[:n] % self.region_size + starts[regions]) % self.region_size
+        local += local >= gaps[regions]
+        pas = regions * (self.region_size + 1) + local
+        counts = np.bincount(regions, minlength=self.n_regions)
+        for r in np.nonzero(counts)[0]:
+            self.regions[int(r)].write_count += int(counts[r])
+        return pas, n
 
     # ------------------------------------------------------------- queries
 

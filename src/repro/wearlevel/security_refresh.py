@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
 from repro.wearlevel.base import Move, SwapMove, WearLeveler
@@ -63,6 +65,12 @@ class SRRegion:
             raise ValueError(f"address {la} outside region [0, {self.n_lines})")
         key = self.keyc if self.is_remapped(la) else self.keyp
         return la ^ key
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` (bounds are the caller's problem)."""
+        pairs = las ^ (self.keyc ^ self.keyp)
+        remapped = np.minimum(las, pairs) < self.crp
+        return las ^ np.where(remapped, self.keyc, self.keyp)
 
     # -------------------------------------------------------------- remaps
 
@@ -126,6 +134,17 @@ class SecurityRefresh(WearLeveler):
         if swap is None:
             return []
         return [SwapMove(pa_a=swap[0], pa_b=swap[1])]
+
+    # ------------------------------------------------------- batched API
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self.region.translate_many(np.asarray(las, dtype=np.int64))
+
+    def writes_until_next_remap(self) -> int:
+        return self.region.writes_until_next_remap
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        self.region.write_count += int(las.size)
 
     @property
     def key_xor(self) -> int:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.wearlevel.base import CopyMove, Move, WearLeveler
 
 
@@ -73,6 +75,12 @@ class StartGapRegion:
         """Writes remaining before the next gap movement fires."""
         return self.remap_interval - (self.write_count % self.remap_interval)
 
+    def translate_many(self, ias: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` (bounds are the caller's problem)."""
+        pas = (ias + self.start) % self.n_lines
+        pas += pas >= self.gap
+        return pas
+
 
 class StartGap(WearLeveler):
     """Single-region Start-Gap over the whole logical space."""
@@ -93,3 +101,16 @@ class StartGap(WearLeveler):
             return []
         src, dst = move
         return [CopyMove(src=src, dst=dst)]
+
+    # ------------------------------------------------------- batched API
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self.region.translate_many(np.asarray(las, dtype=np.int64))
+
+    def writes_until_next_remap(self) -> int:
+        return self.region.writes_until_next_movement
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        # Address-oblivious single counter; the prefix contract guarantees
+        # the bulk advance stays strictly below the next trigger.
+        self.region.write_count += int(las.size)

@@ -61,3 +61,18 @@ class TableBasedWearLeveling(WearLeveler):
         la_b = int(self.inverse[pa_b])
         self.table[la_a], self.table[la_b] = pa_b, pa_a
         self.inverse[pa_a], self.inverse[pa_b] = la_b, la_a
+
+    # ------------------------------------------------------- batched API
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self.table[las]
+
+    def writes_until_next_remap(self) -> int:
+        return self.swap_interval - (self.write_count % self.swap_interval)
+
+    def record_writes_many(self, las: np.ndarray) -> None:
+        # The table is static over the prefix, so per-PA counts are the
+        # translated addresses' multiplicities (np.add.at accumulates
+        # duplicates, unlike fancy-index +=).
+        np.add.at(self.write_counts, self.table[las], 1)
+        self.write_count += int(las.size)

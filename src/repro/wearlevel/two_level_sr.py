@@ -18,11 +18,13 @@ slots inside one sub-region.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import Move, SwapMove, WearLeveler
+from repro.wearlevel.base import Move, SwapMove, WearLeveler, grouped_cumcount
 from repro.wearlevel.security_refresh import SRRegion
 
 
@@ -102,6 +104,77 @@ class TwoLevelSecurityRefresh(WearLeveler):
         if inner_swap is not None:
             moves.append(SwapMove(pa_a=base + inner_swap[0], pa_b=base + inner_swap[1]))
         return moves
+
+    # ------------------------------------------------------- batched API
+
+    def _translate_inners(
+        self, regions: np.ndarray, locals_: np.ndarray
+    ) -> np.ndarray:
+        keycs = np.fromiter(
+            (r.keyc for r in self.inners), dtype=np.int64, count=self.n_subregions
+        )
+        keyps = np.fromiter(
+            (r.keyp for r in self.inners), dtype=np.int64, count=self.n_subregions
+        )
+        crps = np.fromiter(
+            (r.crp for r in self.inners), dtype=np.int64, count=self.n_subregions
+        )
+        kc = keycs[regions]
+        kp = keyps[regions]
+        pairs = locals_ ^ kc ^ kp
+        remapped = np.minimum(locals_, pairs) < crps[regions]
+        return regions * self.subregion_size + (
+            locals_ ^ np.where(remapped, kc, kp)
+        )
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        ias = self.outer.translate_many(np.asarray(las, dtype=np.int64))
+        return self._translate_inners(
+            ias // self.subregion_size, ias % self.subregion_size
+        )
+
+    def writes_until_next_remap(self) -> int:
+        inner_min = min(r.writes_until_next_remap for r in self.inners)
+        return min(self.outer.writes_until_next_remap, inner_min)
+
+    def consume_chunk(self, las: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Exact split: outer counter is global, inner counters per region.
+
+        The prefix must end strictly before the outer trigger (every write
+        counts there) *and* before the first write whose region-local
+        occurrence number reaches its inner region's remaining count.
+        """
+        if las.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        limit = min(int(las.size), self.outer.writes_until_next_remap - 1)
+        if limit <= 0:
+            return np.empty(0, dtype=np.int64), 0
+        remaining = np.fromiter(
+            (r.writes_until_next_remap for r in self.inners),
+            dtype=np.int64,
+            count=self.n_subregions,
+        )
+        # Trigger right at index 0 (the call after an inner remap) needs
+        # no scan; one scalar outer translate answers it.
+        first_region = self.outer.translate(int(las[0])) // self.subregion_size
+        if remaining[first_region] <= 1:
+            return np.empty(0, dtype=np.int64), 0
+        # Inner scan-window cap (same rationale as RBSG's consume_chunk).
+        limit = min(limit, max(int(remaining.sum()), 1))
+        las = np.asarray(las[:limit], dtype=np.int64)
+        ias = self.outer.translate_many(las)
+        regions = ias // self.subregion_size
+        trigger = np.nonzero(grouped_cumcount(regions) + 1 >= remaining[regions])[0]
+        n = int(trigger[0]) if trigger.size else limit
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        regions = regions[:n]
+        pas = self._translate_inners(regions, ias[:n] % self.subregion_size)
+        self.outer.write_count += n
+        counts = np.bincount(regions, minlength=self.n_subregions)
+        for r in np.nonzero(counts)[0]:
+            self.inners[int(r)].write_count += int(counts[r])
+        return pas, n
 
     # ------------------------------------------------------------- oracles
 

@@ -1,0 +1,55 @@
+"""Tests for the shipped campaign task kinds (trace-lifetime)."""
+
+import pytest
+
+from repro.campaign.tasks import (
+    TaskError,
+    get_task,
+    run_trace_lifetime_task,
+    task_kinds,
+)
+
+
+class TestTraceLifetimeTask:
+    def test_registered(self):
+        assert "trace-lifetime" in task_kinds()
+        assert get_task("trace-lifetime") is run_trace_lifetime_task
+
+    def test_engines_bit_identical(self):
+        params = {
+            "scheme": "rbsg",
+            "trace": "uniform",
+            "lines": 256,
+            "endurance": 500,
+            "max_writes": 500_000,
+        }
+        fast = run_trace_lifetime_task({**params, "fast": True}, seed=3)
+        scalar = run_trace_lifetime_task({**params, "fast": False}, seed=3)
+        assert fast["engine"] == "batched"
+        assert scalar["engine"] == "scalar"
+        fast.pop("engine")
+        scalar.pop("engine")
+        assert fast == scalar
+        assert fast["failed"]
+
+    def test_result_is_jsonable(self):
+        import json
+
+        result = run_trace_lifetime_task(
+            {"scheme": "none", "trace": "raa", "lines": 64,
+             "endurance": 100, "max_writes": 1000},
+            seed=0,
+        )
+        round_tripped = json.loads(json.dumps(result))
+        assert round_tripped["failed"] is True
+        assert round_tripped["write_amplification"] == 1.0
+
+    def test_unknown_trace_kind_rejected(self):
+        with pytest.raises(TaskError, match="unknown trace kind"):
+            run_trace_lifetime_task(
+                {"scheme": "none", "trace": "bogus"}, seed=0
+            )
+
+    def test_trace_parameter_required(self):
+        with pytest.raises(TaskError, match="trace"):
+            run_trace_lifetime_task({"scheme": "none"}, seed=0)

@@ -66,6 +66,39 @@ class TestREP101LatencyTaint:
         assert _codes(src, "REP101") == []
         assert "REP002" in _codes(src, "REP002")
 
+    def test_write_many_branch_drop_flagged(self):
+        src = (
+            "def f(array, chunks):\n"
+            "    total = 0.0\n"
+            "    for las, datas in chunks:\n"
+            "        lat = array.write_many(las, datas)\n"
+            "        if las.size > 1:\n"
+            "            total += lat\n"
+            "    return total\n"
+        )
+        assert _codes(src, "REP101") == ["REP101"]
+
+    def test_run_trace_fast_name_call_is_a_source(self):
+        # Bare-name latency functions must work through the taint
+        # plumbing (the method-call path assumed ast.Attribute before).
+        src = (
+            "from repro.sim.engine import run_trace_fast\n"
+            "def f(ctrl, trace, fallback):\n"
+            "    res = run_trace_fast(ctrl, trace)\n"
+            "    if fallback:\n"
+            "        return None\n"
+            "    return res\n"
+        )
+        assert _codes(src, "REP101") == ["REP101"]
+
+    def test_bare_run_trace_fast_left_to_rep002(self):
+        src = (
+            "def f(ctrl, trace):\n"
+            "    run_trace_fast(ctrl, trace)\n"
+        )
+        assert _codes(src, "REP101") == []
+        assert "REP002" in _codes(src, "REP002")
+
     def test_wrapper_returning_latency_tracked(self):
         src = (
             "def hammer(ctrl, la):\n"

@@ -138,6 +138,33 @@ class TestREP002DiscardedLatency:
                 controller.write(0, 1)
         """) == []
 
+    def test_bare_write_many_and_write_chunk_flagged(self):
+        assert codes("""\
+            def drive(array, controller, las, datas):
+                array.write_many(las, datas)
+                controller.write_chunk(las, datas)
+        """) == ["REP002", "REP002"]
+
+    def test_bare_run_trace_fast_flagged(self):
+        diags = run("""\
+            from repro.sim.engine import run_trace_fast
+            def drive(controller, trace, engine):
+                run_trace_fast(controller, trace)
+                engine.run_trace_fast(controller, trace)
+        """)
+        assert [d.code for d in diags] == ["REP002", "REP002"]
+        assert [d.line for d in diags] == [3, 4]
+
+    def test_assigned_batched_latency_ok(self):
+        assert codes("""\
+            from repro.sim.engine import run_trace_fast
+            def drive(array, controller, trace, las, datas):
+                chunk_ns = array.write_many(las, datas)
+                latency, n = controller.write_chunk(las, datas)
+                result = run_trace_fast(controller, trace)
+                return chunk_ns + latency, n, result
+        """) == []
+
 
 class TestREP003FloatTimeEquality:
     def test_latency_equality_flagged(self):

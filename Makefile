@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke lint lint-flow clean
+.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke chaos-smoke lint lint-flow clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -59,6 +59,13 @@ campaign-smoke:
 	PYTHONPATH=src python -m repro campaign report build/campaign-smoke \
 		--format csv --output build/campaign-smoke/report.csv
 	@test -s build/campaign-smoke/report.csv && echo "campaign-smoke: OK"
+
+# Distributed-campaign disaster drill: serve + 2 workers, SIGKILL one
+# worker mid-lease AND the coordinator mid-campaign, compact, resume on a
+# fresh port, and require the final aggregate byte-identical to a serial
+# run (plus index-only resume — no JSONL re-scan).  See the script.
+chaos-smoke:
+	PYTHONPATH=src python scripts/chaos_smoke.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

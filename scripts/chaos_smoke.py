@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Distributed-campaign chaos smoke (``make chaos-smoke``).
+
+One scripted disaster, end to end, with real processes:
+
+1. serve a 6-task campaign + 2 workers;
+2. SIGKILL one worker while it holds a lease;
+3. SIGKILL the coordinator while results are half-committed;
+4. ``campaign compact``, prove resume reads the index (never the
+   indexed JSONL prefix), ``campaign serve --resume``;
+5. the surviving worker drains the rest; then assert the aggregate
+   report is byte-identical to an in-process serial ``run_tasks`` of
+   the same spec, with exactly one ``ok`` record per task.
+
+Exit 0 and a final ``chaos-smoke: OK`` only if every step held.
+Run from the repo root with ``PYTHONPATH=src``.
+"""
+
+import asyncio
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import (  # noqa: E402
+    CampaignStore,
+    RunnerConfig,
+    run_collect,
+)
+from repro.campaign.aggregate import aggregate, to_json  # noqa: E402
+from repro.campaign.service.protocol import (  # noqa: E402
+    PROTOCOL_VERSION,
+    read_message,
+    write_message,
+)
+from repro.campaign.service.worker import read_service_file  # noqa: E402
+from repro.campaign.spec import load_spec  # noqa: E402
+
+OUT_DIR = REPO / "build" / "chaos-smoke"
+SPEC_PATH = OUT_DIR / "spec.toml"
+CAMP_DIR = OUT_DIR / "camp"
+N_TASKS = 6
+
+SPEC = """\
+[campaign]
+name = "chaos-smoke"
+kind = "faults"
+seed = 11
+n_seeds = 3
+
+[base]
+n_lines = 256
+endurance = 2000
+n_spares = 8
+n_writes = 80000
+verify_fail_base = 0.001
+
+[grid]
+scheme = ["none", "rbsg"]
+"""
+
+
+class ChaosFailure(AssertionError):
+    pass
+
+
+def check(condition, message):
+    if not condition:
+        raise ChaosFailure(message)
+
+
+def say(message):
+    print(f"chaos-smoke: {message}", flush=True)
+
+
+def child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def start_serve(resume=False):
+    argv = [
+        sys.executable, "-m", "repro", "campaign", "serve",
+        "--out", str(CAMP_DIR),
+        "--lease-timeout", "2", "--heartbeat-interval", "0.5",
+        "--linger", "2",
+    ]
+    if resume:
+        argv.append("--resume")
+    else:
+        argv.insert(5, str(SPEC_PATH))
+    return subprocess.Popen(
+        argv, cwd=str(REPO), env=child_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+
+
+def start_worker(name):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "worker",
+            "--connect", str(CAMP_DIR), "--name", name, "--give-up", "60",
+        ],
+        cwd=str(REPO), env=child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def kill(process):
+    if process is not None and process.poll() is None:
+        process.send_signal(signal.SIGKILL)
+    if process is not None:
+        process.wait(timeout=30)
+
+
+def poll_status():
+    """One watch-role status round trip; ``None`` if unreachable."""
+
+    async def go():
+        host, port = read_service_file(CAMP_DIR)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_message(writer, {
+                "type": "hello", "protocol": PROTOCOL_VERSION,
+                "role": "watch", "name": "chaos-probe",
+            })
+            hello_ok = await read_message(reader)
+            if hello_ok is None or hello_ok["type"] != "hello_ok":
+                return None
+            await write_message(writer, {"type": "status_request"})
+            return await read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return asyncio.run(go())
+    except Exception:
+        return None
+
+
+def wait_until(predicate, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise ChaosFailure(message)
+
+
+def prove_no_rescan(done_before):
+    """``completed_ids`` after compaction must never scan offset 0."""
+    store = CampaignStore.open(CAMP_DIR)
+    real_scan = store._scan
+
+    def guarded_scan(start, include_tail=True):
+        check(start > 0, "completed_ids re-scanned the indexed JSONL")
+        return real_scan(start, include_tail)
+
+    store._scan = guarded_scan
+    check(
+        store.completed_ids() == done_before,
+        "index+tail answer differs from the pre-kill completed set",
+    )
+
+
+def main():
+    shutil.rmtree(OUT_DIR, ignore_errors=True)
+    OUT_DIR.mkdir(parents=True)
+    SPEC_PATH.write_text(SPEC)
+
+    say("computing serial baseline (run_tasks, workers=1)")
+    spec = load_spec(SPEC_PATH)
+    serial = to_json(aggregate(
+        run_collect(spec.expand(), RunnerConfig(workers=1, retries=1))
+    ))
+
+    serve = start_serve()
+    workers = []
+    resumed = None
+    try:
+        wait_until(
+            lambda: (CAMP_DIR / "service.json").exists(), 30,
+            "coordinator never published service.json",
+        )
+        workers = [start_worker(f"w{i}") for i in range(2)]
+        say("serve + 2 workers up")
+
+        wait_until(
+            lambda: (poll_status() or {}).get("n_leased", 0) >= 2, 60,
+            "the workers never held two concurrent leases",
+        )
+        say("SIGKILL worker w0 (mid-lease)")
+        kill(workers[0])
+
+        wait_until(
+            lambda: 1 <= (poll_status() or {}).get("n_done", 0) < N_TASKS,
+            60, "no kill window with partial results ever opened",
+        )
+        say("SIGKILL coordinator (leases outstanding)")
+        kill(serve)
+
+        done_before = CampaignStore.open(CAMP_DIR).completed_ids()
+        check(
+            0 < len(done_before) < N_TASKS,
+            f"expected a partial store, got {len(done_before)}/{N_TASKS}",
+        )
+
+        say(f"compacting ({len(done_before)} tasks durable)")
+        compact = subprocess.run(
+            [sys.executable, "-m", "repro", "campaign", "compact",
+             str(CAMP_DIR)],
+            cwd=str(REPO), env=child_env(), capture_output=True, text=True,
+        )
+        check(compact.returncode == 0,
+              f"campaign compact failed: {compact.stderr}")
+        prove_no_rescan(done_before)
+        say("resume reads index + tail only")
+
+        say("restarting coordinator (serve --resume)")
+        resumed = start_serve(resume=True)
+        check(resumed.wait(timeout=120) == 0,
+              "resumed coordinator did not complete the campaign")
+        check(workers[1].wait(timeout=60) == 0,
+              "surviving worker did not drain cleanly")
+
+        stdout = resumed.stdout.read()
+        check("0 failed" in stdout, f"unexpected serve summary: {stdout}")
+        skipped = int(stdout.split(" skipped")[0].rsplit(" ", 1)[-1])
+        check(
+            skipped == len(done_before),
+            f"resume skipped {skipped}, expected {len(done_before)}",
+        )
+    finally:
+        kill(serve)
+        kill(resumed)
+        for worker in workers:
+            kill(worker)
+
+    store = CampaignStore.open(CAMP_DIR)
+    distributed = to_json(aggregate(store.records()))
+    check(distributed == serial,
+          "distributed aggregate differs from the serial baseline")
+    ok_ids = [r.key.key_id for r in store.records() if r.ok]
+    check(len(ok_ids) == len(set(ok_ids)) == N_TASKS,
+          "store does not hold exactly one ok record per task")
+    check(store.status().complete, "store does not report complete")
+    (OUT_DIR / "report.json").write_text(distributed)
+
+    say(f"byte-identical to serial; {skipped} skipped on resume; OK")
+    print("chaos-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ChaosFailure as exc:
+        print(f"chaos-smoke: FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

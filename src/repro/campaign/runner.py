@@ -241,6 +241,12 @@ def _run_parallel(
     # straggler still occupies a worker until it finishes, so it keeps
     # counting against the executing-slot budget below.
     abandoned: Set["Future[Dict[str, object]]"] = set()
+    # key_ids that already produced their final record.  An abandoned
+    # (timed-out) attempt whose straggler future completes later — or
+    # any other duplicate settle of an already-finished task — must
+    # neither touch the counters again nor hand the sink a second
+    # record for the same key_id.
+    final_ids: Set[str] = set()
     n_ok = n_failed = 0
     executor = _make_pool(config.workers)
 
@@ -258,12 +264,21 @@ def _run_parallel(
 
     def settle(key: TaskKey, attempt: int, seed: int,
                payload: Dict[str, object]) -> None:
-        """Record a finished attempt: retry on failure, else emit."""
+        """Record a finished attempt: retry on failure, else emit.
+
+        Exactly one final record per ``key_id``: a late duplicate (an
+        abandoned straggler's eventual result, a retry racing a
+        poisoned pool) is dropped on the floor here, so neither
+        :class:`RunSummary` nor the store ever double-counts a task.
+        """
         nonlocal n_ok, n_failed
+        if key.key_id in final_ids:
+            return
         record = _payload_record(key, attempt, seed, payload)
         if not record.ok and attempt < config.retries:
             pending.append((key, attempt + 1))
             return
+        final_ids.add(key.key_id)
         if record.ok:
             n_ok += 1
         else:

@@ -1,0 +1,55 @@
+"""repro.campaign.service — the distributed campaign runner.
+
+One coordinator (:mod:`~repro.campaign.service.coordinator`) owns a
+campaign directory and leases task attempts over a length-delimited
+JSON TCP protocol (:mod:`~repro.campaign.service.protocol`) to any
+number of workers (:mod:`~repro.campaign.service.worker`), with
+heartbeat-backed lease expiry, at-most-once result commit, bounded
+backoff-retried requeues, dead-lettering and graceful drain — the
+campaign's bytes are identical to a serial ``run_tasks`` no matter how
+workers crash.  :mod:`~repro.campaign.service.watch` renders live
+progress.
+
+This package is the one audited home of async/socket code in the
+library (reprolint REP007 bans ``asyncio``/``socket`` everywhere
+else), just as ``repro.campaign`` is for process pools.
+
+CLI: ``python -m repro campaign serve|worker|watch``; the full
+protocol and failure-mode semantics are documented in
+``docs/campaigns.md``.
+"""
+
+from repro.campaign.service.coordinator import (
+    Coordinator,
+    ServiceConfig,
+    serve_campaign,
+)
+from repro.campaign.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.campaign.service.watch import run_watch, watch_main
+from repro.campaign.service.worker import (
+    WorkerConfig,
+    WorkerError,
+    read_service_file,
+    run_worker,
+    worker_main,
+)
+
+__all__ = [
+    "Coordinator",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceConfig",
+    "WorkerConfig",
+    "WorkerError",
+    "read_service_file",
+    "run_watch",
+    "run_worker",
+    "serve_campaign",
+    "watch_main",
+    "worker_main",
+]

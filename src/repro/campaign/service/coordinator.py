@@ -1,0 +1,584 @@
+"""Fault-tolerant campaign coordinator: lease, heartbeat, commit, drain.
+
+The coordinator owns one campaign directory and leases task *attempts*
+to remote workers over the :mod:`~repro.campaign.service.protocol`
+wire.  Its one invariant is the campaign determinism contract: **no
+worker failure mode may change the bytes of the final report.**  The
+mechanisms:
+
+* **Leases, not assignments.**  A granted attempt carries the exact
+  ``(key, attempt, task_seed)`` the local runner would use
+  (:func:`repro.campaign.runner.attempt_seed`).  A lease expires when
+  its worker stops heartbeating (monotonic clock); the *same* attempt —
+  same seed — is then re-leased after an exponential backoff, so a
+  SIGKILLed worker costs wall-clock time, never bytes.
+* **At-most-once commit.**  Results are committed keyed by
+  ``(key_id, attempt)``; the first result wins and duplicates from a
+  zombie worker (one whose lease expired and whose task was re-leased)
+  are acknowledged but discarded.  One final record per ``key_id``
+  reaches the store, exactly as ``run_tasks`` guarantees locally.
+* **Task errors retry like the local runner** — attempt ``k`` fails →
+  attempt ``k+1`` with ``derive_seed(seed, key_id, k+1)`` up to
+  ``retries`` — while *lease expiries* (worker death) re-run the same
+  attempt.  A task whose leases keep expiring is dead-lettered after
+  ``max_requeues`` expiries: a final ``error`` record is written and
+  the campaign completes without it, rather than spinning forever on a
+  poison task.
+* **Graceful drain.**  SIGTERM (or :meth:`Coordinator.begin_drain`)
+  stops granting leases, lets outstanding leases finish up to
+  ``drain_grace_s``, then closes with every committed record durable —
+  ``campaign serve --resume`` continues from the store.
+* **Malformed-peer quarantine.**  Any protocol violation drops the
+  connection and refuses that host for ``quarantine_s``; a hostile or
+  corrupt client cannot wedge the lease table.
+
+Wall-clock time here is host-side orchestration (lease expiry, backoff,
+drain grace), never simulated time, hence the file-wide REP005 waiver.
+"""
+# reprolint: disable-file=REP005 lease expiry/backoff/drain are host time
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from collections import deque
+from itertools import count
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.campaign.runner import RunSummary, attempt_seed
+from repro.campaign.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from repro.campaign.spec import CampaignSpec, TaskKey
+from repro.campaign.store import CampaignStore, TaskRecord
+
+SERVICE_NAME = "service.json"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Timing and retry knobs of one coordinator."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port lands in service.json
+    lease_timeout_s: float = 30.0  #: heartbeat silence before requeue
+    heartbeat_interval_s: float = 5.0  #: advertised worker cadence
+    task_timeout_s: float = 0.0  #: per-attempt execution budget; 0 = none
+    retries: int = 1  #: task-*error* retries (mirrors RunnerConfig)
+    max_requeues: int = 3  #: lease *expiries* per attempt before dead-letter
+    backoff_base_s: float = 0.5  #: first requeue delay; doubles per expiry
+    backoff_max_s: float = 30.0
+    drain_grace_s: float = 30.0  #: SIGTERM: wait this long for leases
+    linger_s: float = 3.0  #: serve connected workers `drain` after completion
+    quarantine_s: float = 30.0  #: refuse a malformed peer's host this long
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if not 0 < self.heartbeat_interval_s < self.lease_timeout_s:
+            raise ValueError(
+                "heartbeat_interval_s must be positive and below "
+                "lease_timeout_s"
+            )
+        if self.task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 = unlimited)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.linger_s < 0 or self.drain_grace_s < 0:
+            raise ValueError("linger_s/drain_grace_s must be >= 0")
+        if self.quarantine_s < 0:
+            raise ValueError("quarantine_s must be >= 0")
+
+
+@dataclass
+class _Lease:
+    """One outstanding attempt: who runs it and until when we believe them."""
+
+    lease_id: str
+    key: TaskKey
+    attempt: int
+    task_seed: int
+    worker: str
+    expires_at: float  #: monotonic; pushed forward by each heartbeat
+
+
+class Coordinator:
+    """Lease table + result commit over one :class:`CampaignStore`."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.config = config or ServiceConfig()
+        all_tasks = spec.expand()
+        completed = store.completed_ids()
+        self._todo: List[TaskKey] = [
+            t for t in all_tasks if t.key_id not in completed
+        ]
+        self.n_total = len(all_tasks)
+        self.n_skipped = len(all_tasks) - len(self._todo)
+        self._keys: Dict[str, TaskKey] = {t.key_id: t for t in self._todo}
+        self._pending: Deque[Tuple[TaskKey, int]] = deque(
+            (key, 0) for key in self._todo
+        )
+        #: (ready_at, key, attempt) — backoff parking lot, scanned by tick
+        self._delayed: List[Tuple[float, TaskKey, int]] = []
+        self._leases: Dict[str, _Lease] = {}
+        self._processed: Set[Tuple[str, int]] = set()
+        self._final: Set[str] = set()
+        self._requeues: Dict[str, int] = {}
+        self._quarantined: Dict[str, float] = {}
+        self._lease_seq: Iterator[int] = count(1)
+        self._n_ok = 0
+        self._n_failed = 0
+        self._n_dead = 0
+        self._n_workers = 0
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
+        self._done = asyncio.Event()
+        self.bound_port: Optional[int] = None
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def complete(self) -> bool:
+        """Every non-skipped task has produced its final record."""
+        return len(self._final) >= len(self._todo)
+
+    def summary(self) -> RunSummary:
+        return RunSummary(
+            n_tasks=len(self._todo),
+            n_ok=self._n_ok,
+            n_failed=self._n_failed,
+            n_skipped=self.n_skipped,
+            stopped_early=self._draining and not self.complete,
+        )
+
+    def status_message(self) -> Dict[str, Any]:
+        return {
+            "type": "status",
+            "campaign": self.spec.name,
+            "n_tasks": self.n_total,
+            "n_done": self.n_skipped + len(self._final),
+            "n_ok": self._n_ok,
+            "n_failed": self._n_failed,
+            "n_dead": self._n_dead,
+            "n_leased": len(self._leases),
+            "n_pending": len(self._pending) + len(self._delayed),
+            "n_workers": self._n_workers,
+            "complete": self.complete,
+            "draining": self._draining,
+        }
+
+    def begin_drain(self) -> None:
+        """Stop granting leases; finish or abandon what is out, then stop."""
+        if self._draining:
+            self._done.set()  # second signal: stop now
+            return
+        self._draining = True
+        if self._leases:
+            self._drain_deadline = (
+                time.monotonic() + self.config.drain_grace_s
+            )
+        else:
+            self._done.set()
+
+    def _finalize(self, record: TaskRecord, dead: bool = False) -> None:
+        """Commit one *final* record per key: store write + counters."""
+        key_id = record.key.key_id
+        if key_id in self._final:
+            return
+        self._final.add(key_id)
+        self.store.append(record)
+        if record.ok:
+            self._n_ok += 1
+        else:
+            self._n_failed += 1
+            if dead:
+                self._n_dead += 1
+        # A finalized key's queued copies are wasted work: drop them.
+        self._pending = deque(
+            (k, a) for k, a in self._pending if k.key_id != key_id
+        )
+        self._delayed = [
+            (t, k, a) for t, k, a in self._delayed if k.key_id != key_id
+        ]
+        if self.complete:
+            self._done.set()
+
+    def _schedule(self, key: TaskKey, attempt: int, delay_s: float) -> None:
+        if delay_s <= 0:
+            self._pending.append((key, attempt))
+        else:
+            self._delayed.append((time.monotonic() + delay_s, key, attempt))
+
+    def _backoff_s(self, n_requeues: int) -> float:
+        base = self.config.backoff_base_s * (2.0 ** max(n_requeues - 1, 0))
+        return min(base, self.config.backoff_max_s)
+
+    def _expire_lease(self, lease: _Lease) -> None:
+        """Heartbeat silence: requeue the same attempt or dead-letter."""
+        self._leases.pop(lease.lease_id, None)
+        key_id = lease.key.key_id
+        if key_id in self._final:
+            return  # a zombie's earlier result already finished this key
+        n = self._requeues.get(key_id, 0) + 1
+        self._requeues[key_id] = n
+        if n > self.config.max_requeues:
+            self._finalize(
+                TaskRecord(
+                    key=lease.key,
+                    attempt=lease.attempt,
+                    task_seed=lease.task_seed,
+                    status="error",
+                    error=(
+                        f"dead-letter: lease expired {n} times "
+                        f"(worker failures), giving up"
+                    ),
+                ),
+                dead=True,
+            )
+            return
+        self._schedule(lease.key, lease.attempt, self._backoff_s(n))
+
+    # ----------------------------------------------------- message logic
+
+    def _grant_message(self) -> Dict[str, Any]:
+        """Answer one ``lease_request``: grant, no_task or drain."""
+        if self._draining or self.complete:
+            reason = "complete" if self.complete else "draining"
+            return {"type": "drain", "reason": reason}
+        if not self._pending:
+            # Next availability: a delayed retry or an expiring lease.
+            now = time.monotonic()
+            horizons = [t for t, _, _ in self._delayed]
+            horizons += [lease.expires_at for lease in self._leases.values()]
+            wait = min(horizons) - now if horizons else 1.0
+            return {
+                "type": "no_task",
+                "retry_after_s": min(max(wait, 0.1), 2.0),
+            }
+        key, attempt = self._pending.popleft()
+        lease = _Lease(
+            lease_id=f"L{next(self._lease_seq):06d}",
+            key=key,
+            attempt=attempt,
+            task_seed=attempt_seed(key, attempt),
+            worker="?",
+            expires_at=time.monotonic() + self.config.lease_timeout_s,
+        )
+        self._leases[lease.lease_id] = lease
+        return {
+            "type": "lease_grant",
+            "lease_id": lease.lease_id,
+            "key_id": key.key_id,
+            "key": key.to_json(),
+            "attempt": attempt,
+            "task_seed": lease.task_seed,
+            "deadline_s": self.config.task_timeout_s,
+        }
+
+    def _heartbeat_message(self, lease_id: str) -> Dict[str, Any]:
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return {"type": "lease_lost", "lease_id": lease_id}
+        lease.expires_at = time.monotonic() + self.config.lease_timeout_s
+        return {
+            "type": "heartbeat_ok",
+            "lease_id": lease_id,
+            "deadline_s": self.config.lease_timeout_s,
+        }
+
+    def _result_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """At-most-once commit of one attempt result."""
+        lease_id = str(message["lease_id"])
+        key_id = str(message["key_id"])
+        attempt = int(message["attempt"])
+        payload = message["payload"]
+        lease = self._leases.pop(lease_id, None)
+        if lease is not None and (
+            lease.key.key_id != key_id or lease.attempt != attempt
+        ):
+            # A worker answering a lease with a different task is not a
+            # crash mode, it is a broken client.
+            self._leases[lease_id] = lease
+            raise ProtocolError(
+                f"result for lease {lease_id} names task {key_id}/{attempt}, "
+                f"lease holds {lease.key.key_id}/{lease.attempt}"
+            )
+        key = self._keys.get(key_id)
+        if key is None:
+            raise ProtocolError(f"result names unknown task {key_id!r}")
+        if attempt < 0 or attempt > self.config.retries:
+            raise ProtocolError(
+                f"result attempt {attempt} outside 0..{self.config.retries}"
+            )
+        duplicate = (
+            (key_id, attempt) in self._processed or key_id in self._final
+        )
+        if not duplicate:
+            # First result for this (task, attempt) wins — whether it
+            # came from the live lease holder or from a zombie whose
+            # lease expired: determinism makes the bytes identical.
+            self._processed.add((key_id, attempt))
+            task_seed = attempt_seed(key, attempt)
+            status = payload.get("status")
+            if status == "ok":
+                result = payload.get("result")
+                self._finalize(
+                    TaskRecord(
+                        key=key,
+                        attempt=attempt,
+                        task_seed=task_seed,
+                        status="ok",
+                        result=dict(result)
+                        if isinstance(result, dict)
+                        else {},
+                    )
+                )
+            elif status == "error":
+                if attempt < self.config.retries:
+                    self._schedule(
+                        key,
+                        attempt + 1,
+                        self._backoff_s(attempt + 1),
+                    )
+                else:
+                    self._finalize(
+                        TaskRecord(
+                            key=key,
+                            attempt=attempt,
+                            task_seed=task_seed,
+                            status="error",
+                            error=str(
+                                payload.get("error", "unknown error")
+                            ),
+                        )
+                    )
+            else:
+                self._processed.discard((key_id, attempt))
+                raise ProtocolError(
+                    f"result payload status must be 'ok' or 'error', "
+                    f"got {status!r}"
+                )
+        return {
+            "type": "result_ok",
+            "lease_id": lease_id,
+            "committed": not duplicate,
+        }
+
+    # ------------------------------------------------------- connections
+
+    def _quarantine(self, host: str) -> None:
+        self._quarantined[host] = (
+            time.monotonic() + self.config.quarantine_s
+        )
+
+    def _is_quarantined(self, host: str) -> bool:
+        until = self._quarantined.get(host)
+        if until is None:
+            return False
+        if time.monotonic() >= until:
+            del self._quarantined[host]
+            return False
+        return True
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        host = str(peername[0]) if peername else "?"
+        is_worker = False
+        try:
+            if self._is_quarantined(host):
+                return
+            hello = await asyncio.wait_for(read_message(reader), timeout=10.0)
+            if hello is None:
+                return
+            if hello["type"] != "hello":
+                raise ProtocolError(
+                    f"first message must be hello, got {hello['type']!r}"
+                )
+            if hello["protocol"] != PROTOCOL_VERSION:
+                await write_message(
+                    writer,
+                    {
+                        "type": "error",
+                        "reason": (
+                            f"protocol {hello['protocol']} unsupported "
+                            f"(this coordinator speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                )
+                return
+            role = hello["role"]
+            if role not in ("worker", "watch"):
+                raise ProtocolError(f"unknown role {role!r}")
+            await write_message(
+                writer,
+                {
+                    "type": "hello_ok",
+                    "protocol": PROTOCOL_VERSION,
+                    "campaign": self.spec.name,
+                    "n_tasks": self.n_total,
+                    "lease_timeout_s": self.config.lease_timeout_s,
+                    "heartbeat_interval_s": self.config.heartbeat_interval_s,
+                },
+            )
+            if role == "worker":
+                is_worker = True
+                self._n_workers += 1
+            worker_name = str(hello["name"])
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    return
+                reply = self._dispatch(role, worker_name, message)
+                await write_message(writer, reply)
+        except ProtocolError as exc:
+            self._quarantine(host)
+            try:
+                await write_message(
+                    writer, {"type": "error", "reason": str(exc)}
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass  # peer vanished; its leases expire on their own
+        finally:
+            if is_worker:
+                self._n_workers -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(
+        self, role: str, worker: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        message_type = message["type"]
+        if message_type == "status_request":
+            return self.status_message()
+        if role != "worker":
+            raise ProtocolError(
+                f"role {role!r} may only send status_request, "
+                f"got {message_type!r}"
+            )
+        if message_type == "lease_request":
+            grant = self._grant_message()
+            if grant["type"] == "lease_grant":
+                self._leases[str(grant["lease_id"])].worker = worker
+            return grant
+        if message_type == "heartbeat":
+            return self._heartbeat_message(str(message["lease_id"]))
+        if message_type == "result":
+            return self._result_message(message)
+        raise ProtocolError(
+            f"unexpected message type {message_type!r} from worker"
+        )
+
+    # ------------------------------------------------------------- serve
+
+    async def _tick_loop(self) -> None:
+        tick = min(self.config.lease_timeout_s / 4.0, 0.25)
+        while True:
+            await asyncio.sleep(tick)
+            now = time.monotonic()
+            if self._delayed:
+                due = [e for e in self._delayed if e[0] <= now]
+                if due:
+                    self._delayed = [
+                        e for e in self._delayed if e[0] > now
+                    ]
+                    for _, key, attempt in due:
+                        self._pending.append((key, attempt))
+            for lease in list(self._leases.values()):
+                if now >= lease.expires_at:
+                    self._expire_lease(lease)
+            if (
+                self._drain_deadline is not None
+                and now >= self._drain_deadline
+            ):
+                self._done.set()
+            if self._draining and not self._leases:
+                self._done.set()
+
+    def _write_service_file(self) -> None:
+        """Publish host/port/pid for `--connect DIR` discovery."""
+        document = {
+            "host": self.config.host,
+            "port": self.bound_port,
+            "pid": os.getpid(),
+        }
+        path = Path(self.store.directory) / SERVICE_NAME
+        tmp = path.with_name(SERVICE_NAME + ".tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    async def serve(self, install_signal_handlers: bool = False) -> RunSummary:
+        """Run the coordinator until completion, drain, or second signal."""
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.begin_drain)
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        self._write_service_file()
+        ticker = asyncio.create_task(self._tick_loop())
+        try:
+            if self.complete:
+                self._done.set()
+            await self._done.wait()
+            # Linger so connected workers get `drain` instead of a
+            # connection reset, then stop accepting.
+            if self.config.linger_s > 0 and not self._draining:
+                self._draining = True
+                await asyncio.sleep(self.config.linger_s)
+        finally:
+            ticker.cancel()
+            server.close()
+            await server.wait_closed()
+            if install_signal_handlers:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    loop.remove_signal_handler(signum)
+        if self.complete:
+            self.store.compact()
+        return self.summary()
+
+
+def serve_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    config: Optional[ServiceConfig] = None,
+    install_signal_handlers: bool = True,
+) -> RunSummary:
+    """Synchronous entry point: run one coordinator to completion/drain.
+
+    This is what ``repro campaign serve`` calls; it exists so the CLI
+    never needs to import :mod:`asyncio` (reprolint REP007 confines
+    async/socket code to ``repro.campaign.service``).
+    """
+    coordinator = Coordinator(spec, store, config)
+    return asyncio.run(
+        coordinator.serve(install_signal_handlers=install_signal_handlers)
+    )

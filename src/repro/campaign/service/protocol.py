@@ -1,0 +1,232 @@
+"""Wire protocol of the distributed campaign service.
+
+One message is one *length-delimited JSON frame*::
+
+    <decimal byte length of payload>\\n
+    <payload: one JSON object, UTF-8>\\n
+
+The explicit length (rather than bare JSON-lines) lets the reader
+allocate exactly once, reject oversized frames *before* parsing, and
+detect truncation deterministically; the trailing newline keeps frames
+greppable on the wire and in captures.
+
+Every message is a JSON object with a ``type`` field; the remaining
+fields are validated strictly against the per-type schema in
+:data:`SCHEMAS` — unknown types, missing fields, surplus fields and
+wrongly-typed values all raise :class:`ProtocolError`.  The coordinator
+treats any :class:`ProtocolError` from a peer as grounds for
+*quarantine* (drop the connection, refuse the host for a cooldown), so
+a malformed or hostile client cannot wedge a campaign.
+
+``protocol`` version is carried in the ``hello`` exchange; both sides
+refuse mismatched peers (:data:`PROTOCOL_VERSION`).
+
+Message catalogue (worker → coordinator unless noted):
+
+====================  ==============================================
+``hello``             introduce peer: protocol version, role, name
+``hello_ok``          (coord) accept: campaign identity + timing knobs
+``lease_request``     ask for one task lease
+``lease_grant``       (coord) one attempt: task key, seed, deadline
+``no_task``           (coord) nothing leasable now; retry later
+``drain``             (coord) stop asking: campaign complete/draining
+``heartbeat``         prove liveness of one held lease
+``heartbeat_ok``      (coord) lease still held; deadline refreshed
+``lease_lost``        (coord) lease expired/unknown; abandon the task
+``result``            deliver one finished attempt payload
+``result_ok``         (coord) commit acknowledgement (or duplicate)
+``status_request``    (watch) ask for campaign progress counters
+``status``            (coord) progress counters snapshot
+``error``             (coord) protocol-level refusal, sent pre-close
+====================  ==============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload; a result record is a few KiB,
+#: so anything near this is a corrupt or hostile frame.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Longest accepted decimal length header (fits MAX_FRAME_BYTES).
+_MAX_HEADER_BYTES = 16
+
+
+class ProtocolError(ValueError):
+    """A frame or message violates the wire protocol."""
+
+
+# Field specs: name -> (kind, required).  Kinds: "int" (bool excluded),
+# "num" (int or float, bool excluded), "str", "bool", "dict".
+_FieldSpec = Tuple[str, bool]
+
+SCHEMAS: Dict[str, Dict[str, _FieldSpec]] = {
+    "hello": {
+        "protocol": ("int", True),
+        "role": ("str", True),
+        "name": ("str", True),
+    },
+    "hello_ok": {
+        "protocol": ("int", True),
+        "campaign": ("str", True),
+        "n_tasks": ("int", True),
+        "lease_timeout_s": ("num", True),
+        "heartbeat_interval_s": ("num", True),
+    },
+    "lease_request": {},
+    "lease_grant": {
+        "lease_id": ("str", True),
+        "key_id": ("str", True),
+        "key": ("dict", True),
+        "attempt": ("int", True),
+        "task_seed": ("int", True),
+        # total execution budget in seconds; 0 = unlimited
+        "deadline_s": ("num", True),
+    },
+    "no_task": {"retry_after_s": ("num", True)},
+    "drain": {"reason": ("str", True)},
+    "heartbeat": {"lease_id": ("str", True)},
+    "heartbeat_ok": {"lease_id": ("str", True), "deadline_s": ("num", True)},
+    "lease_lost": {"lease_id": ("str", True)},
+    "result": {
+        "lease_id": ("str", True),
+        "key_id": ("str", True),
+        "attempt": ("int", True),
+        "payload": ("dict", True),
+    },
+    "result_ok": {"lease_id": ("str", True), "committed": ("bool", True)},
+    "status_request": {},
+    "status": {
+        "campaign": ("str", True),
+        "n_tasks": ("int", True),
+        "n_done": ("int", True),
+        "n_ok": ("int", True),
+        "n_failed": ("int", True),
+        "n_dead": ("int", True),
+        "n_leased": ("int", True),
+        "n_pending": ("int", True),
+        "n_workers": ("int", True),
+        "complete": ("bool", True),
+        "draining": ("bool", True),
+    },
+    "error": {"reason": ("str", True)},
+}
+
+ROLES = ("worker", "watch")
+
+
+def _check_kind(message_type: str, name: str, value: object, kind: str) -> None:
+    ok: bool
+    if kind == "int":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif kind == "num":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif kind == "str":
+        ok = isinstance(value, str)
+    elif kind == "bool":
+        ok = isinstance(value, bool)
+    elif kind == "dict":
+        ok = isinstance(value, dict)
+    else:  # pragma: no cover - schema table typo
+        raise AssertionError(f"unknown field kind {kind!r}")
+    if not ok:
+        raise ProtocolError(
+            f"{message_type}.{name} must be {kind}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def validate(message: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check ``message`` against its type schema; return a plain dict."""
+    if not isinstance(message, Mapping):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    message_type = message.get("type")
+    if not isinstance(message_type, str):
+        raise ProtocolError("message lacks a string 'type' field")
+    schema = SCHEMAS.get(message_type)
+    if schema is None:
+        raise ProtocolError(f"unknown message type {message_type!r}")
+    fields = {k: v for k, v in message.items() if k != "type"}
+    unknown = set(fields) - set(schema)
+    if unknown:
+        raise ProtocolError(
+            f"{message_type}: unknown field(s) {sorted(unknown)}"
+        )
+    for name, (kind, required) in schema.items():
+        if name not in fields:
+            if required:
+                raise ProtocolError(f"{message_type}: missing field {name!r}")
+            continue
+        _check_kind(message_type, name, fields[name], kind)
+    return {"type": message_type, **fields}
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """Validate and frame one message for the wire."""
+    document = validate(message)
+    payload = json.dumps(document, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return b"%d\n%s\n" % (len(payload), payload)
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse and validate one frame payload (length/newlines stripped)."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"payload is not valid JSON: {exc}") from exc
+    return validate(document)
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean EOF at a frame boundary.
+
+    Anything else — EOF mid-frame, an over-long or non-decimal length
+    header, an oversized frame, a missing trailing newline, invalid
+    JSON, a schema violation — raises :class:`ProtocolError`.
+    """
+    try:
+        header = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("EOF inside frame header") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("frame header has no newline") from exc
+    if len(header) > _MAX_HEADER_BYTES:
+        raise ProtocolError(f"frame header too long ({len(header)} bytes)")
+    text = header[:-1].decode("ascii", errors="replace").strip()
+    if not text.isdigit():
+        raise ProtocolError(f"frame header {text!r} is not a decimal length")
+    length = int(text)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    try:
+        body = await reader.readexactly(length + 1)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("EOF inside frame payload") from exc
+    if body[-1:] != b"\n":
+        raise ProtocolError("frame payload not newline-terminated")
+    return decode_payload(body[:-1])
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: Mapping[str, Any]
+) -> None:
+    """Frame, send and flush one message."""
+    writer.write(encode(message))
+    await writer.drain()

@@ -1,0 +1,152 @@
+"""Live campaign progress over the service wire (`repro campaign watch`).
+
+A watch client is a read-only peer: it says ``hello`` with role
+``watch`` and may only ask ``status_request``.  The counters come back
+as absolute values, which :class:`~repro.campaign.progress`'s reporter
+renders as the same one-line done/total/ETA view the local runner
+shows — one campaign, one progress language, local or distributed.
+
+Reconnects follow the worker's discipline (the coordinator may restart
+mid-campaign); a watch exits ``0`` once the coordinator reports the
+campaign complete, ``1`` when the coordinator stays unreachable.
+"""
+# reprolint: disable-file=REP005 polling cadence is host time
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from typing import IO, Optional, Tuple
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from repro.campaign.service.worker import (
+    PathLike,
+    WorkerError,
+    read_service_file,
+)
+
+
+async def _poll_once(
+    host: str, port: int, name: str
+) -> Tuple[str, int, int, int, bool]:
+    """One connect/status/close cycle.
+
+    Returns ``(campaign, n_tasks, n_done, n_failed, complete)``.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_message(
+            writer,
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "role": "watch",
+                "name": name,
+            },
+        )
+        hello_ok = await read_message(reader)
+        if hello_ok is None or hello_ok["type"] != "hello_ok":
+            raise ProtocolError("coordinator did not accept the watch")
+        await write_message(writer, {"type": "status_request"})
+        status = await read_message(reader)
+        if status is None or status["type"] != "status":
+            raise ProtocolError("coordinator did not answer status_request")
+        return (
+            str(status["campaign"]),
+            int(status["n_tasks"]),
+            int(status["n_done"]),
+            int(status["n_failed"]),
+            bool(status["complete"]),
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_watch(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    connect_dir: Optional[PathLike] = None,
+    interval_s: float = 1.0,
+    give_up_s: float = 30.0,
+    once: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """Poll a coordinator and render live progress until completion."""
+    if connect_dir is None and (host is None or port is None):
+        raise WorkerError("need host+port or a campaign directory")
+    stream = sys.stderr if stream is None else stream
+    reporter: Optional[ProgressReporter] = None
+    last_contact = time.monotonic()
+    while True:
+        try:
+            if connect_dir is not None:
+                target = read_service_file(connect_dir)
+            else:
+                assert host is not None and port is not None
+                target = (host, port)
+            campaign, n_tasks, n_done, n_failed, complete = await _poll_once(
+                target[0], target[1], "watch"
+            )
+            last_contact = time.monotonic()
+            if reporter is None:
+                stream.write(
+                    f"watching campaign {campaign!r}: {n_tasks} tasks\n"
+                )
+                reporter = ProgressReporter(n_tasks, stream=stream)
+            reporter.update_absolute(n_done, n_failed, final=complete)
+            if complete:
+                reporter.finish()
+                stream.write("campaign complete\n")
+                return 0
+            if once:
+                reporter.finish()
+                return 1
+        except (
+            ConnectionError,
+            OSError,
+            ProtocolError,
+            WorkerError,
+            asyncio.IncompleteReadError,
+        ) as exc:
+            if once:
+                stream.write(f"watch: coordinator unreachable: {exc}\n")
+                return 1
+            if time.monotonic() - last_contact > give_up_s:
+                stream.write(
+                    f"watch: coordinator unreachable for {give_up_s:g}s "
+                    f"({exc}); giving up\n"
+                )
+                return 1
+        await asyncio.sleep(interval_s)
+
+
+def watch_main(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    connect_dir: Optional[PathLike] = None,
+    interval_s: float = 1.0,
+    give_up_s: float = 30.0,
+    once: bool = False,
+) -> int:
+    """Synchronous entry point for ``repro campaign watch``."""
+    return asyncio.run(
+        run_watch(
+            host=host,
+            port=port,
+            connect_dir=connect_dir,
+            interval_s=interval_s,
+            give_up_s=give_up_s,
+            once=once,
+        )
+    )

@@ -1,0 +1,373 @@
+"""Campaign service worker: lease, execute, heartbeat, survive.
+
+A worker is a thin, restartable shell around the *exact* attempt path
+the local runner uses — :func:`repro.campaign.runner._execute_attempt`
+with the coordinator-supplied ``task_seed`` — so a distributed campaign
+is byte-identical to a serial one.  Everything else here is plumbing
+for staying alive:
+
+* **Jittered reconnect.**  Connection refused/reset (coordinator not
+  up yet, restarted, network blip) retries with exponential backoff
+  plus deterministic per-worker jitter (derived from the worker name,
+  not wall-clock randomness) until ``give_up_s`` elapses without a
+  successful exchange.  With ``--connect DIR`` the worker re-reads the
+  campaign directory's ``service.json`` on every attempt, so a
+  coordinator restarted on a new ephemeral port is found automatically.
+* **Attempts run in a forked child process.**  The asyncio loop stays
+  responsive to heartbeat the lease mid-task, and the child can be
+  *killed* — a worker self-terminates an attempt that exceeds the
+  granted ``deadline_s`` budget and reports a task error (the
+  coordinator then retries it with the next derived seed, exactly like
+  a local timeout).  Platforms without ``fork`` fall back to inline
+  execution: still correct, but without mid-task heartbeats or the
+  kill capability.
+* **Lease loss is obeyed.**  A ``lease_lost`` heartbeat reply (our
+  lease expired while we were slow) kills the child immediately and
+  drops the result — the coordinator has already re-leased the attempt
+  and will discard zombies anyway, so the worker doesn't waste cycles
+  finishing one.
+
+Exit codes of :func:`run_worker`: ``0`` — drained (campaign complete or
+coordinator draining); ``3`` — gave up reaching a coordinator.
+
+Wall-clock here is host-side orchestration (backoff, heartbeats, the
+task budget), never simulated time — hence the REP005 waiver.
+"""
+# reprolint: disable-file=REP005 reconnect/heartbeat/budget are host time
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.campaign.runner import _MP_CONTEXT, _execute_attempt
+from repro.campaign.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from repro.campaign.service.coordinator import SERVICE_NAME
+from repro.campaign.spec import SpecError, TaskKey
+from repro.util.rng import derive_seed
+
+PathLike = Union[str, Path]
+
+#: Child-process poll / heartbeat-check cadence while a task runs.
+_POLL_S = 0.02
+
+EXIT_DRAINED = 0
+EXIT_UNREACHABLE = 3
+
+
+class WorkerError(RuntimeError):
+    """The worker cannot proceed (bad discovery file, protocol refusal)."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Connection and resilience knobs of one worker."""
+
+    name: str = "worker"
+    reconnect_base_s: float = 0.2  #: first reconnect delay; doubles
+    reconnect_max_s: float = 5.0
+    give_up_s: float = 60.0  #: unreachable this long → exit 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("worker name must be non-empty")
+        if self.reconnect_base_s <= 0 or self.reconnect_max_s <= 0:
+            raise ValueError("reconnect delays must be positive")
+        if self.give_up_s <= 0:
+            raise ValueError("give_up_s must be positive")
+
+
+def read_service_file(directory: PathLike) -> Tuple[str, int]:
+    """Resolve ``(host, port)`` from a campaign directory's service file."""
+    path = Path(directory) / SERVICE_NAME
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        return str(document["host"]), int(document["port"])
+    except FileNotFoundError:
+        raise WorkerError(
+            f"{path} does not exist (is a coordinator serving "
+            f"this campaign directory?)"
+        ) from None
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise WorkerError(f"{path} is malformed: {exc}") from exc
+
+
+# ------------------------------------------------------------ attempts
+
+
+def _attempt_child(
+    conn: Connection, kind: str, params: Dict[str, object], seed: int
+) -> None:
+    """Forked-child entry: run the attempt, pipe the payload back."""
+    payload = _execute_attempt(kind, params, seed)
+    conn.send(payload)
+    conn.close()
+
+
+class _RunningAttempt:
+    """One leased attempt executing in a killable forked child."""
+
+    def __init__(self, kind: str, params: Dict[str, object], seed: int) -> None:
+        assert _MP_CONTEXT is not None
+        parent_conn, child_conn = _MP_CONTEXT.Pipe(duplex=False)
+        self._conn: Connection = parent_conn
+        self._process = _MP_CONTEXT.Process(
+            target=_attempt_child,
+            args=(child_conn, kind, params, seed),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def poll(self) -> Optional[Dict[str, Any]]:
+        """Non-blocking: the payload if finished, else ``None``."""
+        if self._conn.poll():
+            try:
+                payload = self._conn.recv()
+            except EOFError:
+                return self._died()
+            self._process.join()
+            self._conn.close()
+            return payload if isinstance(payload, dict) else self._died()
+        if not self._process.is_alive():
+            # Exited without sending (segfault, os._exit) — but check
+            # the pipe once more: it may have sent, then exited.
+            if self._conn.poll():
+                return self.poll()
+            return self._died()
+        return None
+
+    def _died(self) -> Dict[str, Any]:
+        self._process.join()
+        self._conn.close()
+        return {
+            "status": "error",
+            "error": (
+                f"task process died without a result "
+                f"(exit code {self._process.exitcode})"
+            ),
+        }
+
+    def kill(self, reason: str) -> Dict[str, Any]:
+        """Terminate the child; the attempt becomes a task error."""
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join()
+        self._conn.close()
+        return {"status": "error", "error": reason}
+
+
+async def _run_leased_attempt(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    grant: Dict[str, Any],
+    heartbeat_interval_s: float,
+) -> Optional[Dict[str, Any]]:
+    """Execute one granted lease; heartbeat while it runs.
+
+    Returns the attempt payload to submit, or ``None`` when the lease
+    was lost mid-task (nothing to submit).
+    """
+    key = TaskKey.from_json(grant["key"])
+    if key.key_id != grant["key_id"]:
+        raise ProtocolError(
+            f"lease {grant['lease_id']}: key hashes to {key.key_id}, "
+            f"grant says {grant['key_id']}"
+        )
+    kind = key.kind
+    params = key.as_dict()
+    seed = int(grant["task_seed"])
+    deadline_s = float(grant["deadline_s"])
+    if _MP_CONTEXT is None:  # pragma: no cover - non-POSIX platforms
+        return await asyncio.to_thread(_execute_attempt, kind, params, seed)
+    attempt = _RunningAttempt(kind, params, seed)
+    started = time.monotonic()
+    next_heartbeat = started + heartbeat_interval_s
+    while True:
+        payload = attempt.poll()
+        if payload is not None:
+            return payload
+        now = time.monotonic()
+        if deadline_s > 0 and now - started >= deadline_s:
+            return attempt.kill(
+                f"lease deadline exceeded "
+                f"(self-terminated after {deadline_s:g}s)"
+            )
+        if now >= next_heartbeat:
+            next_heartbeat = now + heartbeat_interval_s
+            await write_message(
+                writer,
+                {"type": "heartbeat", "lease_id": grant["lease_id"]},
+            )
+            reply = await read_message(reader)
+            if reply is None:
+                raise ConnectionResetError("coordinator closed mid-lease")
+            if reply["type"] == "lease_lost":
+                attempt.kill("lease lost")
+                return None
+            if reply["type"] != "heartbeat_ok":
+                raise ProtocolError(
+                    f"expected heartbeat_ok, got {reply['type']!r}"
+                )
+        await asyncio.sleep(_POLL_S)
+
+
+# ------------------------------------------------------------- session
+
+
+async def _session(
+    host: str, port: int, config: WorkerConfig
+) -> Tuple[bool, bool]:
+    """One connection's lifetime.
+
+    Returns ``(made_progress, drained)`` — whether any exchange
+    succeeded (resets the give-up clock) and whether the coordinator
+    told us to stop for good.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    made_progress = False
+    try:
+        await write_message(
+            writer,
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "role": "worker",
+                "name": config.name,
+            },
+        )
+        hello_ok = await read_message(reader)
+        if hello_ok is None:
+            return made_progress, False
+        if hello_ok["type"] == "error":
+            raise WorkerError(
+                f"coordinator refused us: {hello_ok['reason']}"
+            )
+        if hello_ok["type"] != "hello_ok":
+            raise ProtocolError(
+                f"expected hello_ok, got {hello_ok['type']!r}"
+            )
+        heartbeat_interval_s = float(hello_ok["heartbeat_interval_s"])
+        made_progress = True
+        while True:
+            await write_message(writer, {"type": "lease_request"})
+            message = await read_message(reader)
+            if message is None:
+                return made_progress, False
+            if message["type"] == "drain":
+                return True, True
+            if message["type"] == "no_task":
+                await asyncio.sleep(float(message["retry_after_s"]))
+                continue
+            if message["type"] != "lease_grant":
+                raise ProtocolError(
+                    f"expected lease_grant/no_task/drain, "
+                    f"got {message['type']!r}"
+                )
+            payload = await _run_leased_attempt(
+                reader, writer, message, heartbeat_interval_s
+            )
+            if payload is None:
+                continue  # lease lost; ask for fresh work
+            await write_message(
+                writer,
+                {
+                    "type": "result",
+                    "lease_id": str(message["lease_id"]),
+                    "key_id": str(message["key_id"]),
+                    "attempt": int(message["attempt"]),
+                    "payload": payload,
+                },
+            )
+            ack = await read_message(reader)
+            if ack is None:
+                return made_progress, False
+            if ack["type"] != "result_ok":
+                raise ProtocolError(
+                    f"expected result_ok, got {ack['type']!r}"
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_worker(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    connect_dir: Optional[PathLike] = None,
+    config: Optional[WorkerConfig] = None,
+) -> int:
+    """Worker main loop: (re)connect and work until drained or give-up.
+
+    Give either ``host``/``port`` or ``connect_dir`` (a campaign
+    directory whose coordinator publishes ``service.json``); the
+    directory form re-resolves on every reconnect, following a
+    restarted coordinator to its new port.
+    """
+    config = config or WorkerConfig()
+    if connect_dir is None and (host is None or port is None):
+        raise WorkerError("need host+port or a campaign directory")
+    failures = 0
+    last_progress = time.monotonic()
+    # Deterministic per-worker jitter: spreads a fleet's reconnect
+    # stampede without wall-clock randomness.
+    jitter = (derive_seed(0, config.name) % 1000) / 1000.0
+    while True:
+        target: Optional[Tuple[str, int]] = None
+        try:
+            if connect_dir is not None:
+                target = read_service_file(connect_dir)
+            else:
+                assert host is not None and port is not None
+                target = (host, port)
+            made_progress, drained = await _session(
+                target[0], target[1], config
+            )
+            if drained:
+                return EXIT_DRAINED
+            if made_progress:
+                failures = 0
+                last_progress = time.monotonic()
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.IncompleteReadError,
+            ProtocolError,
+            SpecError,
+            WorkerError,
+        ):
+            pass
+        failures += 1
+        if time.monotonic() - last_progress > config.give_up_s:
+            return EXIT_UNREACHABLE
+        delay = min(
+            config.reconnect_base_s * (2.0 ** min(failures - 1, 8)),
+            config.reconnect_max_s,
+        )
+        await asyncio.sleep(delay * (0.5 + jitter))
+
+
+def worker_main(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    connect_dir: Optional[PathLike] = None,
+    config: Optional[WorkerConfig] = None,
+) -> int:
+    """Synchronous entry point for ``repro campaign worker``."""
+    return asyncio.run(
+        run_worker(host=host, port=port, connect_dir=connect_dir,
+                   config=config)
+    )

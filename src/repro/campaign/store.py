@@ -1,16 +1,27 @@
 """Crash-safe campaign persistence: manifest + append-only JSONL results.
 
-A campaign directory holds exactly two files:
+A campaign directory holds two primary files and one derived one:
 
 * ``manifest.json`` — written once at campaign creation: the full spec
   document, its hash, the root seed, the expanded task count and the
   library version.  ``resume`` re-expands the spec from here, so the
   original spec file is not needed again (and cannot drift: the hash
-  pins it).
+  pins it).  The write is tmp-file + ``os.replace`` + **parent
+  directory fsync**, so the rename itself is durable — a crash
+  immediately after ``create`` cannot leave a directory whose manifest
+  evaporates on an ext4-style journal replay.
 * ``results.jsonl`` — one JSON record per *finished* task attempt,
   appended and ``fsync``'d record-by-record.  A ``SIGKILL`` can at worst
   leave a partial final line, which :meth:`CampaignStore.records`
   detects and ignores; every fully written record is durable.
+* ``index.sqlite`` — *derived* compaction index
+  (:meth:`CampaignStore.compact`): the set of completed ``key_id``s
+  plus the JSONL byte offset it covers.  :meth:`completed_ids` then
+  reads the index and scans only the JSONL *tail* past that offset, so
+  resuming a million-task campaign stops re-parsing the whole log.
+  The JSONL stays the source of truth: the index is rebuilt at will
+  and ignored whenever it does not match the manifest's spec hash or
+  the log shrank beneath its covered offset.
 
 Resume semantics: a task counts as done when an ``ok`` record for its
 ``key_id`` exists; errored tasks are re-attempted on resume.  Because
@@ -23,18 +34,37 @@ from __future__ import annotations
 
 import json
 import os
+import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, IO, List, Mapping, Optional, Set, Union
+from typing import Any, Dict, IO, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.campaign.spec import CampaignSpec, TaskKey
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+INDEX_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
+INDEX_NAME = "index.sqlite"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Durably record a rename: fsync the parent directory itself.
+
+    ``os.replace`` makes a rename atomic but not durable — on ext4 and
+    friends the *directory entry* lives in the directory inode, which
+    has its own dirty state.  Without this, a crash right after
+    ``create``/``compact`` can roll the rename back.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(directory, flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class StoreError(RuntimeError):
@@ -141,6 +171,7 @@ class CampaignStore:
             os.fsync(handle.fileno())
         os.replace(tmp_path, manifest_path)
         (directory / RESULTS_NAME).touch()
+        _fsync_dir(directory)
         return cls(directory, manifest)
 
     @classmethod
@@ -185,34 +216,89 @@ class CampaignStore:
         silently dropped; a damaged line anywhere else raises, because
         that means the file was edited, not crashed.
         """
+        records, _ = self._scan(0)
+        return records
+
+    def _scan(
+        self, start: int, include_tail: bool = True
+    ) -> Tuple[List[TaskRecord], int]:
+        """Parse records from byte offset ``start`` onward.
+
+        Returns ``(records, covered)`` where ``covered`` is the byte
+        offset just past the last newline-terminated line — the prefix
+        a compaction index may safely claim.  A parseable final line
+        *without* a trailing newline is still returned as a record (when
+        ``include_tail``), but never counted as covered: the next append
+        session truncates it (:meth:`_repair_truncated_tail`), so it is
+        not durable and must never enter the compaction index.
+        """
         try:
-            text = self._results_path.read_text(encoding="utf-8")
+            with open(self._results_path, "rb") as handle:
+                handle.seek(start)
+                data = handle.read()
         except FileNotFoundError:
             raise StoreError(
                 f"{self.directory} lacks {RESULTS_NAME}"
             ) from None
-        lines = text.split("\n")
         records: List[TaskRecord] = []
-        last_index = len(lines) - 1
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
+        covered = start
+        lines = data.split(b"\n")
+        line_number = 0
+        offset = start
+        for raw in lines[:-1]:  # every element here ends in a newline
+            line_number += 1
+            end = offset + len(raw) + 1
+            if raw.strip():
+                try:
+                    records.append(
+                        TaskRecord.from_json(json.loads(raw.decode("utf-8")))
+                    )
+                except (
+                    UnicodeDecodeError,
+                    json.JSONDecodeError,
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                ) as exc:
+                    raise StoreError(
+                        f"{self._results_path}:{line_number}: corrupt "
+                        f"record ({exc}); only the final line may be "
+                        f"truncated"
+                    ) from exc
+            offset = end
+            covered = end
+        tail = lines[-1]
+        if include_tail and tail.strip():
+            # No trailing newline: a kill mid-append.  Tolerate it —
+            # and if it happens to parse, count the record (it is
+            # complete JSON) without covering it.
             try:
-                records.append(TaskRecord.from_json(json.loads(line)))
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                if index == last_index:
-                    # Truncated trailing record from a kill mid-append —
-                    # the task will simply re-run on resume.
-                    continue
-                raise StoreError(
-                    f"{self._results_path}:{index + 1}: corrupt record "
-                    f"({exc}); only the final line may be truncated"
-                ) from exc
-        return records
+                records.append(
+                    TaskRecord.from_json(json.loads(tail.decode("utf-8")))
+                )
+            except (
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+            ):
+                pass
+        return records, covered
 
     def completed_ids(self) -> Set[str]:
-        """``key_id`` of every task with a durable ``ok`` record."""
-        return {rec.key.key_id for rec in self.records() if rec.ok}
+        """``key_id`` of every task with a durable ``ok`` record.
+
+        When a compaction index exists (and matches this campaign and
+        log), only the JSONL bytes *past* the indexed offset are
+        parsed; otherwise the whole log is scanned as before.
+        """
+        indexed = self._read_index()
+        if indexed is None:
+            return {rec.key.key_id for rec in self.records() if rec.ok}
+        ids, covered = indexed
+        tail_records, _ = self._scan(covered)
+        return ids | {rec.key.key_id for rec in tail_records if rec.ok}
 
     def status(self) -> StoreStatus:
         """Progress counts for ``campaign status``."""
@@ -229,6 +315,101 @@ class CampaignStore:
             n_error=len(error_ids),
             n_records=len(records),
         )
+
+    # -------------------------------------------------------- compaction
+
+    @property
+    def _index_path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    def compact(self) -> int:
+        """Index completed ``key_id``s into ``index.sqlite``; return count.
+
+        The JSONL log remains the source of truth — the index merely
+        records *which* tasks have a durable ``ok`` record and how many
+        log bytes that knowledge covers, so :meth:`completed_ids` on a
+        million-task resume reads the index plus the (usually empty)
+        tail instead of re-parsing every record.  The index is built at
+        a tmp path, committed by ``os.replace`` and made durable with a
+        parent-directory fsync, so a crash mid-compaction leaves the
+        previous index (or none) intact.
+        """
+        records, covered = self._scan(0, include_tail=False)
+        completed: Dict[str, int] = {}
+        for record in records:
+            if record.ok:
+                completed.setdefault(record.key.key_id, record.attempt)
+        tmp = self.directory / (INDEX_NAME + ".tmp")
+        if tmp.exists():
+            tmp.unlink()
+        connection = sqlite3.connect(tmp)
+        try:
+            connection.executescript(
+                "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT);"
+                "CREATE TABLE completed ("
+                "  key_id TEXT PRIMARY KEY, attempt INTEGER NOT NULL);"
+            )
+            connection.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [
+                    ("index_format_version", str(INDEX_FORMAT_VERSION)),
+                    ("spec_hash", str(self.manifest.get("spec_hash", ""))),
+                    ("jsonl_bytes", str(covered)),
+                ],
+            )
+            connection.executemany(
+                "INSERT INTO completed (key_id, attempt) VALUES (?, ?)",
+                sorted(completed.items()),
+            )
+            connection.commit()
+        finally:
+            connection.close()
+        os.replace(tmp, self._index_path)
+        _fsync_dir(self.directory)
+        return len(completed)
+
+    def _read_index(self) -> Optional[Tuple[Set[str], int]]:
+        """Load the compaction index: ``(completed ids, covered bytes)``.
+
+        ``None`` whenever the index is absent, unreadable, from another
+        spec, from a future format, or claims more log bytes than exist
+        — every one of those means "fall back to the full JSONL scan",
+        never an error, because the index is derived state.
+        """
+        if not self._index_path.exists():
+            return None
+        try:
+            connection = sqlite3.connect(self._index_path)
+        except sqlite3.Error:
+            return None
+        try:
+            meta = dict(
+                connection.execute("SELECT key, value FROM meta")
+            )
+            if int(meta.get("index_format_version", -1)) != INDEX_FORMAT_VERSION:
+                return None
+            if meta.get("spec_hash") != self.manifest.get("spec_hash"):
+                return None
+            covered = int(meta.get("jsonl_bytes", -1))
+            if covered < 0:
+                return None
+            try:
+                size = os.path.getsize(self._results_path)
+            except OSError:
+                return None
+            if size < covered:
+                return None  # log was truncated/replaced under the index
+            ids = {
+                str(row[0])
+                for row in connection.execute(
+                    "SELECT key_id FROM completed"
+                )
+            }
+            return ids, covered
+        except (sqlite3.Error, ValueError, TypeError):
+            return None
+        finally:
+            connection.close()
 
     # ----------------------------------------------------------- writing
 

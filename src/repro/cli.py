@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -463,6 +464,91 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, SpecError, StoreError, load_spec
+    from repro.campaign.service import ServiceConfig, serve_campaign
+
+    try:
+        if args.resume:
+            store = CampaignStore.open(args.out)
+            spec = store.spec()
+            # Resuming a big campaign: fold the log into the index once,
+            # so this serve (and every later one) skips the full scan.
+            store.compact()
+        else:
+            if args.spec is None:
+                print("error: campaign serve needs a spec file "
+                      "(or --resume)", file=sys.stderr)
+                return 2
+            spec = load_spec(args.spec)
+            store = CampaignStore.create(args.out, spec)
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            lease_timeout_s=args.lease_timeout,
+            heartbeat_interval_s=args.heartbeat_interval,
+            task_timeout_s=args.task_timeout,
+            retries=args.retries,
+            max_requeues=args.max_requeues,
+            linger_s=args.linger,
+        )
+    except (SpecError, StoreError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        summary = serve_campaign(spec, store, config)
+    note = "" if summary.complete else " (drained before completion)"
+    print(f"campaign {spec.name}: {summary.n_ok} ok, "
+          f"{summary.n_failed} failed, {summary.n_skipped} skipped "
+          f"of {len(spec.expand())} tasks{note}")
+    return 0 if summary.complete else 1
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.service import WorkerConfig, WorkerError, worker_main
+
+    try:
+        config = WorkerConfig(name=args.name, give_up_s=args.give_up)
+        return worker_main(
+            host=args.host,
+            port=args.port,
+            connect_dir=args.connect,
+            config=config,
+        )
+    except (WorkerError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.campaign.service import WorkerError, watch_main
+
+    try:
+        return watch_main(
+            host=args.host,
+            port=args.port,
+            connect_dir=args.connect,
+            interval_s=args.interval,
+            once=args.once,
+        )
+    except (WorkerError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_campaign_compact(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, StoreError
+
+    try:
+        store = CampaignStore.open(args.out)
+        n = store.compact()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"compacted {args.out}: {n} completed task(s) indexed")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.runner import main as lint_main
 
@@ -671,6 +757,73 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--output", metavar="FILE",
                     help="write the report here instead of stdout")
     sp.set_defaults(func=cmd_campaign_report)
+
+    def add_connect_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--connect", metavar="DIR", default=None,
+                        help="campaign directory to discover the "
+                             "coordinator from (service.json; re-read on "
+                             "every reconnect)")
+        sp.add_argument("--host", default=None,
+                        help="coordinator host (alternative to --connect)")
+        sp.add_argument("--port", type=int, default=None,
+                        help="coordinator port (alternative to --connect)")
+
+    sp = campaign_sub.add_parser(
+        "serve",
+        help="coordinate a distributed campaign (lease tasks to workers)",
+    )
+    sp.add_argument("spec", nargs="?", default=None,
+                    help="campaign spec file (.toml or .json); omit with "
+                         "--resume")
+    sp.add_argument("--out", required=True, help="campaign directory")
+    sp.add_argument("--resume", action="store_true",
+                    help="continue an existing campaign directory")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is "
+                         "published in <out>/service.json)")
+    sp.add_argument("--lease-timeout", type=float, default=30.0,
+                    help="heartbeat silence before a lease is requeued")
+    sp.add_argument("--heartbeat-interval", type=float, default=5.0,
+                    help="heartbeat cadence advertised to workers")
+    sp.add_argument("--task-timeout", type=float, default=0.0,
+                    help="per-attempt execution budget workers enforce "
+                         "(0 = unlimited)")
+    sp.add_argument("--retries", type=int, default=1,
+                    help="extra attempts per task-errored task")
+    sp.add_argument("--max-requeues", type=int, default=3,
+                    help="lease expiries per attempt before dead-letter")
+    sp.add_argument("--linger", type=float, default=3.0,
+                    help="seconds to keep draining workers after completion")
+    sp.set_defaults(func=cmd_campaign_serve)
+
+    sp = campaign_sub.add_parser(
+        "worker", help="execute leased tasks for a campaign coordinator"
+    )
+    add_connect_args(sp)
+    sp.add_argument("--name", default=f"worker-{os.getpid()}",
+                    help="worker name (reconnect jitter + coordinator logs)")
+    sp.add_argument("--give-up", type=float, default=60.0,
+                    help="exit 3 after this long without reaching a "
+                         "coordinator")
+    sp.set_defaults(func=cmd_campaign_worker)
+
+    sp = campaign_sub.add_parser(
+        "watch", help="live progress/ETA view of a served campaign"
+    )
+    add_connect_args(sp)
+    sp.add_argument("--interval", type=float, default=1.0,
+                    help="poll interval in seconds")
+    sp.add_argument("--once", action="store_true",
+                    help="print one status snapshot and exit")
+    sp.set_defaults(func=cmd_campaign_watch)
+
+    sp = campaign_sub.add_parser(
+        "compact",
+        help="index completed tasks (sqlite) so resume skips the log scan",
+    )
+    sp.add_argument("out", help="campaign directory")
+    sp.set_defaults(func=cmd_campaign_compact)
 
     p = sub.add_parser(
         "lint", help="reprolint: simulator-invariant static analysis"

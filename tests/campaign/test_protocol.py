@@ -1,0 +1,175 @@
+"""Unit tests for the service wire protocol: framing + strict schemas."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.campaign.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SCHEMAS,
+    decode_payload,
+    encode,
+    read_message,
+    validate,
+)
+
+
+def hello(**overrides):
+    message = {
+        "type": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "role": "worker",
+        "name": "w1",
+    }
+    message.update(overrides)
+    return message
+
+
+class TestValidate:
+    def test_roundtrip_every_type_has_schema(self):
+        assert "hello" in SCHEMAS and "result" in SCHEMAS
+
+    def test_valid_hello(self):
+        assert validate(hello())["type"] == "hello"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            validate({"type": "gimme"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError, match="string 'type'"):
+            validate({"protocol": 1})
+
+    def test_missing_field_rejected(self):
+        message = hello()
+        del message["name"]
+        with pytest.raises(ProtocolError, match="missing field 'name'"):
+            validate(message)
+
+    def test_surplus_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            validate(hello(extra=1))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="hello.protocol must be int"):
+            validate(hello(protocol="1"))
+
+    def test_bool_is_not_int(self):
+        # JSON true must not satisfy an int field (bool subclasses int).
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate(hello(protocol=True))
+
+    def test_num_accepts_int_and_float(self):
+        for value in (1, 1.5):
+            assert validate(
+                {"type": "no_task", "retry_after_s": value}
+            )["retry_after_s"] == value
+
+    def test_payload_must_be_dict(self):
+        with pytest.raises(ProtocolError, match="result.payload must be dict"):
+            validate({
+                "type": "result", "lease_id": "L1", "key_id": "k",
+                "attempt": 0, "payload": "ok",
+            })
+
+
+class TestFraming:
+    def test_encode_shape(self):
+        frame = encode(hello())
+        header, _, rest = frame.partition(b"\n")
+        assert int(header) == len(rest) - 1
+        assert rest.endswith(b"\n")
+        assert json.loads(rest[:-1])["type"] == "hello"
+
+    def test_decode_payload_roundtrip(self):
+        frame = encode(hello())
+        payload = frame.split(b"\n", 1)[1][:-1]
+        assert decode_payload(payload) == validate(hello())
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_oversized_rejected_before_parse(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_if_oversized()
+
+
+def decode_if_oversized():
+    big = {"type": "result", "lease_id": "L", "key_id": "k", "attempt": 0,
+           "payload": {"blob": "x" * (MAX_FRAME_BYTES + 10)}}
+    encode(big)
+
+
+def read_from(data: bytes):
+    """Drive read_message over a fed StreamReader."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_message(reader)
+    return asyncio.run(go())
+
+
+class TestReadMessage:
+    def test_reads_one_frame(self):
+        assert read_from(encode(hello()))["type"] == "hello"
+
+    def test_clean_eof_returns_none(self):
+        assert read_from(b"") is None
+
+    def test_eof_mid_header(self):
+        with pytest.raises(ProtocolError, match="EOF inside frame header"):
+            read_from(b"12")
+
+    def test_eof_mid_payload(self):
+        with pytest.raises(ProtocolError, match="EOF inside frame payload"):
+            read_from(b"100\n{}")
+
+    def test_non_decimal_header(self):
+        with pytest.raises(ProtocolError, match="not a decimal length"):
+            read_from(b"ab\n{}\n")
+
+    def test_negative_header_is_non_decimal(self):
+        with pytest.raises(ProtocolError, match="not a decimal length"):
+            read_from(b"-5\n{}\n")
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_from(b"99999999999\n")
+
+    def test_header_too_long(self):
+        with pytest.raises(ProtocolError):
+            read_from(b"0" * 40 + b"\n")
+
+    def test_payload_must_end_with_newline(self):
+        payload = b'{"type":"lease_request"}'
+        frame = b"%d\n%sX" % (len(payload), payload)
+        with pytest.raises(ProtocolError, match="newline-terminated"):
+            read_from(frame)
+
+    def test_schema_enforced_on_read(self):
+        payload = b'{"type":"hello","protocol":1}'
+        frame = b"%d\n%s\n" % (len(payload), payload)
+        with pytest.raises(ProtocolError, match="missing field"):
+            read_from(frame)
+
+    def test_two_frames_sequential(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode(hello()) + encode({"type": "lease_request"})
+            )
+            reader.feed_eof()
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(go())
+        assert first["type"] == "hello"
+        assert second["type"] == "lease_request"
+        assert third is None

@@ -16,6 +16,7 @@ from repro.campaign.runner import (
     attempt_seed,
     run_campaign,
     run_collect,
+    run_tasks,
 )
 from repro.campaign.spec import CampaignSpec, TaskKey
 from repro.campaign.store import CampaignStore
@@ -272,3 +273,51 @@ class TestRunCampaign:
             summary = run_campaign(spec, store, RunnerConfig())
         assert (summary.n_tasks, summary.n_skipped) == (0, 4)
         assert summary.complete
+
+
+def straggle_task(params, seed):
+    # Attempt 0 (small task seed) hogs its worker past the timeout;
+    # retries (derived 63-bit seed) return instantly.
+    if seed < 10**6:
+        time.sleep(params["duration"])
+    return {"value": 1}
+
+
+register_task_kind("t-straggle", straggle_task)
+
+
+class TestStragglerAccounting:
+    def test_abandoned_straggler_settles_exactly_once(self):
+        # Attempt 0 of each task is abandoned on timeout while the
+        # worker is still executing it (the future cannot be cancelled).
+        # The straggler's eventual completion must not produce a second
+        # sink record or bump the counters again — the retry (attempt 1)
+        # alone decides the task.
+        keys = [
+            TaskKey.create("t-straggle", {"duration": 0.6, "x": i}, seed=i)
+            for i in range(2)
+        ]
+        records = []
+        summary = run_tasks(
+            keys,
+            RunnerConfig(workers=2, timeout_s=0.2, retries=1),
+            records.append,
+        )
+        assert (summary.n_tasks, summary.n_ok, summary.n_failed) == (2, 2, 0)
+        assert len(records) == 2
+        assert sorted(r.key.key_id for r in records) == sorted(
+            k.key_id for k in keys
+        )
+        assert all(r.ok and r.attempt == 1 for r in records)
+
+    def test_straggler_without_retries_charges_one_failure(self):
+        keys = [TaskKey.create("t-straggle", {"duration": 0.6}, seed=0)]
+        records = []
+        summary = run_tasks(
+            keys,
+            RunnerConfig(workers=2, timeout_s=0.2, retries=0),
+            records.append,
+        )
+        assert (summary.n_ok, summary.n_failed) == (0, 1)
+        assert len(records) == 1
+        assert "timeout" in records[0].error

@@ -1,0 +1,590 @@
+"""Coordinator/worker service tests: leases, commits, failure modes.
+
+Everything here runs in-process — logic-level tests drive the
+coordinator's message methods directly; socket-level tests run the real
+asyncio server, real workers (forked attempt children inherit this
+module's task registrations) and hand-rolled protocol clients that
+misbehave in controlled ways (silence, zombie results, garbage frames).
+Real multi-process kill matrices live in
+``tests/integration/test_campaign_service.py``.
+"""
+
+import asyncio
+import io
+import time
+
+import pytest
+
+from repro.campaign.aggregate import aggregate, to_json
+from repro.campaign.runner import RunnerConfig, attempt_seed, run_collect
+from repro.campaign.service.coordinator import (
+    Coordinator,
+    ServiceConfig,
+)
+from repro.campaign.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from repro.campaign.service.watch import run_watch
+from repro.campaign.service.worker import (
+    EXIT_DRAINED,
+    WorkerConfig,
+    run_worker,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.tasks import register_task_kind
+
+
+def echo_task(params, seed):
+    return {"value": params["x"] * 2, "seed_used": seed}
+
+
+def flaky_task(params, seed):
+    # Attempt 0 runs with the task's own (small) seed; retries run with
+    # a derived 63-bit seed, so this fails exactly once per task.
+    if seed < 10**6:
+        raise RuntimeError("transient failure")
+    return {"value": params["x"], "seed_used": seed}
+
+
+def sleep_task(params, seed):
+    time.sleep(params["duration"])
+    return {"value": 1}
+
+
+register_task_kind("svc-echo", echo_task)
+register_task_kind("svc-flaky", flaky_task)
+register_task_kind("svc-sleep", sleep_task)
+
+
+def make_spec(n=4, kind="svc-echo", **extra):
+    return CampaignSpec.create(
+        "svc-demo", kind, grid={"x": list(range(n))}, **extra
+    )
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        lease_timeout_s=0.5,
+        heartbeat_interval_s=0.1,
+        backoff_base_s=0.05,
+        backoff_max_s=0.2,
+        linger_s=0.5,
+        drain_grace_s=2.0,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def make_coordinator(tmp_path, spec=None, config=None):
+    spec = spec if spec is not None else make_spec()
+    store = CampaignStore.create(tmp_path / "camp", spec)
+    return Coordinator(spec, store, config or fast_config())
+
+
+class TestServiceConfig:
+    def test_defaults_valid(self):
+        ServiceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_timeout_s": 0.0},
+            {"heartbeat_interval_s": 0.0},
+            {"heartbeat_interval_s": 40.0},  # >= lease_timeout_s
+            {"task_timeout_s": -1.0},
+            {"retries": -1},
+            {"max_requeues": -1},
+            {"backoff_base_s": -0.1},
+            {"linger_s": -1.0},
+            {"quarantine_s": -0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestLeaseGrant:
+    def test_grant_carries_attempt_seed(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        grant = coordinator._grant_message()
+        assert grant["type"] == "lease_grant"
+        assert grant["attempt"] == 0
+        key = coordinator._keys[grant["key_id"]]
+        assert grant["task_seed"] == attempt_seed(key, 0)
+        assert grant["lease_id"] in coordinator._leases
+
+    def test_exhaustion_yields_no_task(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        assert coordinator._grant_message()["type"] == "lease_grant"
+        reply = coordinator._grant_message()
+        assert reply["type"] == "no_task"
+        assert 0.1 <= reply["retry_after_s"] <= 2.0
+
+    def test_draining_refuses_leases(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        coordinator.begin_drain()
+        reply = coordinator._grant_message()
+        assert reply == {"type": "drain", "reason": "draining"}
+
+    def test_grants_cover_all_tasks_once(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=3))
+        granted = {coordinator._grant_message()["key_id"] for _ in range(3)}
+        assert len(granted) == 3
+
+
+def ok_result(grant, value=0):
+    return {
+        "type": "result",
+        "lease_id": grant["lease_id"],
+        "key_id": grant["key_id"],
+        "attempt": grant["attempt"],
+        "payload": {"status": "ok", "result": {"value": value}},
+    }
+
+
+def error_result(grant, error="boom"):
+    return {
+        "type": "result",
+        "lease_id": grant["lease_id"],
+        "key_id": grant["key_id"],
+        "attempt": grant["attempt"],
+        "payload": {"status": "error", "error": error},
+    }
+
+
+class TestResultCommit:
+    def test_ok_result_commits_one_record(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        grant = coordinator._grant_message()
+        ack = coordinator._result_message(ok_result(grant, value=7))
+        assert ack["committed"] is True
+        assert coordinator.complete
+        records = coordinator.store.records()
+        assert len(records) == 1
+        assert records[0].status == "ok"
+        assert records[0].result == {"value": 7}
+
+    def test_zombie_duplicate_discarded(self, tmp_path):
+        # A worker's lease expires; the attempt is re-leased and commits;
+        # the original (zombie) worker then submits its stale result.
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        zombie_grant = coordinator._grant_message()
+        coordinator._expire_lease(coordinator._leases[zombie_grant["lease_id"]])
+        # The requeue is parked behind backoff; force it due.
+        coordinator._pending.extend(
+            (k, a) for _, k, a in coordinator._delayed
+        )
+        coordinator._delayed.clear()
+        fresh_grant = coordinator._grant_message()
+        assert fresh_grant["key_id"] == zombie_grant["key_id"]
+        assert fresh_grant["attempt"] == zombie_grant["attempt"]
+        assert fresh_grant["task_seed"] == zombie_grant["task_seed"]
+        assert coordinator._result_message(
+            ok_result(fresh_grant)
+        )["committed"] is True
+        ack = coordinator._result_message(ok_result(zombie_grant))
+        assert ack["committed"] is False
+        assert len(coordinator.store.records()) == 1
+        assert coordinator.summary().n_ok == 1
+
+    def test_error_retries_with_derived_seed(self, tmp_path):
+        coordinator = make_coordinator(
+            tmp_path, spec=make_spec(n=1), config=fast_config(retries=1)
+        )
+        grant = coordinator._grant_message()
+        ack = coordinator._result_message(error_result(grant))
+        assert ack["committed"] is True
+        assert not coordinator.complete
+        assert len(coordinator.store.records()) == 0
+        coordinator._pending.extend(
+            (k, a) for _, k, a in coordinator._delayed
+        )
+        coordinator._delayed.clear()
+        retry = coordinator._grant_message()
+        assert retry["key_id"] == grant["key_id"]
+        assert retry["attempt"] == 1
+        key = coordinator._keys[grant["key_id"]]
+        assert retry["task_seed"] == attempt_seed(key, 1)
+        assert retry["task_seed"] != grant["task_seed"]
+
+    def test_error_at_retry_budget_finalizes(self, tmp_path):
+        coordinator = make_coordinator(
+            tmp_path, spec=make_spec(n=1), config=fast_config(retries=0)
+        )
+        grant = coordinator._grant_message()
+        coordinator._result_message(error_result(grant, error="fatal"))
+        assert coordinator.complete
+        records = coordinator.store.records()
+        assert len(records) == 1
+        assert records[0].status == "error"
+        assert records[0].error == "fatal"
+        assert coordinator.summary().n_failed == 1
+
+    def test_unknown_key_rejected(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        grant = coordinator._grant_message()
+        bad = ok_result(grant)
+        bad["lease_id"] = "L-expired-long-ago"  # skip the lease check
+        bad["key_id"] = "0" * 16
+        with pytest.raises(ProtocolError, match="unknown task"):
+            coordinator._result_message(bad)
+
+    def test_lease_task_mismatch_rejected_and_lease_kept(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=2))
+        first = coordinator._grant_message()
+        second = coordinator._grant_message()
+        crossed = ok_result(first)
+        crossed["key_id"] = second["key_id"]
+        with pytest.raises(ProtocolError, match="names task"):
+            coordinator._result_message(crossed)
+        assert first["lease_id"] in coordinator._leases
+
+    def test_attempt_out_of_range_rejected(self, tmp_path):
+        coordinator = make_coordinator(
+            tmp_path, config=fast_config(retries=1)
+        )
+        grant = coordinator._grant_message()
+        bad = ok_result(grant)
+        bad["lease_id"] = "L-unknown"
+        bad["attempt"] = 5
+        with pytest.raises(ProtocolError, match="outside 0..1"):
+            coordinator._result_message(bad)
+
+    def test_bad_payload_status_rejected_not_processed(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        grant = coordinator._grant_message()
+        bad = ok_result(grant)
+        bad["payload"] = {"status": "meh"}
+        with pytest.raises(ProtocolError, match="must be 'ok' or 'error'"):
+            coordinator._result_message(bad)
+        # The rejection must not burn the attempt's at-most-once slot.
+        assert (grant["key_id"], grant["attempt"]) not in coordinator._processed
+
+
+class TestExpiryAndDeadLetter:
+    def test_expiry_requeues_same_attempt_with_backoff(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        grant = coordinator._grant_message()
+        coordinator._expire_lease(coordinator._leases[grant["lease_id"]])
+        assert not coordinator._leases
+        assert len(coordinator._delayed) == 1
+        _, key, attempt = coordinator._delayed[0]
+        assert key.key_id == grant["key_id"]
+        assert attempt == grant["attempt"]
+        assert coordinator._requeues[grant["key_id"]] == 1
+
+    def test_dead_letter_after_max_requeues(self, tmp_path):
+        coordinator = make_coordinator(
+            tmp_path,
+            spec=make_spec(n=1),
+            config=fast_config(max_requeues=1),
+        )
+        for _ in range(2):
+            coordinator._pending.extend(
+                (k, a) for _, k, a in coordinator._delayed
+            )
+            coordinator._delayed.clear()
+            grant = coordinator._grant_message()
+            coordinator._expire_lease(
+                coordinator._leases[grant["lease_id"]]
+            )
+        assert coordinator.complete
+        records = coordinator.store.records()
+        assert len(records) == 1
+        assert records[0].status == "error"
+        assert "dead-letter" in records[0].error
+        status = coordinator.status_message()
+        assert status["n_dead"] == 1
+        assert status["n_failed"] == 1
+
+    def test_expiry_after_final_is_noop(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=1))
+        grant = coordinator._grant_message()
+        lease = coordinator._leases[grant["lease_id"]]
+        coordinator._result_message(ok_result(grant))
+        coordinator._expire_lease(lease)  # zombie lease of a finished key
+        assert len(coordinator.store.records()) == 1
+        assert not coordinator._delayed and not coordinator._pending
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        grant = coordinator._grant_message()
+        lease = coordinator._leases[grant["lease_id"]]
+        before = lease.expires_at
+        time.sleep(0.01)
+        reply = coordinator._heartbeat_message(grant["lease_id"])
+        assert reply["type"] == "heartbeat_ok"
+        assert lease.expires_at > before
+
+    def test_heartbeat_unknown_lease_is_lost(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        reply = coordinator._heartbeat_message("L-gone")
+        assert reply == {"type": "lease_lost", "lease_id": "L-gone"}
+
+
+class TestStatusAndResume:
+    def test_status_counters(self, tmp_path):
+        coordinator = make_coordinator(tmp_path, spec=make_spec(n=3))
+        grant = coordinator._grant_message()
+        coordinator._result_message(ok_result(grant))
+        status = coordinator.status_message()
+        assert status["n_tasks"] == 3
+        assert status["n_done"] == 1
+        assert status["n_ok"] == 1
+        assert status["n_pending"] == 2
+        assert status["complete"] is False
+
+    def test_resume_skips_completed(self, tmp_path):
+        spec = make_spec(n=2)
+        coordinator = make_coordinator(tmp_path, spec=spec)
+        grant = coordinator._grant_message()
+        coordinator._result_message(ok_result(grant))
+        resumed = Coordinator(
+            spec, CampaignStore.open(tmp_path / "camp"), fast_config()
+        )
+        assert resumed.n_skipped == 1
+        assert len(resumed._todo) == 1
+        assert resumed.summary().n_skipped == 1
+
+    def test_drain_without_leases_stops_immediately(self, tmp_path):
+        coordinator = make_coordinator(tmp_path)
+        coordinator.begin_drain()
+        assert coordinator._done.is_set()
+        assert coordinator.summary().stopped_early
+
+
+# --------------------------------------------------------------- sockets
+
+
+class Client:
+    """Hand-rolled protocol peer for misbehaviour tests."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port, role="worker", name="test-client"):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        client = cls(reader, writer)
+        await write_message(writer, {
+            "type": "hello", "protocol": PROTOCOL_VERSION,
+            "role": role, "name": name,
+        })
+        return client, await read_message(reader)
+
+    async def rpc(self, message):
+        await write_message(self.writer, message)
+        return await read_message(self.reader)
+
+    async def lease(self, timeout=5.0):
+        """lease_request until a grant (or None once drained)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            reply = await self.rpc({"type": "lease_request"})
+            if reply["type"] == "lease_grant":
+                return reply
+            if reply["type"] == "drain":
+                return None
+            assert reply["type"] == "no_task"
+            await asyncio.sleep(min(float(reply["retry_after_s"]), 0.05))
+        raise AssertionError("no lease grant before timeout")
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_serving(coordinator):
+    task = asyncio.create_task(coordinator.serve())
+    while coordinator.bound_port is None:
+        await asyncio.sleep(0.005)
+    return task
+
+
+def serial_baseline(spec, retries=1):
+    records = run_collect(
+        spec.expand(), RunnerConfig(workers=1, retries=retries)
+    )
+    return to_json(aggregate(records))
+
+
+class TestServiceEndToEnd:
+    def test_worker_completes_campaign_byte_identical(self, tmp_path):
+        spec = make_spec(n=4)
+
+        async def main():
+            coordinator = make_coordinator(tmp_path, spec=spec)
+            serve_task = await start_serving(coordinator)
+            exit_code = await run_worker(
+                host="127.0.0.1",
+                port=coordinator.bound_port,
+                config=WorkerConfig(name="w-test", give_up_s=10.0),
+            )
+            summary = await serve_task
+            return exit_code, summary, coordinator.store.records()
+
+        exit_code, summary, records = asyncio.run(main())
+        assert exit_code == EXIT_DRAINED
+        assert summary.n_ok == 4 and summary.complete
+        assert to_json(aggregate(records)) == serial_baseline(spec)
+
+    def test_two_workers_flaky_tasks_match_serial(self, tmp_path):
+        spec = make_spec(n=4, kind="svc-flaky")
+
+        async def main():
+            coordinator = make_coordinator(
+                tmp_path, spec=spec, config=fast_config(retries=1)
+            )
+            serve_task = await start_serving(coordinator)
+            exits = await asyncio.gather(*[
+                run_worker(
+                    host="127.0.0.1",
+                    port=coordinator.bound_port,
+                    config=WorkerConfig(name=f"w{i}", give_up_s=10.0),
+                )
+                for i in range(2)
+            ])
+            summary = await serve_task
+            return exits, summary, coordinator.store.records()
+
+        exits, summary, records = asyncio.run(main())
+        assert exits == [EXIT_DRAINED, EXIT_DRAINED]
+        assert summary.n_ok == 4
+        assert to_json(aggregate(records)) == serial_baseline(spec, retries=1)
+
+    def test_heartbeat_silence_expires_and_requeues(self, tmp_path):
+        spec = make_spec(n=1)
+
+        async def main():
+            coordinator = make_coordinator(
+                tmp_path,
+                spec=spec,
+                config=fast_config(
+                    lease_timeout_s=0.3, heartbeat_interval_s=0.05
+                ),
+            )
+            serve_task = await start_serving(coordinator)
+            silent, hello = await Client.connect(
+                coordinator.bound_port, name="silent"
+            )
+            assert hello["type"] == "hello_ok"
+            zombie_grant = await silent.lease()
+            # Stop heartbeating; the lease expires and the same attempt
+            # (same seed) is re-leased to a healthy peer.
+            healthy, _ = await Client.connect(
+                coordinator.bound_port, name="healthy"
+            )
+            fresh_grant = await healthy.lease(timeout=5.0)
+            assert fresh_grant["key_id"] == zombie_grant["key_id"]
+            assert fresh_grant["attempt"] == zombie_grant["attempt"]
+            assert fresh_grant["task_seed"] == zombie_grant["task_seed"]
+            fresh_ack = await healthy.rpc(ok_result(fresh_grant, value=9))
+            zombie_ack = await silent.rpc(ok_result(zombie_grant, value=9))
+            await healthy.close()
+            await silent.close()
+            summary = await serve_task
+            return fresh_ack, zombie_ack, summary, coordinator
+
+        fresh_ack, zombie_ack, summary, coordinator = asyncio.run(main())
+        assert fresh_ack["committed"] is True
+        assert zombie_ack["committed"] is False
+        assert summary.n_ok == 1
+        assert len(coordinator.store.records()) == 1
+
+    def test_malformed_peer_quarantined(self, tmp_path):
+        async def main():
+            coordinator = make_coordinator(
+                tmp_path, config=fast_config(quarantine_s=30.0)
+            )
+            serve_task = await start_serving(coordinator)
+            # Garbage frame -> error reply, connection dropped.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", coordinator.bound_port
+            )
+            writer.write(b"not a frame at all\n")
+            await writer.drain()
+            error = await read_message(reader)
+            eof = await read_message(reader)
+            writer.close()
+            await writer.wait_closed()
+            # The host is now quarantined: a well-formed hello gets no
+            # hello_ok — the connection is closed (or reset) unanswered.
+            try:
+                _, refused = await Client.connect(coordinator.bound_port)
+            except (ConnectionError, OSError):
+                refused = None
+            coordinator.begin_drain()
+            coordinator._done.set()
+            summary = await serve_task
+            return error, eof, refused, summary
+
+        error, eof, refused, summary = asyncio.run(main())
+        assert error["type"] == "error"
+        assert eof is None
+        assert refused is None
+        assert summary.stopped_early
+
+    def test_task_deadline_self_terminates(self, tmp_path):
+        spec = make_spec(n=1, kind="svc-sleep", base={"duration": 30.0})
+
+        async def main():
+            coordinator = make_coordinator(
+                tmp_path,
+                spec=spec,
+                config=fast_config(task_timeout_s=0.3, retries=0),
+            )
+            serve_task = await start_serving(coordinator)
+            exit_code = await run_worker(
+                host="127.0.0.1",
+                port=coordinator.bound_port,
+                config=WorkerConfig(name="w-slow", give_up_s=10.0),
+            )
+            summary = await serve_task
+            return exit_code, summary, coordinator.store.records()
+
+        exit_code, summary, records = asyncio.run(main())
+        assert exit_code == EXIT_DRAINED
+        assert summary.n_failed == 1
+        assert len(records) == 1
+        assert "lease deadline exceeded" in records[0].error
+
+    def test_watch_renders_progress_to_completion(self, tmp_path):
+        spec = make_spec(n=2)
+        stream = io.StringIO()
+
+        async def main():
+            coordinator = make_coordinator(
+                tmp_path, spec=spec, config=fast_config(linger_s=1.0)
+            )
+            serve_task = await start_serving(coordinator)
+            watch_task = asyncio.create_task(run_watch(
+                host="127.0.0.1",
+                port=coordinator.bound_port,
+                interval_s=0.05,
+                give_up_s=5.0,
+                stream=stream,
+            ))
+            worker_exit = await run_worker(
+                host="127.0.0.1",
+                port=coordinator.bound_port,
+                config=WorkerConfig(name="w-watched", give_up_s=10.0),
+            )
+            watch_exit = await watch_task
+            await serve_task
+            return worker_exit, watch_exit
+
+        worker_exit, watch_exit = asyncio.run(main())
+        assert worker_exit == EXIT_DRAINED
+        assert watch_exit == 0
+        output = stream.getvalue()
+        assert "watching campaign 'svc-demo': 2 tasks" in output
+        assert "campaign complete" in output

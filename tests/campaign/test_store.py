@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+import repro.campaign.store as store_module
 from repro.campaign.spec import CampaignSpec, TaskKey
 from repro.campaign.store import (
     CampaignStore,
@@ -167,3 +168,144 @@ class TestStatus:
         assert status.n_records == 4
         assert status.n_pending == 2
         assert not status.complete
+
+
+class TestCompaction:
+    def populated(self, tmp_path, n_ok=2):
+        spec = make_spec()  # 4 tasks
+        tasks = spec.expand()
+        with CampaignStore.create(tmp_path / "camp", spec) as store:
+            for key in tasks[:n_ok]:
+                store.append(ok_record(key))
+        return CampaignStore.open(tmp_path / "camp"), tasks
+
+    def test_compact_builds_index_and_counts(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        assert store.compact() == 2
+        assert (tmp_path / "camp" / "index.sqlite").exists()
+        assert store.completed_ids() == {k.key_id for k in tasks[:2]}
+
+    def test_completed_ids_skips_the_full_scan(self, tmp_path, monkeypatch):
+        # The whole point of compaction: resume must not re-parse the
+        # indexed JSONL prefix.  Forbid full scans outright and prove
+        # completed_ids still answers from the index + (empty) tail.
+        store, tasks = self.populated(tmp_path)
+        assert store.compact() == 2
+        real_scan = store._scan
+
+        def guarded_scan(start, include_tail=True):
+            assert start > 0, "completed_ids re-scanned the indexed prefix"
+            return real_scan(start, include_tail)
+
+        monkeypatch.setattr(store, "_scan", guarded_scan)
+        assert store.completed_ids() == {k.key_id for k in tasks[:2]}
+
+    def test_index_plus_tail_after_more_appends(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        store.compact()
+        with CampaignStore.open(tmp_path / "camp") as live:
+            live.append(ok_record(tasks[2]))
+        # The new record is past the indexed offset: tail scan finds it.
+        assert store.completed_ids() == {k.key_id for k in tasks[:3]}
+
+    def test_error_records_not_indexed(self, tmp_path):
+        store, tasks = self.populated(tmp_path, n_ok=1)
+        with CampaignStore.open(tmp_path / "camp") as live:
+            live.append(
+                TaskRecord(
+                    key=tasks[1], attempt=0, task_seed=tasks[1].seed,
+                    status="error", error="boom",
+                )
+            )
+        store = CampaignStore.open(tmp_path / "camp")
+        assert store.compact() == 1
+        assert store.completed_ids() == {tasks[0].key_id}
+
+    def test_unterminated_tail_record_not_indexed(self, tmp_path):
+        # A complete-JSON final line with no newline parses, but the
+        # next append session TRUNCATES it — so compact() must never
+        # let it into the index (the index would then claim a record
+        # that no longer exists).
+        store, tasks = self.populated(tmp_path)
+        results = tmp_path / "camp" / "results.jsonl"
+        payload = json.dumps(ok_record(tasks[2]).to_json())
+        results.write_text(results.read_text() + payload)  # no newline
+        assert store.compact() == 2
+        with CampaignStore.open(tmp_path / "camp") as live:
+            live.append(ok_record(tasks[3]))  # repairs: tail is gone
+        store = CampaignStore.open(tmp_path / "camp")
+        assert store.completed_ids() == {
+            tasks[0].key_id, tasks[1].key_id, tasks[3].key_id,
+        }
+
+    def test_foreign_spec_index_ignored(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        store.compact()
+        other_spec = make_spec(n_seeds=3)
+        other = CampaignStore.create(tmp_path / "other", other_spec)
+        # Graft campaign A's index onto campaign B: spec hash mismatch
+        # must force the full-scan fallback, silently.
+        index = (tmp_path / "camp" / "index.sqlite").read_bytes()
+        (tmp_path / "other" / "index.sqlite").write_bytes(index)
+        assert other.completed_ids() == set()
+
+    def test_future_index_format_ignored(self, tmp_path):
+        import sqlite3
+
+        store, tasks = self.populated(tmp_path)
+        store.compact()
+        connection = sqlite3.connect(tmp_path / "camp" / "index.sqlite")
+        with connection:
+            connection.execute(
+                "UPDATE meta SET value = '99' "
+                "WHERE key = 'index_format_version'"
+            )
+        connection.close()
+        assert store._read_index() is None
+        assert store.completed_ids() == {k.key_id for k in tasks[:2]}
+
+    def test_corrupt_index_file_ignored(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        store.compact()
+        (tmp_path / "camp" / "index.sqlite").write_bytes(b"not sqlite \xff")
+        assert store.completed_ids() == {k.key_id for k in tasks[:2]}
+
+    def test_shrunk_log_invalidates_index(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        store.compact()
+        results = tmp_path / "camp" / "results.jsonl"
+        first_line = results.read_text().splitlines()[0]
+        results.write_text(first_line + "\n")
+        # Index claims more bytes than exist: fall back to the (short)
+        # log rather than reporting tasks the log no longer holds.
+        assert store.completed_ids() == {tasks[0].key_id}
+
+    def test_recompaction_replaces_index(self, tmp_path):
+        store, tasks = self.populated(tmp_path)
+        assert store.compact() == 2
+        with CampaignStore.open(tmp_path / "camp") as live:
+            live.append(ok_record(tasks[2]))
+        store = CampaignStore.open(tmp_path / "camp")
+        assert store.compact() == 3
+        assert store.completed_ids() == {k.key_id for k in tasks[:3]}
+
+
+class TestDurability:
+    def test_create_and_compact_fsync_the_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # The rename is only durable once the parent directory inode is
+        # synced; pin that both commit points do it.
+        synced = []
+        real = store_module._fsync_dir
+
+        def spy(directory):
+            synced.append(directory)
+            real(directory)
+
+        monkeypatch.setattr(store_module, "_fsync_dir", spy)
+        store = CampaignStore.create(tmp_path / "camp", make_spec())
+        assert synced == [tmp_path / "camp"]
+        store.append(ok_record(store.spec().expand()[0]))
+        store.compact()
+        assert synced == [tmp_path / "camp", tmp_path / "camp"]

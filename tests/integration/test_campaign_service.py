@@ -1,0 +1,262 @@
+"""Failure-matrix tests for ``repro campaign serve|worker`` subprocesses.
+
+The real thing, no mocks: a coordinator and two workers as child
+processes, killed with ``SIGKILL`` at adversarial moments.  The
+invariant under test is the service's one promise — **no failure mode
+changes the bytes**: the distributed store must aggregate byte-identical
+to a serial in-process run of the same spec, with exactly one ``ok``
+record per task.
+
+The spec is sized so one task runs ~0.5–1.5 s: slow enough that kills
+reliably land mid-lease, fast enough for CI.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignStore, RunnerConfig, run_collect
+from repro.campaign.aggregate import aggregate, to_json
+from repro.campaign.service.protocol import (
+    PROTOCOL_VERSION,
+    read_message,
+    write_message,
+)
+from repro.campaign.service.worker import read_service_file
+from repro.campaign.spec import load_spec
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+SERVICE_SPEC = """\
+[campaign]
+name = "svc-matrix"
+kind = "faults"
+seed = 11
+n_seeds = 3
+
+[base]
+n_lines = 256
+endurance = 2000
+n_spares = 8
+n_writes = 80000
+verify_fail_base = 0.001
+
+[grid]
+scheme = ["none", "rbsg"]
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SERVICE_SPEC)
+    return path
+
+
+def child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def start_serve(spec_file, out_dir, resume=False):
+    argv = [
+        sys.executable, "-m", "repro", "campaign", "serve",
+        "--out", str(out_dir),
+        "--lease-timeout", "2", "--heartbeat-interval", "0.5",
+        "--linger", "2",
+    ]
+    if resume:
+        argv.append("--resume")
+    else:
+        argv.insert(5, str(spec_file))
+    return subprocess.Popen(
+        argv, cwd=str(REPO), env=child_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+
+
+def start_worker(out_dir, name):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "worker",
+            "--connect", str(out_dir), "--name", name, "--give-up", "60",
+        ],
+        cwd=str(REPO), env=child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_service_file(out_dir, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    path = Path(out_dir) / "service.json"
+    while time.monotonic() < deadline:
+        if path.exists():
+            return
+        time.sleep(0.02)
+    pytest.fail("coordinator never published service.json")
+
+
+def poll_status(out_dir):
+    """One watch-role status round trip; ``None`` if unreachable."""
+
+    async def go():
+        host, port = read_service_file(out_dir)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_message(writer, {
+                "type": "hello", "protocol": PROTOCOL_VERSION,
+                "role": "watch", "name": "test-probe",
+            })
+            hello_ok = await read_message(reader)
+            if hello_ok is None or hello_ok["type"] != "hello_ok":
+                return None
+            await write_message(writer, {"type": "status_request"})
+            return await read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return asyncio.run(go())
+    except Exception:
+        return None  # not serving yet / restarting / stale service.json
+
+
+def wait_until(predicate, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(message)
+
+
+def kill(process):
+    if process.poll() is None:
+        process.send_signal(signal.SIGKILL)
+    process.wait(timeout=30)
+
+
+def serial_report(spec_file):
+    spec = load_spec(spec_file)
+    records = run_collect(
+        spec.expand(), RunnerConfig(workers=1, retries=1)
+    )
+    return to_json(aggregate(records))
+
+
+def distributed_report(out_dir):
+    return to_json(aggregate(CampaignStore.open(out_dir).records()))
+
+
+class TestWorkerSigkillMidLease:
+    def test_surviving_worker_finishes_byte_identical(
+        self, spec_file, tmp_path
+    ):
+        out_dir = tmp_path / "camp"
+        serve = start_serve(spec_file, out_dir)
+        workers = []
+        try:
+            wait_for_service_file(out_dir)
+            workers = [start_worker(out_dir, f"w{i}") for i in range(2)]
+
+            def both_workers_hold_leases():
+                status = poll_status(out_dir)
+                return status is not None and status["n_leased"] >= 2
+
+            wait_until(
+                both_workers_hold_leases, 60,
+                "the workers never held two concurrent leases",
+            )
+            kill(workers[0])  # SIGKILL mid-lease: heartbeats stop dead
+
+            assert serve.wait(timeout=120) == 0
+            assert workers[1].wait(timeout=60) == 0
+        finally:
+            kill(serve)
+            for worker in workers:
+                kill(worker)
+
+        stdout = serve.stdout.read()
+        assert "6 ok, 0 failed" in stdout
+        assert distributed_report(out_dir) == serial_report(spec_file)
+        ok_ids = [
+            r.key.key_id
+            for r in CampaignStore.open(out_dir).records() if r.ok
+        ]
+        assert len(ok_ids) == len(set(ok_ids)) == 6
+
+
+class TestCoordinatorSigkillCompactResume:
+    def test_resume_from_compacted_store_skips_and_completes(
+        self, spec_file, tmp_path
+    ):
+        out_dir = tmp_path / "camp"
+        serve = start_serve(spec_file, out_dir)
+        workers = []
+        resumed = None
+        try:
+            wait_for_service_file(out_dir)
+            workers = [start_worker(out_dir, f"w{i}") for i in range(2)]
+
+            def some_results_committed():
+                status = poll_status(out_dir)
+                return status is not None and 1 <= status["n_done"] < 6
+
+            wait_until(
+                some_results_committed, 60,
+                "no result committed before the kill window closed",
+            )
+            kill(serve)  # coordinator dies with leases outstanding
+
+            done_before = CampaignStore.open(out_dir).completed_ids()
+            assert 0 < len(done_before) < 6
+
+            # Compact, then prove resume answers from the index + tail
+            # without re-parsing the indexed JSONL prefix.
+            assert main(["campaign", "compact", str(out_dir)]) == 0
+            store = CampaignStore.open(out_dir)
+            real_scan = store._scan
+
+            def guarded_scan(start, include_tail=True):
+                assert start > 0, "completed_ids re-scanned the log"
+                return real_scan(start, include_tail)
+
+            store._scan = guarded_scan
+            assert store.completed_ids() == done_before
+
+            # The workers are still alive, retrying against the stale
+            # service.json; a resumed coordinator (new ephemeral port)
+            # republishes it and they follow.
+            resumed = start_serve(spec_file, out_dir, resume=True)
+            assert resumed.wait(timeout=120) == 0
+            for worker in workers:
+                assert worker.wait(timeout=60) == 0
+        finally:
+            kill(serve)
+            if resumed is not None:
+                kill(resumed)
+            for worker in workers:
+                kill(worker)
+
+        stdout = resumed.stdout.read()
+        assert "0 failed" in stdout
+        skipped = int(stdout.split(" skipped")[0].rsplit(" ", 1)[-1])
+        assert skipped == len(done_before) > 0
+
+        assert distributed_report(out_dir) == serial_report(spec_file)
+        store = CampaignStore.open(out_dir)
+        ok_ids = [r.key.key_id for r in store.records() if r.ok]
+        assert len(ok_ids) == len(set(ok_ids)) == 6
+        assert store.status().complete

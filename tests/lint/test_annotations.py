@@ -36,6 +36,11 @@ STRICT_MODULES = [
     "repro/campaign/spec.py",
     "repro/campaign/store.py",
     "repro/campaign/tasks.py",
+    "repro/campaign/service/__init__.py",
+    "repro/campaign/service/protocol.py",
+    "repro/campaign/service/coordinator.py",
+    "repro/campaign/service/worker.py",
+    "repro/campaign/service/watch.py",
 ]
 
 

@@ -1,0 +1,70 @@
+"""CI guard: warm-cache reprolint must stay inside its time budget.
+
+The interprocedural summary table made the flow rules strictly more
+powerful; this script keeps them from quietly becoming strictly slower.
+It runs the linter twice over ``src/repro`` + ``examples`` in a fresh
+cache directory — the first (cold) run builds the call graph, the
+summary table and the cache; the second (warm) run must come back
+under ``LINT_TIMING_BUDGET_S`` seconds (default 20).  The cold time is
+printed for context but not budgeted: CI machines vary, and the warm
+path is what developers hit on every ``make lint``.
+
+Exit status: 0 inside budget, 1 over budget, 2 if the lint itself
+fails (the timing guard must never mask a real finding).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CACHE_DIR = REPO_ROOT / "build" / ".lint-timing-cache"
+TARGETS = ["src/repro", "examples"]
+DEFAULT_BUDGET_S = 20.0
+
+
+def _run_lint() -> float:
+    """One lint pass; returns wall-clock seconds, exits 2 on failure."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", *TARGETS,
+         "--cache-dir", str(CACHE_DIR)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.stderr.write("lint-timing: lint failed; fix findings first\n")
+        sys.exit(2)
+    return elapsed
+
+
+def main() -> int:
+    budget = float(os.environ.get("LINT_TIMING_BUDGET_S", DEFAULT_BUDGET_S))
+    shutil.rmtree(CACHE_DIR, ignore_errors=True)
+    cold = _run_lint()
+    warm = _run_lint()
+    print(f"lint-timing: cold {cold:.2f}s, warm {warm:.2f}s "
+          f"(budget {budget:.1f}s warm)")
+    if warm > budget:
+        print(
+            f"lint-timing: FAIL — warm run {warm:.2f}s exceeds "
+            f"{budget:.1f}s; profile the new rule or summary code",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

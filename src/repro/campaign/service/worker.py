@@ -121,6 +121,10 @@ class _RunningAttempt:
         assert _MP_CONTEXT is not None
         parent_conn, child_conn = _MP_CONTEXT.Pipe(duplex=False)
         self._conn: Connection = parent_conn
+        # The forked child execs straight into _attempt_child and never
+        # touches the parent's event loop, sockets, or locks; fork is
+        # required so a poisoned attempt can be SIGKILLed.
+        # reprolint: disable=REP203
         self._process = _MP_CONTEXT.Process(
             target=_attempt_child,
             args=(child_conn, kind, params, seed),

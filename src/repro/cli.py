@@ -564,6 +564,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--no-cache")
     if args.check_suppressions:
         argv.append("--check-suppressions")
+    if args.baseline:
+        argv += ["--baseline", *args.baseline]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -837,13 +839,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", metavar="CODES",
                    help="comma-separated rule codes to skip")
     p.add_argument("--flow", dest="flow", action="store_true", default=True,
-                   help="run flow-sensitive rules REP101-REP104 (default)")
+                   help="run flow-sensitive rules REP101-REP205 (default)")
     p.add_argument("--no-flow", dest="flow", action="store_false",
                    help="skip the flow-sensitive rules")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the incremental cache")
     p.add_argument("--check-suppressions", action="store_true",
                    help="report stale reprolint pragmas (REP100)")
+    p.add_argument("--baseline", nargs=2, metavar=("MODE", "FILE"),
+                   help="'write FILE' records current findings; "
+                        "'check FILE' reports only new or stale ones")
     p.add_argument("--list-rules", action="store_true",
                    help="describe every registered rule and exit")
     p.set_defaults(func=cmd_lint)

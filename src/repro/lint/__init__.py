@@ -7,9 +7,14 @@ attacker-observable path.  This package enforces those invariants as
 lint rules over the codebase (see ``docs/lint.md``):
 
 * REP001–REP007 — per-file syntactic rules;
-* REP101–REP104 — flow-sensitive rules built on an intra-procedural
-  dataflow engine (:mod:`repro.lint.flow`) and a cross-module call
-  graph (:mod:`repro.lint.callgraph`).
+* REP101–REP104 — flow-sensitive rules built on a dataflow engine
+  (:mod:`repro.lint.flow`), a cross-module call graph
+  (:mod:`repro.lint.callgraph`), and interprocedural function
+  summaries (:mod:`repro.lint.summaries`) that carry latency/RNG/
+  clock taint across call boundaries;
+* REP201–REP205 — concurrency, fork-safety, clock-domain, and
+  protocol-drift rules for the distributed campaign service
+  (:mod:`repro.lint.asyncrules`).
 
 >>> from repro.lint import lint_source
 >>> lint_source("import numpy as np\\nx = np.random.rand()\\n")[0].code
@@ -31,6 +36,13 @@ from repro.lint.diagnostics import (
 )
 from repro.lint import rules  # noqa: F401  (registers REP001–REP007)
 from repro.lint import flowrules  # noqa: F401  (registers REP101–REP104)
+from repro.lint import asyncrules  # noqa: F401  (registers REP201–REP205)
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.cache import LintCache
 from repro.lint.callgraph import LintProject
 from repro.lint.runner import (
@@ -42,11 +54,18 @@ from repro.lint.runner import (
     main,
 )
 from repro.lint.sarif import render_sarif, to_sarif
+from repro.lint.summaries import (
+    FunctionSummary,
+    SummaryTable,
+    project_summaries,
+)
 from repro.lint.suppress import SuppressionMap, parse_suppressions
 
 __all__ = (
+    "BaselineError",
     "Diagnostic",
     "FlowRule",
+    "FunctionSummary",
     "LintCache",
     "LintModule",
     "LintProject",
@@ -54,15 +73,20 @@ __all__ = (
     "REGISTRY",
     "Rule",
     "Severity",
+    "SummaryTable",
     "SuppressionMap",
     "all_rules",
+    "apply_baseline",
     "lint_paths",
     "lint_source",
     "lint_sources",
     "lint_tree",
+    "load_baseline",
     "main",
     "parse_suppressions",
+    "project_summaries",
     "register",
     "render_sarif",
     "to_sarif",
+    "write_baseline",
 )

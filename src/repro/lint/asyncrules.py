@@ -1,0 +1,650 @@
+"""The concurrency/service rule family (REP201–REP205).
+
+PR 6 added a distributed campaign service — an asyncio coordinator, a
+length-delimited socket protocol with hand-maintained schemas, and
+workers that fork killable children.  Each of those ingredients has a
+classic failure mode that is invisible to per-node pattern matching but
+*statically decidable* with the call graph and the interprocedural
+summaries (:mod:`repro.lint.summaries`):
+
+* **REP201 async-blocking-call** — a blocking call (``time.sleep``,
+  sync socket work, ``subprocess``, fsync'd file I/O) lexically inside
+  an ``async def``, or reachable from one through resolvable *sync*
+  callees, stalls the event loop: every connected peer's heartbeat
+  stops while it runs.
+* **REP202 discarded-awaitable** — calling a coroutine function
+  without awaiting it does nothing (the coroutine object is created
+  and dropped); discarding a ``create_task`` result lets the task be
+  garbage-collected mid-flight and silently swallows its exceptions.
+* **REP203 fork-safety** — ``os.fork`` (or a ``Process``/``Pool`` on a
+  ``multiprocessing.get_context("fork")`` context) duplicates the
+  calling process wholesale: a running event loop, held locks, and
+  module-level mutable state all land in the child.  Forking is fine
+  from a clean frame; forking *under* an async stack or next to
+  threading primitives is how deadlocks and double-writes are born.
+* **REP204 clock-domain-mixing** — ``time.time()`` and
+  ``time.monotonic()`` are unrelated axes (NTP steps the former).
+  Lease deadlines in the service are monotonic by contract; wall-clock
+  values must never meet them in arithmetic or comparisons.  Rides the
+  taint engine with a domain tag per token.
+* **REP205 protocol-drift** — every statically-known message literal
+  (a dict with a constant ``"type"``) is cross-checked against the
+  ``SCHEMAS`` table of the same package, both directions: a field the
+  schema does not declare, a missing required field, or an unknown
+  type each get a diagnostic — so a new field cannot ship validated on
+  one peer and unknown on the other.
+
+All matching is on names and the call graph — this module must never
+import ``asyncio`` itself (REP007 confines that to the service).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    LintProject,
+    ModuleTable,
+    StateKind,
+    expand_dotted,
+    local_imports,
+)
+from repro.lint.diagnostics import Diagnostic, FlowRule, register
+from repro.lint.flow import TaintToken, analyze_function
+from repro.lint.flowrules import (
+    _SummarySpec,
+    _sorted_functions,
+    _sorted_tables,
+    lookup_module_state,
+)
+from repro.lint.summaries import SummaryTable
+from repro.lint.rules import dotted_name, _identifier
+from repro.lint.summaries import (
+    blocking_call_desc,
+    classify_clock_call,
+    project_summaries,
+    shown_callable,
+    walk_own,
+)
+
+# --------------------------------------------------------------- REP201
+
+
+@register
+class AsyncBlockingCall(FlowRule):
+    """Blocking calls must not run on the event loop.
+
+    A coroutine that calls ``time.sleep``/``subprocess``/fsync'd I/O —
+    directly, or through any chain of resolvable synchronous helpers —
+    freezes every other connection on the loop for the duration: missed
+    heartbeats, expired leases, spurious reassignment.  The summary
+    table propagates "reaches a blocking call" bottom-up over the call
+    graph, so ``await``-free wrappers are seen through.  Use
+    ``asyncio.to_thread`` (or an executor) for genuinely blocking work.
+    """
+
+    code = "REP201"
+    name = "async-blocking-call"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        summaries = project_summaries(project)
+        for table in _sorted_tables(project):
+            for info in _sorted_functions(table):
+                if not isinstance(info.node, ast.AsyncFunctionDef):
+                    continue
+                extra = local_imports(info.node)
+                for node in walk_own(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    direct = blocking_call_desc(table, node, extra)
+                    if direct is not None:
+                        yield self.diagnostic(
+                            table.module, node,
+                            f"blocking {direct} inside async "
+                            f"{info.qualname}() stalls the event loop; "
+                            "use the asyncio equivalent or "
+                            "asyncio.to_thread",
+                        )
+                        continue
+                    resolved = project.resolve_call(
+                        table, node, extra, info.class_name
+                    )
+                    summary = summaries.for_function(resolved)
+                    if (summary is None or summary.is_async
+                            or summary.blocking is None):
+                        continue
+                    yield self.diagnostic(
+                        table.module, node,
+                        f"async {info.qualname}() calls "
+                        f"{shown_callable(node)}(), which blocks "
+                        f"({summary.blocking}); the event loop stalls "
+                        "for the duration — move it to "
+                        "asyncio.to_thread or an executor",
+                    )
+
+
+# --------------------------------------------------------------- REP202
+
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+@register
+class DiscardedAwaitable(FlowRule):
+    """Coroutines must be awaited; task handles must be kept.
+
+    ``self._flush()`` where ``_flush`` is ``async def`` creates a
+    coroutine object and immediately drops it — the body never runs
+    (CPython warns at runtime only if warnings are on, and only at GC
+    time).  ``asyncio.create_task(...)`` with the result discarded is
+    subtler: the event loop keeps only a weak reference, so the task
+    can be garbage-collected mid-flight, and any exception it raises is
+    silently lost.  Keep the handle (and add a done-callback or await
+    it during shutdown).
+    """
+
+    code = "REP202"
+    name = "discarded-awaitable"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table in _sorted_tables(project):
+            # Module/class level, without descending into functions...
+            yield from self._check_region(
+                project, table, walk_own(table.module.tree), None, None
+            )
+            # ...then each registered function (covers nested defs).
+            for info in _sorted_functions(table):
+                extra = local_imports(info.node)
+                yield from self._check_region(
+                    project, table, ast.walk(info.node), extra,
+                    info.class_name,
+                )
+
+    def _check_region(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        nodes: Iterator[ast.AST],
+        extra: Optional[Dict[str, str]],
+        self_class: Optional[str],
+    ) -> Iterator[Diagnostic]:
+        for node in nodes:
+            if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Call):
+                yield from self._check_bare_call(
+                    project, table, node.value, extra, self_class
+                )
+            elif isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if (targets
+                        and len(targets) == len(node.targets)
+                        and all(t.startswith("_") for t in targets)
+                        and _spawner_name(node.value) is not None):
+                    yield self.diagnostic(
+                        table.module, node.value,
+                        f"task handle from {_spawner_name(node.value)}() "
+                        "is discarded; the event loop holds only a weak "
+                        "reference, so the task can be garbage-collected "
+                        "mid-flight and its exceptions vanish — keep a "
+                        "real reference",
+                    )
+
+    def _check_bare_call(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        call: ast.Call,
+        extra: Optional[Dict[str, str]],
+        self_class: Optional[str],
+    ) -> Iterator[Diagnostic]:
+        spawner = _spawner_name(call)
+        if spawner is not None:
+            yield self.diagnostic(
+                table.module, call,
+                f"result of {spawner}() is discarded; the event loop "
+                "holds only a weak reference, so the task can be "
+                "garbage-collected mid-flight and its exceptions vanish "
+                "— keep a real reference",
+            )
+            return
+        resolved = project.resolve_call(table, call, extra, self_class)
+        if resolved is not None and isinstance(
+                resolved.node, ast.AsyncFunctionDef):
+            yield self.diagnostic(
+                table.module, call,
+                f"coroutine {resolved.qualname}() is created and never "
+                "awaited — the body does not run; 'await' it or "
+                "schedule it with asyncio.create_task",
+            )
+
+
+def _spawner_name(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    if dotted.rsplit(".", 1)[-1] in _TASK_SPAWNERS:
+        return dotted
+    return None
+
+
+# --------------------------------------------------------------- REP203
+
+
+_THREADING_CTORS = frozenset(
+    {"Thread", "Lock", "RLock", "Condition", "Semaphore",
+     "BoundedSemaphore", "Event", "Barrier", "Timer"}
+)
+_FORK_SPAWNERS = frozenset({"Process", "Pool"})
+_SHARED_STATE_KINDS = {
+    StateKind.MUTABLE: "module-level mutable state",
+    StateKind.RNG: "a shared module-level RNG",
+    StateKind.FILE: "a module-level open file handle",
+}
+
+
+def _fork_site_desc(
+    project: LintProject,
+    table: ModuleTable,
+    call: ast.Call,
+    extra: Optional[Dict[str, str]],
+) -> Optional[str]:
+    """Describe ``call`` when it forks the process, else ``None``."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    expanded = expand_dotted(table, dotted, extra)
+    if expanded in ("os.fork", "os.forkpty"):
+        return f"{dotted}()"
+    parts = dotted.split(".")
+    if len(parts) == 2 and parts[1] in _FORK_SPAWNERS:
+        state = lookup_module_state(
+            project, table, parts[0], extra or {}
+        )
+        if state is not None and state[1] is StateKind.FORK:
+            return f"{dotted}() [fork context]"
+    return None
+
+
+@register
+class ForkSafety(FlowRule):
+    """Forks must happen from clean frames.
+
+    ``fork()`` duplicates the whole process: a running event loop's
+    selector and queues, every lock in whatever state it happens to be
+    in, and all module-level mutable state appear in the child.  Three
+    checks: (a) a fork site reachable from an ``async def`` (the loop
+    is live when the fork happens); (b) threading primitives
+    constructed in a module that also forks (a lock held at fork time
+    deadlocks the child forever); (c) mutable module state in a forking
+    module (both sides mutate their copy, silently diverging).
+    """
+
+    code = "REP203"
+    name = "fork-safety"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        yield from self._check_async_reach(project)
+        yield from self._check_forking_modules(project)
+
+    def _check_async_reach(
+        self, project: LintProject
+    ) -> Iterator[Diagnostic]:
+        roots: List[FunctionInfo] = []
+        for table in _sorted_tables(project):
+            for info in _sorted_functions(table):
+                if isinstance(info.node, ast.AsyncFunctionDef):
+                    roots.append(info)
+        if not roots:
+            return
+        reached = project.reachable(roots)
+        seen: Set[Tuple[str, int]] = set()
+        for fq in sorted(reached):
+            info, path = reached[fq]
+            table = project.by_path[info.module.rel_path]
+            extra = local_imports(info.node)
+            chain = " -> ".join(p.rsplit(".", 1)[-1] for p in path)
+            for node in walk_own(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                desc = _fork_site_desc(project, table, node, extra)
+                if desc is None:
+                    continue
+                key = (table.module.rel_path, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.diagnostic(
+                    table.module, node,
+                    f"fork via {desc} is reachable from the event loop "
+                    f"(via {chain}); the child inherits the running "
+                    "loop's internals — fork from a clean frame or use "
+                    "a spawn context",
+                )
+
+    def _module_fork_sites(
+        self, project: LintProject, table: ModuleTable
+    ) -> List[Tuple[ast.Call, str]]:
+        sites: List[Tuple[ast.Call, str]] = []
+        for node in walk_own(table.module.tree):
+            if isinstance(node, ast.Call):
+                desc = _fork_site_desc(project, table, node, None)
+                if desc is not None:
+                    sites.append((node, desc))
+        for info in _sorted_functions(table):
+            extra = local_imports(info.node)
+            for node in walk_own(info.node):
+                if isinstance(node, ast.Call):
+                    desc = _fork_site_desc(project, table, node, extra)
+                    if desc is not None:
+                        sites.append((node, desc))
+        sites.sort(key=lambda pair: (pair[0].lineno, pair[0].col_offset))
+        return sites
+
+    def _check_forking_modules(
+        self, project: LintProject
+    ) -> Iterator[Diagnostic]:
+        for table in _sorted_tables(project):
+            sites = self._module_fork_sites(project, table)
+            if not sites:
+                continue
+            first_site, first_desc = sites[0]
+            # (b) threading primitives in a forking module.
+            for node in ast.walk(table.module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                expanded = expand_dotted(table, dotted)
+                if (expanded.startswith("threading.")
+                        and expanded.split(".")[-1] in _THREADING_CTORS):
+                    yield self.diagnostic(
+                        table.module, node,
+                        f"{dotted}() is created in a module that forks "
+                        f"(via {first_desc} at line "
+                        f"{first_site.lineno}); a lock or thread alive "
+                        "at fork time is duplicated in an undefined "
+                        "state and can deadlock the child",
+                    )
+            # (c) shared module state duplicated into the child.
+            for name in sorted(table.state):
+                entry = table.state[name]
+                what = _SHARED_STATE_KINDS.get(entry.kind)
+                if what is None:
+                    continue
+                yield self.diagnostic(
+                    table.module, first_site,
+                    f"{first_desc} duplicates {what} '{name}' into the "
+                    "child; parent and child mutate independent copies "
+                    "— pass state explicitly through the fork boundary",
+                )
+
+
+# --------------------------------------------------------------- REP204
+
+
+_MONOTONIC_HINTS = frozenset({"expires_at", "ready_at", "deadline"})
+
+
+class _ClockMixSpec(_SummarySpec):
+    """Taint spec: clock reads as sources, cross-domain meets as sinks."""
+
+    def __init__(
+        self,
+        project: LintProject,
+        table: ModuleTable,
+        info: FunctionInfo,
+        summaries: Optional[SummaryTable],
+    ) -> None:
+        super().__init__(project, table, info, summaries)
+        self.domains: Dict[Tuple[int, int], str] = {}
+
+    def source(self, call: ast.Call) -> Optional[str]:
+        domain = classify_clock_call(self.table, call, self.extra)
+        desc: Optional[str] = None
+        if domain is not None:
+            desc = f"{dotted_name(call.func)}()"
+        else:
+            resolved, summary = self._callee_summary(call)
+            if resolved is not None and summary is not None:
+                found = summary.returns & {"wallclock", "monotonic"}
+                if len(found) == 1:
+                    domain = next(iter(found))
+                    desc = f"{resolved.qualname}()"
+        if domain is None or desc is None:
+            return None
+        self.domains[(call.lineno, call.col_offset)] = domain
+        return desc
+
+    def on_mix(
+        self,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        left_tokens: Sequence[TaintToken],
+        right_tokens: Sequence[TaintToken],
+    ) -> Optional[str]:
+        left_side = self._side_domain(left, left_tokens)
+        right_side = self._side_domain(right, right_tokens)
+        if left_side is None or right_side is None:
+            return None
+        if left_side[0] == right_side[0]:
+            return None
+        wall = left_side if left_side[0] == "wallclock" else right_side
+        mono = right_side if wall is left_side else left_side
+        met = ("compared" if isinstance(node, ast.Compare)
+               else "mixed in arithmetic")
+        return (
+            f"wall-clock value ({wall[1]}) {met} with monotonic value "
+            f"({mono[1]}); time.time() and time.monotonic() are "
+            "unrelated axes — lease/deadline math must stay monotonic"
+        )
+
+    def _side_domain(
+        self, expr: ast.expr, tokens: Sequence[TaintToken]
+    ) -> Optional[Tuple[str, str]]:
+        for token in tokens:
+            domain = self.domains.get(token.site)
+            if domain is not None:
+                return domain, f"from {token.desc}"
+        name = _identifier(expr)
+        if name is not None:
+            lowered = name.lower()
+            if ("monotonic" in lowered or lowered in _MONOTONIC_HINTS):
+                return "monotonic", f"'{name}'"
+            if "wall" in lowered or "epoch" in lowered:
+                return "wallclock", f"'{name}'"
+        return None
+
+
+@register
+class ClockDomainMixing(FlowRule):
+    """Wall-clock and monotonic values must never meet.
+
+    The coordinator's lease bookkeeping is built on ``time.monotonic()``
+    because NTP can step ``time.time()`` by seconds in either direction
+    — a wall-clock value compared against a monotonic deadline expires
+    leases early or never.  This rule tags every host-clock read (and
+    every summary-proven clock-returning helper) with its domain and
+    fires when two different domains meet in arithmetic or comparison.
+    Identifier conventions (``expires_at``/``ready_at``/``deadline``
+    are monotonic; ``*wall*``/``*epoch*`` are wall) extend coverage to
+    values whose mint site is out of scope.
+    """
+
+    code = "REP204"
+    name = "clock-domain-mixing"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        summaries = project_summaries(project)
+        for table in _sorted_tables(project):
+            for info in _sorted_functions(table):
+                spec = _ClockMixSpec(project, table, info, summaries)
+                analysis = analyze_function(info.node, spec)
+                for hit in analysis.sink_hits:
+                    yield self.diagnostic(
+                        table.module, hit.node, hit.detail
+                    )
+
+
+# --------------------------------------------------------------- REP205
+
+
+@register
+class ProtocolDrift(FlowRule):
+    """Message constructors must match the SCHEMAS table exactly.
+
+    The wire protocol is validated strictly on receive: an unknown
+    field or a missing required field kills the connection at
+    ``validate()`` — on the *other* peer, possibly running a different
+    checkout.  Every statically-known message literal (a dict with a
+    constant ``"type"`` key and all-constant keys) in the package that
+    owns a ``SCHEMAS`` table is cross-checked both directions, so
+    schema drift is caught at lint time on the machine that edits
+    either side.  Dynamically-built dicts (``**fields``, computed
+    keys) are out of scope by design — keep constructors literal.
+    """
+
+    code = "REP205"
+    name = "protocol-drift"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for owner, schemas in _schema_tables(project):
+            package = (
+                owner.modname.rsplit(".", 1)[0]
+                if "." in owner.modname else ""
+            )
+            for modname in sorted(project.tables):
+                table = project.tables[modname]
+                table_pkg = (
+                    modname.rsplit(".", 1)[0] if "." in modname else ""
+                )
+                if table_pkg != package:
+                    continue
+                yield from self._check_module(table, owner, schemas)
+
+    def _check_module(
+        self,
+        table: ModuleTable,
+        owner: ModuleTable,
+        schemas: Dict[str, Dict[str, bool]],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(table.module.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            literal = _message_literal(node)
+            if literal is None:
+                continue
+            msg_type, fields = literal
+            schema = schemas.get(msg_type)
+            if schema is None:
+                yield self.diagnostic(
+                    table.module, node,
+                    f"message type '{msg_type}' is not declared in "
+                    f"SCHEMAS ({owner.modname}); the receiving peer "
+                    "rejects the frame at validate()",
+                )
+                continue
+            for field in fields:
+                if field not in schema:
+                    yield self.diagnostic(
+                        table.module, node,
+                        f"message constructor for '{msg_type}' sets "
+                        f"field '{field}' that SCHEMAS does not "
+                        "declare; the peer's validate() rejects the "
+                        "frame — declare it (with its kind) in "
+                        f"{owner.modname}",
+                    )
+            present = set(fields)
+            for field in sorted(schema):
+                if schema[field] and field not in present:
+                    yield self.diagnostic(
+                        table.module, node,
+                        f"message constructor for '{msg_type}' omits "
+                        f"required field '{field}' "
+                        f"(SCHEMAS[{msg_type!r}] in {owner.modname})",
+                    )
+
+
+def _schema_tables(
+    project: LintProject,
+) -> List[Tuple[ModuleTable, Dict[str, Dict[str, bool]]]]:
+    """Every module defining a parseable top-level ``SCHEMAS`` dict."""
+    found: List[Tuple[ModuleTable, Dict[str, Dict[str, bool]]]] = []
+    for modname in sorted(project.tables):
+        table = project.tables[modname]
+        for stmt in table.module.tree.body:
+            value: Optional[ast.expr] = None
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "SCHEMAS"):
+                value = stmt.value
+            elif (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "SCHEMAS"):
+                value = stmt.value
+            if not isinstance(value, ast.Dict):
+                continue
+            schemas = _parse_schemas(value)
+            if schemas is not None:
+                found.append((table, schemas))
+    return found
+
+
+def _parse_schemas(
+    node: ast.Dict,
+) -> Optional[Dict[str, Dict[str, bool]]]:
+    """Parse ``{type: {field: (kind, required)}}``; None if not that."""
+    schemas: Dict[str, Dict[str, bool]] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Dict)):
+            return None
+        fields: Dict[str, bool] = {}
+        for fkey, fvalue in zip(value.keys, value.values):
+            if not (isinstance(fkey, ast.Constant)
+                    and isinstance(fkey.value, str)):
+                return None
+            required = True
+            if (isinstance(fvalue, ast.Tuple)
+                    and len(fvalue.elts) == 2
+                    and isinstance(fvalue.elts[1], ast.Constant)):
+                required = bool(fvalue.elts[1].value)
+            fields[fkey.value] = required
+        schemas[key.value] = fields
+    return schemas or None
+
+
+def _message_literal(
+    node: ast.Dict,
+) -> Optional[Tuple[str, List[str]]]:
+    """``("hello", [fields...])`` for an all-constant message dict."""
+    msg_type: Optional[str] = None
+    fields: List[str] = []
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ``**spread`` — dynamically built, skip
+            return None
+        if not (isinstance(key, ast.Constant)
+                and isinstance(key.value, str)):
+            return None
+        if key.value == "type":
+            if not (isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)):
+                return None
+            msg_type = value.value
+        else:
+            fields.append(key.value)
+    if msg_type is None:
+        return None
+    return msg_type, fields

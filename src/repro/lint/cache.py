@@ -34,7 +34,9 @@ from repro.lint.diagnostics import Diagnostic
 DEFAULT_CACHE_DIR = Path("build") / ".lintcache"
 
 _CACHE_FILE = "reprolint.json"
-_FORMAT = 1
+#: Bumped when the cached payload shape or rule semantics change in a
+#: way ``rules_version()`` cannot see (v2: interprocedural summaries).
+_FORMAT = 2
 
 
 def _lint_package_version() -> str:

@@ -35,11 +35,12 @@ from repro.lint.rules import dotted_name
 
 
 class StateKind(enum.Enum):
-    """What a module-level assignment binds, as far as REP103 cares."""
+    """What a module-level assignment binds, as far as REP103/REP203 care."""
 
     MUTABLE = "mutable"  #: list/dict/set literal or mutable constructor
     RNG = "rng"  #: a numpy Generator constructed at import time
     FILE = "file"  #: an ``open(...)`` handle held at module level
+    FORK = "fork"  #: a ``multiprocessing.get_context("fork")`` context
     OTHER = "other"
 
     def __str__(self) -> str:
@@ -68,6 +69,10 @@ def classify_value(value: ast.expr) -> StateKind:
             return StateKind.RNG
         if leaf == "open":
             return StateKind.FILE
+        if (leaf == "get_context" and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and value.args[0].value == "fork"):
+            return StateKind.FORK
     return StateKind.OTHER
 
 
@@ -129,6 +134,10 @@ class ModuleTable:
     #: local alias -> fully qualified dotted target.
     imports: Dict[str, str] = field(default_factory=dict)
     state: Dict[str, ModuleState] = field(default_factory=dict)
+    #: class name -> attribute -> declared type (a dotted annotation
+    #: string), harvested from annotated ``__init__`` parameters stored
+    #: on ``self`` — lets ``self.store.append(...)`` resolve.
+    attr_types: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
 
 def _collect_imports(
@@ -161,6 +170,108 @@ def local_imports(fn: ast.AST) -> Dict[str, str]:
     return table
 
 
+def _annotation_dotted(node: ast.expr) -> Optional[str]:
+    """Dotted class name of an annotation (``Optional[X]`` unwraps to X)."""
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        if base in ("Optional", "typing.Optional"):
+            return _annotation_dotted(node.slice)
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if all(p.isidentifier() for p in text.split(".")):
+            return text
+        return None
+    return dotted_name(node)
+
+
+def _harvest_attr_types(cls: ast.ClassDef, into: Dict[str, str]) -> None:
+    """``self.x = param`` bindings in ``__init__`` whose param is annotated."""
+    init = next(
+        (item for item in cls.body
+         if isinstance(item, ast.FunctionDef) and item.name == "__init__"),
+        None,
+    )
+    if init is None:
+        return
+    param_types: Dict[str, str] = {}
+    for arg in init.args.posonlyargs + init.args.args + init.args.kwonlyargs:
+        if arg.annotation is not None:
+            ann = _annotation_dotted(arg.annotation)
+            if ann is not None:
+                param_types[arg.arg] = ann
+    for node in ast.walk(init):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if node.annotation is not None:
+                ann = _annotation_dotted(node.annotation)
+                if (ann is not None and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    into.setdefault(target.attr, ann)
+                continue
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(value, ast.Name)
+                and value.id in param_types):
+            into.setdefault(target.attr, param_types[value.id])
+
+
+def _record_state(
+    table: ModuleTable, name: str, value: ast.expr, stmt: ast.stmt
+) -> None:
+    """Record one module-level binding; a classified kind is never
+    downgraded to OTHER by a later rebinding (``x = ctx`` in ``try``,
+    ``x = None`` in ``except`` must stay a fork context)."""
+    kind = classify_value(value)
+    existing = table.state.get(name)
+    if existing is not None and kind is StateKind.OTHER \
+            and existing.kind is not StateKind.OTHER:
+        return
+    table.state[name] = ModuleState(name, kind, stmt)
+
+
+def _scan_body(
+    table: ModuleTable, stmts: Sequence[ast.stmt], depth: int = 0
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.functions[stmt.name] = FunctionInfo(
+                table.modname, stmt.name, stmt, table.module
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{stmt.name}.{item.name}"
+                    table.functions[qual] = FunctionInfo(
+                        table.modname, qual, item, table.module
+                    )
+            attrs = table.attr_types.setdefault(stmt.name, {})
+            _harvest_attr_types(stmt, attrs)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    _record_state(table, target.id, stmt.value, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                _record_state(table, stmt.target.id, stmt.value, stmt)
+        elif isinstance(stmt, ast.Try) and depth < 2:
+            # Module-level feature probes (``try: ctx = get_context("fork")
+            # except ValueError: ctx = None``) still bind module state.
+            for sub in (stmt.body, stmt.orelse, stmt.finalbody):
+                _scan_body(table, sub, depth + 1)
+            for handler in stmt.handlers:
+                _scan_body(table, handler.body, depth + 1)
+        elif isinstance(stmt, ast.If) and depth < 2:
+            _scan_body(table, stmt.body, depth + 1)
+            _scan_body(table, stmt.orelse, depth + 1)
+
+
 def build_table(module: LintModule) -> ModuleTable:
     """Build the symbol table of one parsed module."""
     table = ModuleTable(module_name_for(module.rel_path), module)
@@ -169,30 +280,32 @@ def build_table(module: LintModule) -> ModuleTable:
          if isinstance(s, (ast.Import, ast.ImportFrom))),
         table.imports,
     )
-    for stmt in module.tree.body:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            table.functions[stmt.name] = FunctionInfo(
-                table.modname, stmt.name, stmt, module
-            )
-        elif isinstance(stmt, ast.ClassDef):
-            for item in stmt.body:
-                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    qual = f"{stmt.name}.{item.name}"
-                    table.functions[qual] = FunctionInfo(
-                        table.modname, qual, item, module
-                    )
-        elif isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                if isinstance(target, ast.Name):
-                    table.state[target.id] = ModuleState(
-                        target.id, classify_value(stmt.value), stmt
-                    )
-        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-            if isinstance(stmt.target, ast.Name):
-                table.state[stmt.target.id] = ModuleState(
-                    stmt.target.id, classify_value(stmt.value), stmt
-                )
+    _scan_body(table, module.tree.body)
     return table
+
+
+def expand_dotted(
+    table: ModuleTable,
+    dotted: str,
+    extra: Optional[Dict[str, str]] = None,
+) -> str:
+    """Expand the leading alias of a dotted name through imports.
+
+    ``np.random.default_rng`` becomes ``numpy.random.default_rng`` when
+    the module holds ``import numpy as np``; a name with no matching
+    alias comes back unchanged.  This is the one shared notion of "what
+    fully-qualified thing does this call name", used by every rule that
+    must classify calls whose targets are *not* in the linted tree.
+    """
+    head, _, rest = dotted.partition(".")
+    target = None
+    if extra:
+        target = extra.get(head)
+    if target is None:
+        target = table.imports.get(head)
+    if target is None or target == head:
+        return dotted
+    return f"{target}.{rest}" if rest else target
 
 
 @dataclass
@@ -215,6 +328,9 @@ class LintProject:
             table = build_table(module)
             self.tables[table.modname] = table
             self.by_path[module.rel_path] = table
+        #: Memoisation slot for :class:`repro.lint.summaries.SummaryTable`
+        #: (typed loosely to avoid a circular import).
+        self.summary_cache: Optional[object] = None
 
     # -- lookup ------------------------------------------------------
 
@@ -276,6 +392,16 @@ class LintProject:
             info = table.functions.get(f"{self_class}.{parts[1]}")
             if info is not None:
                 return info
+        if (self_class is not None and len(parts) == 3
+                and parts[0] in ("self", "cls")):
+            # ``self.store.append(...)``: follow the attribute's declared
+            # type (harvested from the annotated __init__ parameter).
+            ann = table.attr_types.get(self_class, {}).get(parts[1])
+            if ann is not None:
+                expanded = expand_dotted(table, ann, extra_imports)
+                info = self.function(f"{expanded}.{parts[2]}")
+                if info is not None:
+                    return info
         aliases = dict(table.imports)
         if extra_imports:
             aliases.update(extra_imports)

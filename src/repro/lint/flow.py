@@ -316,6 +316,17 @@ class SinkHit:
     detail: str
 
 
+@dataclass
+class PositionalHit:
+    """One tainted argument of a call, with its slot."""
+
+    #: Positional index, or ``None`` for a keyword argument.
+    pos: Optional[int]
+    #: Keyword name, or ``None`` for a positional argument.
+    kw: Optional[str]
+    token: TaintToken
+
+
 class TaintSpec:
     """Domain plug-in: what is a source, and which uses are sinks.
 
@@ -350,6 +361,52 @@ class TaintSpec:
         other: ast.AST,
     ) -> Optional[str]:
         """Sink check when a tainted value meets ``other`` arithmetically."""
+        return None
+
+    def on_call_pos(
+        self,
+        call: ast.Call,
+        hits: Sequence["PositionalHit"],
+    ) -> Optional[str]:
+        """Sink check with *positions*: which arg slots carry taint.
+
+        Unlike :meth:`on_call_arg` (any tainted argument), this hands
+        the spec one :class:`PositionalHit` per tainted argument with
+        its positional index or keyword name, so interprocedural rules
+        can match against a callee summary's parameter sets.
+        """
+        return None
+
+    def on_mix(
+        self,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        left_tokens: Sequence[TaintToken],
+        right_tokens: Sequence[TaintToken],
+    ) -> Optional[str]:
+        """Sink check when two operands meet in a BinOp or Compare.
+
+        Fired once per operand pair (chained comparisons pair up
+        adjacent operands) whenever at least one side carries tokens;
+        either token list may be empty.  Lets a spec detect *mixing* of
+        taint dimensions — e.g. wall-clock arithmetic against a
+        monotonic deadline — which the single-sided hooks cannot see.
+        """
+        return None
+
+    def passthrough_params(
+        self, call: ast.Call
+    ) -> Optional[FrozenSet[int]]:
+        """Caller-side positional indices that pass through ``call``.
+
+        When a callee summary proves an argument flows unmodified to
+        the return value, the engine treats ``y = f(x)`` like the alias
+        ``y = x`` for that argument: the token survives the call with
+        the assignment targets added as holders, instead of being
+        consumed by it.  Return ``None`` (or an empty set) for ordinary
+        consuming calls.
+        """
         return None
 
 
@@ -522,6 +579,7 @@ class TaintAnalysis:
                 # Otherwise every target was a discard (``_ = ...``) or
                 # an escaping store (``self.x = ...``): consumed.
                 return
+        passed = self._passed_through(state, value)
         self._consume(state, value)
         for name in name_targets:
             self._kill_name(state, name)
@@ -530,6 +588,15 @@ class TaintAnalysis:
         holders = frozenset(
             n for n in name_targets if not _is_discard_name(n)
         )
+        if passed and holders:
+            # ``y = scaled(lat)`` with a passthrough summary for the
+            # callee: the token survives the call, held by both the
+            # original argument name and the new target(s).  (When every
+            # target is a discard the consume above stands — ``_ = ...``
+            # is an explicit drop.)
+            for site, prior in passed.items():
+                state[site] = prior | holders
+            self._report_bind(name_targets, sorted(passed), value)
         if holders:
             sites: List[TokenSite] = []
             for child in ast.walk(value):
@@ -543,6 +610,23 @@ class TaintAnalysis:
                 sites.append(site)
             if sites:
                 self._report_bind(name_targets, sites, value)
+
+    def _passed_through(
+        self, state: State, value: ast.expr
+    ) -> Dict[TokenSite, FrozenSet[str]]:
+        """Token sites that survive ``value`` via callee passthrough."""
+        if not isinstance(value, ast.Call):
+            return {}
+        through = self.spec.passthrough_params(value)
+        if not through:
+            return {}
+        passed: Dict[TokenSite, FrozenSet[str]] = {}
+        for pos, arg in enumerate(value.args):
+            if pos not in through or not isinstance(arg, ast.Name):
+                continue
+            for site in self._sites_held_by(state, arg.id):
+                passed[site] = state[site]
+        return passed
 
     def _report_bind(
         self,
@@ -569,6 +653,8 @@ class TaintAnalysis:
                 self._visit_call_sinks(state, sub)
             elif isinstance(sub, ast.BinOp):
                 self._visit_binop_sinks(state, sub)
+            elif isinstance(sub, ast.Compare):
+                self._visit_compare_sinks(state, sub)
         for sub in ast.walk(expr):
             if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
                 self._consume_name(state, sub.id, sub)
@@ -584,26 +670,43 @@ class TaintAnalysis:
         for site in self._sites_held_by(state, name):
             state.pop(site, None)
 
+    def _arg_tokens(
+        self, state: State, arg: ast.expr
+    ) -> List[TaintToken]:
+        """Tokens carried by one argument: held (Name) or fresh (Call)."""
+        if isinstance(arg, ast.Name):
+            return [
+                self.tokens[site]
+                for site in self._sites_held_by(state, arg.id)
+                if site in self.tokens
+            ]
+        if isinstance(arg, ast.Call):
+            desc = self.spec.source(arg)
+            if desc is not None:
+                return [TaintToken((arg.lineno, arg.col_offset), desc)]
+        return []
+
     def _visit_call_sinks(self, state: State, call: ast.Call) -> None:
         if not self._recording:
             return
         tokens: List[TaintToken] = []
-        for arg in list(call.args) + [kw.value for kw in call.keywords]:
-            if isinstance(arg, ast.Name):
-                for site in self._sites_held_by(state, arg.id):
-                    if site in self.tokens:
-                        tokens.append(self.tokens[site])
-            elif isinstance(arg, ast.Call):
-                desc = self.spec.source(arg)
-                if desc is not None:
-                    tokens.append(
-                        TaintToken((arg.lineno, arg.col_offset), desc)
-                    )
+        hits: List[PositionalHit] = []
+        for pos, arg in enumerate(call.args):
+            for token in self._arg_tokens(state, arg):
+                tokens.append(token)
+                hits.append(PositionalHit(pos, None, token))
+        for kw in call.keywords:
+            for token in self._arg_tokens(state, kw.value):
+                tokens.append(token)
+                hits.append(PositionalHit(None, kw.arg, token))
         if not tokens:
             return
         detail = self.spec.on_call_arg(call, tokens, call)
         if detail is not None:
             self.sink_hits.append(SinkHit(tokens[0], call, detail))
+        detail = self.spec.on_call_pos(call, hits)
+        if detail is not None:
+            self.sink_hits.append(SinkHit(hits[0].token, call, detail))
 
     def _visit_binop_sinks(self, state: State, binop: ast.BinOp) -> None:
         if not self._recording:
@@ -622,6 +725,34 @@ class TaintAnalysis:
             detail = self.spec.on_binop(binop, tokens, other)
             if detail is not None:
                 self.sink_hits.append(SinkHit(tokens[0], binop, detail))
+        self._visit_mix(state, binop, binop.left, binop.right)
+
+    def _visit_compare_sinks(
+        self, state: State, compare: ast.Compare
+    ) -> None:
+        if not self._recording:
+            return
+        operands = [compare.left] + list(compare.comparators)
+        for left, right in zip(operands, operands[1:]):
+            self._visit_mix(state, compare, left, right)
+
+    def _visit_mix(
+        self,
+        state: State,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> None:
+        left_tokens = self._arg_tokens(state, left)
+        right_tokens = self._arg_tokens(state, right)
+        if not left_tokens and not right_tokens:
+            return
+        detail = self.spec.on_mix(
+            node, left, right, left_tokens, right_tokens
+        )
+        if detail is not None:
+            anchor = (left_tokens or right_tokens)[0]
+            self.sink_hits.append(SinkHit(anchor, node, detail))
 
     # -- state helpers -----------------------------------------------
 

@@ -34,151 +34,128 @@ guidance.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.lint.callgraph import (
     FunctionInfo,
     LintProject,
     ModuleTable,
     StateKind,
+    expand_dotted,
     find_task_registrations,
     local_imports,
 )
 from repro.lint.diagnostics import Diagnostic, FlowRule, register
-from repro.lint.flow import TaintSpec, TaintToken, analyze_function
-from repro.lint.rules import DiscardedLatency, WallClock, dotted_name, _identifier
+from repro.lint.flow import PositionalHit, TaintSpec, TaintToken, analyze_function
+from repro.lint.rules import WallClock, dotted_name, _identifier
+from repro.lint.summaries import (
+    LATENCY_FUNCTIONS,
+    LATENCY_METHODS,
+    STOCHASTIC_PARTS as _STOCHASTIC_PARTS,
+    FunctionSummary,
+    SummaryTable,
+    fresh_rng_desc,
+    is_latency_method_call,
+    project_summaries,
+    shown_callable as _shown_callable,
+)
 
-#: Methods whose return value is a latency (REP002's list).
-LATENCY_METHODS = DiscardedLatency._LATENCY_METHODS
-#: Module-level latency-carrying functions (bare-name calls count too).
-LATENCY_FUNCTIONS = DiscardedLatency._LATENCY_FUNCTIONS
-_FILELIKE = DiscardedLatency._FILELIKE
-
-#: ``copy``/``swap`` exist on dicts, lists and ndarrays too; only treat
-#: them as latency sources on receivers that look like memory devices.
-_AMBIGUOUS_METHODS = frozenset({"copy", "swap"})
-_PCM_RECEIVERS = ("array", "controller", "oracle", "pcm", "mem")
-
-
-def is_latency_method_call(call: ast.Call) -> bool:
-    """Syntactic test: does this call return a latency by convention?"""
-    func = call.func
-    if isinstance(func, ast.Name):
-        return func.id in LATENCY_FUNCTIONS
-    if not isinstance(func, ast.Attribute):
-        return False
-    if func.attr in LATENCY_FUNCTIONS:
-        return True
-    if func.attr not in LATENCY_METHODS:
-        return False
-    receiver = _identifier(func.value)
-    if receiver is not None:
-        lowered = receiver.lower().lstrip("_")
-        if lowered in _FILELIKE:
-            return False
-        if func.attr in _AMBIGUOUS_METHODS:
-            return any(part in lowered for part in _PCM_RECEIVERS)
-    return True
-
-
-def _shown_callable(call: ast.Call) -> str:
-    """Human-readable name of a latency call (Name or Attribute form)."""
-    func = call.func
-    if isinstance(func, ast.Name):
-        return func.id
-    assert isinstance(func, ast.Attribute)
-    receiver = _identifier(func.value)
-    return f"{receiver}.{func.attr}" if receiver else func.attr
+__all__ = [
+    "LatencyTaint", "RngProvenance", "CampaignDeterminism",
+    "WallClockTaint", "is_latency_method_call",
+    "latency_returning_functions", "rep101_diagnostics",
+]
 
 
 def latency_returning_functions(project: LintProject) -> Set[str]:
-    """Fixpoint: fully-qualified names of helpers that return latency.
+    """Fully-qualified names of helpers that return a latency value.
 
-    A function returns latency when some ``return`` expression contains
-    a latency-method call, a call to an already-known wrapper, or a
-    name assigned from either anywhere in the function body.
+    Backed by the interprocedural summary table (bottom-up over call
+    graph SCCs, see :mod:`repro.lint.summaries`).
     """
-    known: Set[str] = set()
-    changed = True
-    while changed:
-        changed = False
-        for table in project.tables.values():
-            for info in table.functions.values():
-                if info.fq in known:
-                    continue
-                if _returns_latency(project, table, info, known):
-                    known.add(info.fq)
-                    changed = True
-    return known
+    return {
+        fq for fq, summary in project_summaries(project).items()
+        if "latency" in summary.returns
+    }
 
 
-def _call_is_latency(
-    project: LintProject,
-    table: ModuleTable,
-    info: FunctionInfo,
-    call: ast.Call,
-    known: Set[str],
-    extra: Dict[str, str],
-) -> bool:
-    if is_latency_method_call(call):
-        return True
-    resolved = project.resolve_call(table, call, extra, info.class_name)
-    return resolved is not None and resolved.fq in known
+class _SummarySpec(TaintSpec):
+    """Shared plumbing for summary-aware taint specs.
 
-
-def _returns_latency(
-    project: LintProject,
-    table: ModuleTable,
-    info: FunctionInfo,
-    known: Set[str],
-) -> bool:
-    extra = local_imports(info.node)
-    tainted: Set[str] = set()
-    for node in ast.walk(info.node):
-        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-            if _call_is_latency(project, table, info, node.value, known,
-                                extra):
-                tainted.update(
-                    t.id for t in node.targets if isinstance(t, ast.Name)
-                )
-    for node in ast.walk(info.node):
-        if not isinstance(node, ast.Return) or node.value is None:
-            continue
-        for sub in ast.walk(node.value):
-            if isinstance(sub, ast.Call) and _call_is_latency(
-                    project, table, info, sub, known, extra):
-                return True
-            if isinstance(sub, ast.Name) and sub.id in tainted:
-                return True
-    return False
-
-
-# --------------------------------------------------------------- REP101
-
-
-class _LatencySpec(TaintSpec):
-    """Taint spec: latency sources, everything-is-a-valid-use sinks."""
+    Holds the resolution context (project/table/function) and
+    implements :meth:`passthrough_params` from callee summaries, so a
+    token passed through ``y = scale(lat)`` survives the call instead
+    of being consumed by it.  ``summaries=None`` runs the spec in
+    intra-procedural mode (the pre-summary behaviour) — used by the
+    superset regression test and nothing else.
+    """
 
     def __init__(
         self,
         project: LintProject,
         table: ModuleTable,
         info: FunctionInfo,
-        wrappers: Set[str],
+        summaries: Optional[SummaryTable],
     ) -> None:
         self.project = project
         self.table = table
         self.info = info
-        self.wrappers = wrappers
+        self.summaries = summaries
         self.extra = local_imports(info.node)
+
+    def _resolve(self, call: ast.Call) -> Optional[FunctionInfo]:
+        return self.project.resolve_call(
+            self.table, call, self.extra, self.info.class_name
+        )
+
+    def _callee_summary(
+        self, call: ast.Call
+    ) -> Tuple[Optional[FunctionInfo], Optional[FunctionSummary]]:
+        if self.summaries is None:
+            return None, None
+        resolved = self._resolve(call)
+        return resolved, self.summaries.for_function(resolved)
+
+    def passthrough_params(
+        self, call: ast.Call
+    ) -> Optional[FrozenSet[int]]:
+        resolved, summary = self._callee_summary(call)
+        if summary is None or not summary.passthrough:
+            return None
+        offset = _self_offset(resolved)
+        return frozenset(
+            p - offset for p in summary.passthrough if p - offset >= 0
+        )
+
+
+def _self_offset(resolved: Optional[FunctionInfo]) -> int:
+    """Caller arg position -> callee param index shift for methods."""
+    if resolved is not None and resolved.class_name is not None:
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------- REP101
+
+
+class _LatencySpec(_SummarySpec):
+    """Taint spec: latency sources, everything-is-a-valid-use sinks."""
 
     def source(self, call: ast.Call) -> Optional[str]:
         if is_latency_method_call(call):
             return f"{_shown_callable(call)}()"
-        resolved = self.project.resolve_call(
-            self.table, call, self.extra, self.info.class_name
-        )
-        if resolved is not None and resolved.fq in self.wrappers:
+        resolved, summary = self._callee_summary(call)
+        if (resolved is not None and summary is not None
+                and "latency" in summary.returns):
             return f"{resolved.qualname}() [returns latency]"
         return None
 
@@ -206,93 +183,134 @@ class LatencyTaint(FlowRule):
 
     def check_project(self, project: object) -> Iterator[Diagnostic]:
         assert isinstance(project, LintProject)
-        wrappers = latency_returning_functions(project)
-        for table in _sorted_tables(project):
-            for info in _sorted_functions(table):
-                spec = _LatencySpec(project, table, info, wrappers)
-                analysis = analyze_function(info.node, spec)
-                for token in analysis.pending_at_exit:
-                    holder = (
-                        f"assigned to '{token.first_holder}' "
-                        if token.first_holder else "discarded unnamed "
-                    )
-                    yield self.diagnostic(
-                        table.module,
-                        _at(token.site),
-                        f"latency from {token.desc} {holder}in "
-                        f"{info.qualname}() is dropped on some path; "
-                        "accumulate it, return it, or discard explicitly "
-                        "with '_ = ...'",
-                    )
+        yield from rep101_diagnostics(self, project, interprocedural=True)
+
+
+def rep101_diagnostics(
+    rule: FlowRule,
+    project: LintProject,
+    interprocedural: bool = True,
+) -> Iterator[Diagnostic]:
+    """REP101 findings; ``interprocedural=False`` disables summaries.
+
+    The intra-procedural mode exists only so the regression suite can
+    prove the summary-aware pass reports a *superset* of the old one.
+    """
+    summaries = project_summaries(project) if interprocedural else None
+    for table in _sorted_tables(project):
+        for info in _sorted_functions(table):
+            spec = _LatencySpec(project, table, info, summaries)
+            analysis = analyze_function(info.node, spec)
+            for token in analysis.pending_at_exit:
+                holder = (
+                    f"assigned to '{token.first_holder}' "
+                    if token.first_holder else "discarded unnamed "
+                )
+                yield rule.diagnostic(
+                    table.module,
+                    _at(token.site),
+                    f"latency from {token.desc} {holder}in "
+                    f"{info.qualname}() is dropped on some path; "
+                    "accumulate it, return it, or discard explicitly "
+                    "with '_ = ...'",
+                )
 
 
 # --------------------------------------------------------------- REP102
 
 
-_STOCHASTIC_PARTS = frozenset({"faults", "wearlevel", "attacks"})
-_RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
-
-
-class _RngSpec(TaintSpec):
+class _RngSpec(_SummarySpec):
     """Taint spec: fresh/hard-coded generators, stochastic-call sinks."""
 
-    def __init__(
-        self, project: LintProject, table: ModuleTable, info: FunctionInfo
-    ) -> None:
-        self.project = project
-        self.table = table
-        self.info = info
-        self.extra = local_imports(info.node)
-
     def source(self, call: ast.Call) -> Optional[str]:
-        dotted = dotted_name(call.func)
-        if dotted is None:
-            return None
-        leaf = dotted.split(".")[-1]
-        if leaf not in _RNG_CONSTRUCTORS:
-            return None
-        if leaf == "Generator" and not dotted.startswith(
-                ("np.random", "numpy.random")):
-            return None
-        args = list(call.args) + [kw.value for kw in call.keywords]
-        if args and not all(isinstance(a, ast.Constant) for a in args):
-            # Seeded from a variable (a threaded seed, derive_seed(...),
-            # a Generator): provenance flows from the caller — blessed.
-            return None
-        detail = "no seed" if not args else "hard-coded seed"
-        return f"{dotted}() [{detail}]"
+        desc = fresh_rng_desc(call)
+        if desc is not None:
+            return desc
+        resolved, summary = self._callee_summary(call)
+        if (resolved is not None and summary is not None
+                and "rng" in summary.returns):
+            return f"{resolved.qualname}() [returns unseeded generator]"
+        return None
 
-    def on_call_arg(
+    def on_call_pos(
         self,
         call: ast.Call,
-        tokens: Sequence[TaintToken],
-        node: ast.AST,
+        hits: Sequence[PositionalHit],
     ) -> Optional[str]:
-        resolved = self.project.resolve_call(
-            self.table, call, self.extra, self.info.class_name
-        )
-        if resolved is not None:
-            parts = set(resolved.modname.split("."))
-            callee = resolved.qualname
+        resolved = self._resolve(call)
+        if self.summaries is not None:
+            positions = self.summaries.rng_sink_positions(
+                self.table, call, resolved, self.extra
+            )
         else:
-            # Callee not in the linted tree: fall back to the import
-            # path the name came from, so partial trees still check.
-            dotted = dotted_name(call.func)
-            if dotted is None:
-                return None
-            head, _, _ = dotted.partition(".")
-            target = self.extra.get(head) or self.table.imports.get(head)
-            if target is None:
-                return None
-            parts = set(target.split("."))
-            callee = dotted
-        if not parts & _STOCHASTIC_PARTS:
+            positions = _intra_rng_sink_positions(
+                self.table, call, resolved, self.extra
+            )
+        if positions is None:
             return None
-        return (
-            f"generator from {tokens[0].desc} reaches stochastic "
-            f"{callee}(); derive it from repro.util.rng "
-            "(derive_seed / as_generator) so replays stay seeded"
+        dotted = dotted_name(call.func)
+        callee = (
+            resolved.qualname if resolved is not None
+            else dotted if dotted is not None else "<call>"
         )
+        if isinstance(positions, str):
+            token = hits[0].token
+            return (
+                f"generator from {token.desc} reaches stochastic "
+                f"{callee}(); derive it from repro.util.rng "
+                "(derive_seed / as_generator) so replays stay seeded"
+            )
+        hit = _match_positions(hits, positions, resolved)
+        if hit is None:
+            return None
+        slot = f"'{hit.kw}'" if hit.kw is not None else f"#{hit.pos}"
+        return (
+            f"generator from {hit.token.desc} reaches a stochastic "
+            f"component through {callee}() (argument {slot}); derive it "
+            "from repro.util.rng (derive_seed / as_generator) so "
+            "replays stay seeded"
+        )
+
+
+def _intra_rng_sink_positions(
+    table: ModuleTable,
+    call: ast.Call,
+    resolved: Optional[FunctionInfo],
+    extra: Dict[str, str],
+) -> Optional[str]:
+    """Pre-summary REP102 sink test: stochastic modules only."""
+    if resolved is not None:
+        if set(resolved.modname.split(".")) & _STOCHASTIC_PARTS:
+            return "any"
+        return None
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    expanded = expand_dotted(table, dotted, extra)
+    if expanded != dotted and set(expanded.split(".")) & _STOCHASTIC_PARTS:
+        return "any"
+    return None
+
+
+def _match_positions(
+    hits: Sequence[PositionalHit],
+    positions: FrozenSet[int],
+    resolved: Optional[FunctionInfo],
+) -> Optional[PositionalHit]:
+    """First tainted argument landing on a summary-flagged parameter."""
+    offset = _self_offset(resolved)
+    params: List[str] = []
+    if resolved is not None:
+        args = getattr(resolved.node, "args", None)
+        if args is not None:
+            params = [a.arg for a in args.posonlyargs + args.args]
+    for hit in hits:
+        if hit.pos is not None and (hit.pos + offset) in positions:
+            return hit
+        if (hit.kw is not None and hit.kw in params
+                and params.index(hit.kw) in positions):
+            return hit
+    return None
 
 
 @register
@@ -312,11 +330,12 @@ class RngProvenance(FlowRule):
 
     def check_project(self, project: object) -> Iterator[Diagnostic]:
         assert isinstance(project, LintProject)
+        summaries = project_summaries(project)
         for table in _sorted_tables(project):
             if table.module.is_rng_module:
                 continue
             for info in _sorted_functions(table):
-                spec = _RngSpec(project, table, info)
+                spec = _RngSpec(project, table, info, summaries)
                 analysis = analyze_function(info.node, spec)
                 for hit in analysis.sink_hits:
                     yield self.diagnostic(table.module, hit.node, hit.detail)
@@ -432,20 +451,35 @@ class CampaignDeterminism(FlowRule):
         name: str,
         extra: Dict[str, str],
     ) -> Optional[Tuple[str, StateKind]]:
-        local = table.state.get(name)
-        if local is not None:
-            return table.modname, local.kind
-        target = extra.get(name) or table.imports.get(name)
-        if target is None or "." not in target:
-            return None
-        modname, symbol = target.rsplit(".", 1)
-        owner = project.tables.get(modname)
-        if owner is None:
-            return None
-        remote = owner.state.get(symbol)
-        if remote is None:
-            return None
-        return owner.modname, remote.kind
+        return lookup_module_state(project, table, name, extra)
+
+
+def lookup_module_state(
+    project: LintProject,
+    table: ModuleTable,
+    name: str,
+    extra: Dict[str, str],
+) -> Optional[Tuple[str, StateKind]]:
+    """Resolve ``name`` to classified module-level state, if it is any.
+
+    Checks the module's own state first, then chases one import hop to
+    the owning module (``from repro.x import STATE``).  Returns the
+    owner's module name and the state's :class:`StateKind`.
+    """
+    local = table.state.get(name)
+    if local is not None:
+        return table.modname, local.kind
+    target = extra.get(name) or table.imports.get(name)
+    if target is None or "." not in target:
+        return None
+    modname, symbol = target.rsplit(".", 1)
+    owner = project.tables.get(modname)
+    if owner is None:
+        return None
+    remote = owner.state.get(symbol)
+    if remote is None:
+        return None
+    return owner.modname, remote.kind
 
 
 def _locally_bound_names(fn: ast.AST) -> Set[str]:
@@ -500,29 +534,25 @@ def _is_sim_latency_name(name: Optional[str]) -> bool:
     )
 
 
-class _WallClockSpec(TaintSpec):
+class _WallClockSpec(_SummarySpec):
     """Taint spec: host-clock sources, simulated-latency sinks."""
-
-    def __init__(self, table: ModuleTable, info: FunctionInfo) -> None:
-        self.table = table
-        self.info = info
-        self.extra = local_imports(info.node)
 
     def source(self, call: ast.Call) -> Optional[str]:
         dotted = dotted_name(call.func)
-        if dotted is None:
-            return None
-        if dotted in WallClock._BANNED_DOTTED:
-            return f"{dotted}()"
-        parts = dotted.split(".")
-        alias = self.extra.get(parts[0]) or self.table.imports.get(parts[0])
-        if alias is not None:
-            expanded = ".".join([alias] + parts[1:])
-            if expanded in WallClock._BANNED_DOTTED:
+        if dotted is not None:
+            if dotted in WallClock._BANNED_DOTTED:
                 return f"{dotted}()"
-            if (len(parts) == 1 and expanded.startswith("time.")
-                    and expanded.split(".")[-1] in _WALL_CLOCK_LEAVES):
-                return f"{dotted}()"
+            expanded = expand_dotted(self.table, dotted, self.extra)
+            if expanded != dotted:
+                if expanded in WallClock._BANNED_DOTTED:
+                    return f"{dotted}()"
+                if ("." not in dotted and expanded.startswith("time.")
+                        and expanded.split(".")[-1] in _WALL_CLOCK_LEAVES):
+                    return f"{dotted}()"
+        resolved, summary = self._callee_summary(call)
+        if (resolved is not None and summary is not None
+                and summary.returns & {"wallclock", "monotonic"}):
+            return f"{resolved.qualname}() [returns host-clock value]"
         return None
 
     def on_bind(
@@ -569,9 +599,10 @@ class WallClockTaint(FlowRule):
 
     def check_project(self, project: object) -> Iterator[Diagnostic]:
         assert isinstance(project, LintProject)
+        summaries = project_summaries(project)
         for table in _sorted_tables(project):
             for info in _sorted_functions(table):
-                spec = _WallClockSpec(table, info)
+                spec = _WallClockSpec(project, table, info, summaries)
                 analysis = analyze_function(info.node, spec)
                 for hit in analysis.sink_hits:
                     yield self.diagnostic(table.module, hit.node, hit.detail)

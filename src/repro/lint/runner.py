@@ -3,11 +3,19 @@
 Run as ``python -m repro.lint [paths...]`` or ``python -m repro lint``.
 Exit status: 0 clean, 1 violations found, 2 usage error.
 
-Two rule families run per invocation:
+Three rule families run per invocation:
 
 * the syntactic rules (REP001–REP007) check each file independently;
 * the flow rules (REP101–REP104, on by default, ``--no-flow`` to skip)
-  see the whole run at once through a cross-module call graph.
+  see the whole run at once through a cross-module call graph and
+  interprocedural function summaries;
+* the concurrency/service rules (REP201–REP205, also flow rules)
+  guard the distributed campaign service: blocked event loops, dropped
+  awaitables, unsafe forks, mixed clock domains and protocol drift.
+
+``--baseline write FILE`` records the current findings; ``--baseline
+check FILE`` reports only new findings and fails on stale entries, so
+a future rule family can land warn-only and be ratcheted down.
 
 Results are cached under ``build/.lintcache`` (``--no-cache`` bypasses):
 per-file for the syntactic family, whole-project for the flow family.
@@ -29,6 +37,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.lint import rules as _rules  # noqa: F401  (populates REGISTRY)
 from repro.lint import flowrules as _flowrules  # noqa: F401  (REP101–REP104)
+from repro.lint import asyncrules as _asyncrules  # noqa: F401  (REP201–REP205)
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.cache import LintCache, project_key, source_sha
 from repro.lint.callgraph import LintProject
 from repro.lint.diagnostics import (
@@ -298,7 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--flow", dest="flow", action="store_true", default=True,
-        help="run the flow-sensitive rules REP101-REP104 (default)",
+        help="run the flow-sensitive rules REP101-REP205 (default)",
     )
     parser.add_argument(
         "--no-flow", dest="flow", action="store_false",
@@ -311,6 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="cache directory (default: build/.lintcache)",
+    )
+    parser.add_argument(
+        "--baseline", nargs=2, metavar=("MODE", "FILE"),
+        help=(
+            "baseline support: 'write FILE' records the current "
+            "findings as accepted; 'check FILE' reports only findings "
+            "not in the baseline, and fails on stale baseline entries"
+        ),
     )
     parser.add_argument(
         "--check-suppressions", action="store_true",
@@ -343,6 +366,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"unknown rule code(s): {exc.args[0]}", file=sys.stderr)
         return 2
+    baseline_failed = False
     use_cache = not args.no_cache and not args.check_suppressions
     cache = (
         LintCache(Path(args.cache_dir) if args.cache_dir else None)
@@ -362,6 +386,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             diagnostics + unused_suppression_diagnostics(result, ran_codes)
         )
     n_files = result.files_checked
+    if args.baseline is not None:
+        mode, baseline_file = args.baseline
+        if mode not in ("write", "check"):
+            print(f"--baseline mode must be write|check, got '{mode}'",
+                  file=sys.stderr)
+            return 2
+        if mode == "write":
+            n_entries = write_baseline(diagnostics, Path(baseline_file))
+            print(f"baseline: recorded {len(diagnostics)} finding(s) "
+                  f"({n_entries} distinct) in {baseline_file}")
+            return 0
+        try:
+            entries = load_baseline(Path(baseline_file))
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        diagnostics, stale = apply_baseline(diagnostics, entries)
+        baseline_failed = bool(stale)
+        for key in stale:
+            print(f"stale baseline entry (no longer matches anything): "
+                  f"{key}", file=sys.stderr)
+        if stale:
+            print(f"{len(stale)} stale baseline entr(y/ies) in "
+                  f"{baseline_file}; re-run '--baseline write' after "
+                  "confirming the fixes", file=sys.stderr)
     if args.format == "json":
         print(json.dumps(
             {
@@ -383,4 +432,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(summary)
     errors = [d for d in diagnostics if d.severity is Severity.ERROR]
-    return 1 if errors else 0
+    return 1 if errors or baseline_failed else 0

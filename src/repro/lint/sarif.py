@@ -27,12 +27,18 @@ SARIF_SCHEMA = (
 _LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 
 
+#: Anchor base for per-rule documentation (docs/lint.md section
+#: anchors); lets code scanning link each finding to its rule docs.
+_HELP_BASE = "https://github.com/docs/lint.md"
+
+
 def _rule_entry(rule: Rule) -> Dict[str, object]:
     return {
         "id": rule.code,
         "name": rule.name,
         "shortDescription": {"text": rule.description},
         "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        "helpUri": f"{_HELP_BASE}#{rule.code.lower()}-{rule.name}",
     }
 
 

@@ -24,9 +24,12 @@ STRICT_MODULES = [
     "repro/wearlevel/base.py",
     "repro/lint/__init__.py",
     "repro/lint/__main__.py",
+    "repro/lint/asyncrules.py",
+    "repro/lint/baseline.py",
     "repro/lint/diagnostics.py",
     "repro/lint/rules.py",
     "repro/lint/runner.py",
+    "repro/lint/summaries.py",
     "repro/lint/suppress.py",
     "repro/cli.py",
     "repro/campaign/__init__.py",

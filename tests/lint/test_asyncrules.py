@@ -1,0 +1,458 @@
+"""Positive/negative/suppression fixtures for the service rules
+REP201–REP205, plus the protocol-drift regression against the real
+``SCHEMAS`` table shipped in ``repro.campaign.service.protocol``.
+"""
+
+from pathlib import Path
+
+from repro.lint import REGISTRY, lint_source, lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PROTOCOL_PY = (
+    REPO_ROOT / "src" / "repro" / "campaign" / "service" / "protocol.py"
+)
+
+
+def _codes(source, code, rel_path="src/repro/demo.py"):
+    diags = lint_source(source, rel_path, selected=[REGISTRY[code]],
+                        flow=True)
+    return [d.code for d in diags]
+
+
+def _diags(sources, code):
+    result = lint_sources(sources, selected=[REGISTRY[code]], flow=True)
+    return result.diagnostics
+
+
+class TestREP201AsyncBlockingCall:
+    def test_direct_sleep_in_async_def_flagged(self):
+        src = (
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert _codes(src, "REP201") == ["REP201"]
+
+    def test_subprocess_in_async_def_flagged(self):
+        src = (
+            "import subprocess\n"
+            "async def run():\n"
+            "    subprocess.run(['ls'])\n"
+        )
+        assert _codes(src, "REP201") == ["REP201"]
+
+    def test_blocking_reached_through_sync_helper(self):
+        # The interprocedural half: the async frame never names
+        # time.sleep, but its resolvable sync callee does.
+        src = (
+            "import time\n"
+            "def flush():\n"
+            "    time.sleep(0.1)\n"
+            "async def tick():\n"
+            "    flush()\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP201"]], flow=True)
+        assert [d.code for d in diags] == ["REP201"]
+        assert "time.sleep" in diags[0].message
+
+    def test_blocking_chain_through_two_helpers(self):
+        src = (
+            "import os\n"
+            "def sync_disk(fd):\n"
+            "    os.fsync(fd)\n"
+            "def persist(fd):\n"
+            "    sync_disk(fd)\n"
+            "async def commit(fd):\n"
+            "    persist(fd)\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP201"]], flow=True)
+        assert [d.code for d in diags] == ["REP201"]
+        assert "os.fsync" in diags[0].message
+
+    def test_asyncio_sleep_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def tick():\n"
+            "    await asyncio.sleep(1.0)\n"
+        )
+        assert _codes(src, "REP201") == []
+
+    def test_async_callee_not_treated_as_blocking(self):
+        src = (
+            "import time\n"
+            "async def nap():\n"
+            "    time.sleep(1.0)\n"
+            "async def tick():\n"
+            "    await nap()\n"
+        )
+        # nap() itself is flagged (direct), but tick() must not be:
+        # an async callee suspends, it does not block the caller.
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP201"]], flow=True)
+        assert len(diags) == 1 and "nap" in diags[0].message
+
+    def test_sync_function_may_block(self):
+        src = (
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert _codes(src, "REP201") == []
+
+    def test_suppression_honoured(self):
+        src = (
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(1.0)  # reprolint: disable=REP201 -- fixture\n"
+        )
+        assert _codes(src, "REP201") == []
+
+
+class TestREP202DiscardedAwaitable:
+    def test_bare_coroutine_call_flagged(self):
+        src = (
+            "async def flush():\n"
+            "    pass\n"
+            "def shutdown():\n"
+            "    flush()\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP202"]], flow=True)
+        assert [d.code for d in diags] == ["REP202"]
+        assert "never awaited" in diags[0].message
+
+    def test_bare_method_coroutine_flagged(self):
+        src = (
+            "class Svc:\n"
+            "    async def _flush(self):\n"
+            "        pass\n"
+            "    def close(self):\n"
+            "        self._flush()\n"
+        )
+        assert _codes(src, "REP202") == ["REP202"]
+
+    def test_create_task_result_discarded_flagged(self):
+        src = (
+            "import asyncio\n"
+            "async def main(work):\n"
+            "    asyncio.create_task(work())\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP202"]], flow=True)
+        assert [d.code for d in diags] == ["REP202"]
+        assert "weak reference" in diags[0].message
+
+    def test_create_task_bound_to_underscore_flagged(self):
+        src = (
+            "import asyncio\n"
+            "async def main(work):\n"
+            "    _ = asyncio.create_task(work())\n"
+        )
+        assert _codes(src, "REP202") == ["REP202"]
+
+    def test_awaited_coroutine_clean(self):
+        src = (
+            "async def flush():\n"
+            "    pass\n"
+            "async def shutdown():\n"
+            "    await flush()\n"
+        )
+        assert _codes(src, "REP202") == []
+
+    def test_kept_task_handle_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def main(work):\n"
+            "    task = asyncio.create_task(work())\n"
+            "    await task\n"
+        )
+        assert _codes(src, "REP202") == []
+
+    def test_plain_sync_call_clean(self):
+        src = (
+            "def flush():\n"
+            "    pass\n"
+            "def shutdown():\n"
+            "    flush()\n"
+        )
+        assert _codes(src, "REP202") == []
+
+    def test_suppression_honoured(self):
+        src = (
+            "async def flush():\n"
+            "    pass\n"
+            "def shutdown():\n"
+            "    flush()  # reprolint: disable=REP202 -- fire-and-forget\n"
+        )
+        assert _codes(src, "REP202") == []
+
+
+class TestREP203ForkSafety:
+    def test_fork_reachable_from_async_flagged(self):
+        src = (
+            "import os\n"
+            "def spawn():\n"
+            "    os.fork()\n"
+            "async def main():\n"
+            "    spawn()\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP203"]], flow=True)
+        assert [d.code for d in diags] == ["REP203"]
+        assert "event loop" in diags[0].message
+
+    def test_fork_context_process_reachable_from_async_flagged(self):
+        src = (
+            "import multiprocessing\n"
+            "_CTX = multiprocessing.get_context('fork')\n"
+            "async def main(fn):\n"
+            "    _CTX.Process(target=fn)\n"
+        )
+        assert "REP203" in _codes(src, "REP203")
+
+    def test_threading_primitive_in_forking_module_flagged(self):
+        src = (
+            "import os\n"
+            "import threading\n"
+            "def guard():\n"
+            "    return threading.Lock()\n"
+            "def spawn():\n"
+            "    os.fork()\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP203"]], flow=True)
+        assert any("deadlock" in d.message for d in diags)
+
+    def test_mutable_module_state_in_forking_module_flagged(self):
+        src = (
+            "import os\n"
+            "CACHE = {}\n"
+            "def spawn():\n"
+            "    os.fork()\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP203"]], flow=True)
+        assert any("CACHE" in d.message for d in diags)
+
+    def test_spawn_context_clean(self):
+        src = (
+            "import multiprocessing\n"
+            "_CTX = multiprocessing.get_context('spawn')\n"
+            "async def main(fn):\n"
+            "    _CTX.Process(target=fn)\n"
+        )
+        assert _codes(src, "REP203") == []
+
+    def test_fork_from_sync_code_without_shared_state_clean(self):
+        src = (
+            "import os\n"
+            "def spawn():\n"
+            "    os.fork()\n"
+        )
+        assert _codes(src, "REP203") == []
+
+    def test_suppression_honoured(self):
+        src = (
+            "import os\n"
+            "def spawn():\n"
+            "    os.fork()  # reprolint: disable=REP203 -- child execs\n"
+            "async def main():\n"
+            "    spawn()\n"
+        )
+        assert _codes(src, "REP203") == []
+
+
+class TestREP204ClockDomainMixing:
+    def test_wall_clock_compared_to_monotonic_deadline_flagged(self):
+        src = (
+            "import time\n"
+            "def lease_ok(deadline):\n"
+            "    now = time.time()\n"
+            "    return now < deadline\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP204"]], flow=True)
+        assert [d.code for d in diags] == ["REP204"]
+        assert "unrelated axes" in diags[0].message
+
+    def test_monotonic_minus_wall_arithmetic_flagged(self):
+        src = (
+            "import time\n"
+            "def age(created_wall):\n"
+            "    return time.monotonic() - created_wall\n"
+        )
+        assert _codes(src, "REP204") == ["REP204"]
+
+    def test_monotonic_against_monotonic_deadline_clean(self):
+        src = (
+            "import time\n"
+            "def lease_ok(deadline):\n"
+            "    now = time.monotonic()\n"
+            "    return now < deadline\n"
+        )
+        assert _codes(src, "REP204") == []
+
+    def test_wall_against_wall_clean(self):
+        src = (
+            "import time\n"
+            "def stamp_age(epoch_start):\n"
+            "    return time.time() - epoch_start\n"
+        )
+        assert _codes(src, "REP204") == []
+
+    def test_untagged_identifiers_clean(self):
+        src = (
+            "import time\n"
+            "def elapsed(start):\n"
+            "    return time.monotonic() - start\n"
+        )
+        assert _codes(src, "REP204") == []
+
+    def test_clock_returning_helper_carries_domain(self):
+        src = (
+            "import time\n"
+            "def wall_now():\n"
+            "    return time.time()\n"
+            "def lease_ok(deadline):\n"
+            "    now = wall_now()\n"
+            "    return now < deadline\n"
+        )
+        assert _codes(src, "REP204") == ["REP204"]
+
+    def test_suppression_honoured(self):
+        src = (
+            "import time\n"
+            "def lease_ok(deadline):\n"
+            "    now = time.time()\n"
+            "    return now < deadline  "
+            "# reprolint: disable=REP204 -- fixture\n"
+        )
+        assert _codes(src, "REP204") == []
+
+
+_SCHEMAS_FIXTURE = (
+    "SCHEMAS = {\n"
+    "    'hello': {'node_id': ('str', True), 'token': ('str', False)},\n"
+    "    'bye': {},\n"
+    "}\n"
+)
+
+
+class TestREP205ProtocolDrift:
+    def test_undeclared_field_flagged(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make():\n"
+            "    return {'type': 'hello', 'node_id': 'n1', 'extra': 1}\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP205"]], flow=True)
+        assert [d.code for d in diags] == ["REP205"]
+        assert "'extra'" in diags[0].message
+
+    def test_missing_required_field_flagged(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make():\n"
+            "    return {'type': 'hello', 'token': 't'}\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP205"]], flow=True)
+        assert [d.code for d in diags] == ["REP205"]
+        assert "node_id" in diags[0].message
+
+    def test_unknown_message_type_flagged(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make():\n"
+            "    return {'type': 'goodbye'}\n"
+        )
+        diags = lint_source(src, "src/repro/demo.py",
+                            selected=[REGISTRY["REP205"]], flow=True)
+        assert "not declared" in diags[0].message
+
+    def test_exact_match_clean(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make():\n"
+            "    return {'type': 'hello', 'node_id': 'n1'}\n"
+        )
+        assert _codes(src, "REP205") == []
+
+    def test_optional_field_may_be_omitted_or_present(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def a():\n"
+            "    return {'type': 'hello', 'node_id': 'n', 'token': 't'}\n"
+            "def b():\n"
+            "    return {'type': 'bye'}\n"
+        )
+        assert _codes(src, "REP205") == []
+
+    def test_dynamic_dicts_out_of_scope(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make(t, fields):\n"
+            "    return {'type': t, **fields}\n"
+        )
+        assert _codes(src, "REP205") == []
+
+    def test_cross_module_drift_in_same_package(self):
+        sources = {
+            "src/repro/svc/protocol.py": _SCHEMAS_FIXTURE,
+            "src/repro/svc/worker.py": (
+                "def make():\n"
+                "    return {'type': 'hello', 'node_id': 'n', 'new': 1}\n"
+            ),
+        }
+        diags = _diags(sources, "REP205")
+        assert [d.path for d in diags] == ["src/repro/svc/worker.py"]
+        assert "'new'" in diags[0].message
+
+    def test_other_package_not_checked(self):
+        sources = {
+            "src/repro/svc/protocol.py": _SCHEMAS_FIXTURE,
+            "src/repro/other/client.py": (
+                "def make():\n"
+                "    return {'type': 'hello', 'unrelated': 1}\n"
+            ),
+        }
+        assert _diags(sources, "REP205") == []
+
+    def test_suppression_honoured(self):
+        src = _SCHEMAS_FIXTURE + (
+            "def make():\n"
+            "    return {'type': 'hello', 'node_id': 'n', 'extra': 1}  "
+            "# reprolint: disable=REP205 -- fixture\n"
+        )
+        assert _codes(src, "REP205") == []
+
+    def test_drift_against_real_protocol_schemas(self):
+        """Copy of the shipped protocol + one constructor that adds a
+        field the schema never declared → exactly the diagnostic that
+        would have caught the drift before it hit the wire."""
+        protocol_src = PROTOCOL_PY.read_text(encoding="utf-8")
+        fixture = (
+            "def make_hello():\n"
+            "    return {'type': 'hello', 'protocol': 1,\n"
+            "            'role': 'worker', 'name': 'w1',\n"
+            "            'shiny_new_field': True}\n"
+        )
+        sources = {
+            "src/repro/campaign/service/protocol.py": protocol_src,
+            "src/repro/campaign/service/fixture.py": fixture,
+        }
+        diags = [d for d in _diags(sources, "REP205")
+                 if d.path.endswith("fixture.py")]
+        assert len(diags) == 1
+        assert "shiny_new_field" in diags[0].message
+
+    def test_valid_constructor_against_real_protocol_schemas(self):
+        protocol_src = PROTOCOL_PY.read_text(encoding="utf-8")
+        fixture = (
+            "def make_hello():\n"
+            "    return {'type': 'hello', 'protocol': 1,\n"
+            "            'role': 'worker', 'name': 'w1'}\n"
+        )
+        sources = {
+            "src/repro/campaign/service/protocol.py": protocol_src,
+            "src/repro/campaign/service/fixture.py": fixture,
+        }
+        assert [d for d in _diags(sources, "REP205")
+                if d.path.endswith("fixture.py")] == []

@@ -417,3 +417,122 @@ class TestSuppression:
             "    return total\n"
         )
         assert _codes(src, "REP101") == []
+
+
+class TestInterprocedural:
+    """Summary-aware REP101/REP102: taint crosses call boundaries."""
+
+    _CROSS = (
+        "def issue_write(ctrl):\n"
+        "    return ctrl.write(0, b'x')\n"
+        "def f(ctrl, n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        lat = issue_write(ctrl)\n"
+        "        if i % 2:\n"
+        "            total += lat\n"
+        "    return total\n"
+    )
+
+    def test_latency_through_helper_flagged(self):
+        # The old intra-procedural pass could not see that
+        # issue_write() returns a latency; the summaries can.
+        diags = lint_source(self._CROSS, "src/repro/demo.py",
+                            selected=[REGISTRY["REP101"]], flow=True)
+        assert [d.code for d in diags] == ["REP101"]
+        assert "returns latency" in diags[0].message
+
+    def test_latency_through_cross_module_helper_flagged(self):
+        sources = {
+            "src/repro/helpers.py": (
+                "def issue_write(ctrl):\n"
+                "    return ctrl.write(0, b'x')\n"
+            ),
+            "src/repro/demo.py": (
+                "from repro.helpers import issue_write\n"
+                "def f(ctrl, n):\n"
+                "    total = 0\n"
+                "    for i in range(n):\n"
+                "        lat = issue_write(ctrl)\n"
+                "        if i % 2:\n"
+                "            total += lat\n"
+                "    return total\n"
+            ),
+        }
+        diags = _diags(sources, "REP101")
+        assert [d.path for d in diags] == ["src/repro/demo.py"]
+
+    def test_passthrough_keeps_token_alive(self):
+        # scaled() passes its argument through, so the latency token
+        # survives the call and its drop is still caught.
+        src = (
+            "def scaled(lat):\n"
+            "    return lat * 2\n"
+            "def f(ctrl, n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        lat = ctrl.write(i, b'x')\n"
+            "        adjusted = scaled(lat)\n"
+            "        if i % 2:\n"
+            "            total += adjusted\n"
+            "    return total\n"
+        )
+        assert _codes(src, "REP101") == ["REP101"]
+
+    def test_consuming_helper_counts_as_use(self):
+        # account() really uses the value — no finding.
+        src = (
+            "def account(log, lat):\n"
+            "    log.append(lat)\n"
+            "def f(ctrl, log, n):\n"
+            "    for i in range(n):\n"
+            "        lat = ctrl.write(i, b'x')\n"
+            "        account(log, lat)\n"
+        )
+        assert _codes(src, "REP101") == []
+
+    def test_intra_mode_misses_the_cross_boundary_case(self):
+        # The regression that motivated the summaries: prove the old
+        # mode is blind to helper-returned latencies.
+        from repro.lint.callgraph import LintProject
+        from repro.lint.diagnostics import LintModule
+        from repro.lint.flowrules import rep101_diagnostics
+        import ast as _ast
+
+        project = LintProject([LintModule(
+            rel_path="src/repro/demo.py", source=self._CROSS,
+            tree=_ast.parse(self._CROSS),
+        )])
+        rule = REGISTRY["REP101"]
+        intra = list(rep101_diagnostics(rule, project,
+                                        interprocedural=False))
+        inter = list(rep101_diagnostics(rule, project,
+                                        interprocedural=True))
+        assert intra == []
+        assert [d.code for d in inter] == ["REP101"]
+
+    def test_interprocedural_findings_superset_on_real_tree(self):
+        """Acceptance: the summary-aware REP101 pass reports a superset
+        of the intra-procedural findings on the shipped tree."""
+        import ast as _ast
+        from pathlib import Path
+
+        from repro.lint.callgraph import LintProject
+        from repro.lint.diagnostics import LintModule
+        from repro.lint.flowrules import rep101_diagnostics
+        from repro.lint.runner import iter_python_files
+
+        src_repro = Path(__file__).resolve().parents[2] / "src" / "repro"
+        modules = []
+        for path in iter_python_files([src_repro]):
+            source = path.read_text(encoding="utf-8")
+            rel = str(path.relative_to(src_repro.parents[1]))
+            modules.append(LintModule(rel_path=rel, source=source,
+                                      tree=_ast.parse(source)))
+        project = LintProject(modules)
+        rule = REGISTRY["REP101"]
+        intra = {(d.path, d.line, d.col) for d in rep101_diagnostics(
+            rule, project, interprocedural=False)}
+        inter = {(d.path, d.line, d.col) for d in rep101_diagnostics(
+            rule, project, interprocedural=True)}
+        assert intra <= inter

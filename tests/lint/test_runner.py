@@ -16,11 +16,12 @@ SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 
 class TestRegistry:
-    def test_eleven_rules_registered(self):
+    def test_sixteen_rules_registered(self):
         assert sorted(REGISTRY) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
             "REP007",
             "REP101", "REP102", "REP103", "REP104",
+            "REP201", "REP202", "REP203", "REP204", "REP205",
         ]
 
     def test_flow_rules_are_flow_rules(self):
@@ -28,7 +29,10 @@ class TestRegistry:
 
         flow = {code for code, rule in REGISTRY.items()
                 if isinstance(rule, FlowRule)}
-        assert flow == {"REP101", "REP102", "REP103", "REP104"}
+        assert flow == {
+            "REP101", "REP102", "REP103", "REP104",
+            "REP201", "REP202", "REP203", "REP204", "REP205",
+        }
 
     def test_every_rule_documented(self):
         for rule in all_rules():
@@ -93,6 +97,15 @@ class TestRepoIsClean:
 
     def test_examples_have_no_violations(self):
         diagnostics = lint_paths([str(REPO_ROOT / "examples")])
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_service_rule_family_clean_on_tree(self):
+        """REP201–REP205 run as part of the gate and stay clean."""
+        from repro.lint import REGISTRY
+
+        selected = [REGISTRY[code] for code in
+                    ("REP201", "REP202", "REP203", "REP204", "REP205")]
+        diagnostics = lint_paths([str(SRC_REPRO)], selected=selected)
         assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
 
     def test_module_entrypoint_runs(self):

@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke chaos-smoke lint lint-flow lint-changed lint-timing clean
+.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke chaos-smoke trace-smoke lint lint-flow lint-changed lint-timing clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -97,6 +97,14 @@ campaign-smoke:
 # run (plus index-only resume — no JSONL re-scan).  See the script.
 chaos-smoke:
 	PYTHONPATH=src python scripts/chaos_smoke.py
+
+# Traffic-layer proof: convert the bundled MSR-style CSV to .rbt (bytes
+# must match the committed fixture), replay it chunked == entry-wise on
+# Security RBSG, drive a 1000-tenant mixed population to a lifetime
+# JSON, and require the tenant-lifetime example grid byte-identical
+# serial vs --workers 2.  See the script.
+trace-smoke:
+	PYTHONPATH=src python scripts/trace_smoke.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

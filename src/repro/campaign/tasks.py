@@ -12,9 +12,14 @@ ship with the library:
   the inner loop of the ``matrix`` subcommand and of
   :func:`repro.experiments.attack_matrix`.
 * ``trace-lifetime`` — drive one scheme with one synthetic trace
-  (uniform / zipf / sequential / raa) to failure or budget on the
-  batched engine (:func:`repro.sim.engine.run_trace_fast`); measured
-  lifetime and write overhead rather than closed-form.
+  (uniform / zipf / sequential / raa) — or, with a ``trace_file``
+  parameter, a loaded real trace (CSV or ``.rbt``) — to failure or
+  budget on the batched engine
+  (:func:`repro.sim.engine.run_trace_fast`); measured lifetime and
+  write overhead rather than closed-form.
+* ``tenant-lifetime`` — drive one scheme with multi-tenant mixed
+  traffic (:class:`repro.traffic.TenantMixer`): a grid point over
+  tenant count × skew × churn, measured on the batched engine.
 * ``faults``   — one seeded fault-injection campaign
   (:func:`repro.analysis.resilience.run_fault_campaign`); the PR-1
   sweep, gridded.
@@ -286,10 +291,11 @@ def run_trace_lifetime_task(
 ) -> Dict[str, object]:
     """Measured lifetime / write overhead of one (scheme, trace) point.
 
-    Drives the exact simulator with a synthetic trace until failure or
-    the ``max_writes`` budget, on the batched engine by default
-    (``fast = false`` selects the scalar reference; both are
-    bit-identical, see :mod:`repro.sim.engine`).
+    Drives the exact simulator with a synthetic trace — or, when the
+    ``trace_file`` parameter names a CSV / ``.rbt`` file, a loaded real
+    trace — until failure or the ``max_writes`` budget, on the batched
+    engine by default (``fast = false`` selects the scalar reference;
+    both are bit-identical, see :mod:`repro.sim.engine`).
     """
     from repro.pcm.stats import WearStats
     from repro.sim.engine import run_trace, run_trace_fast
@@ -304,9 +310,13 @@ def run_trace_lifetime_task(
         zipf_chunks,
         zipf_trace,
     )
+    from repro.traffic.adapter import open_trace_chunks, open_trace_entries
 
     scheme_name = _str(params, "scheme")
-    trace_name = _str(params, "trace")
+    trace_file = params.get("trace_file")
+    trace_name = _str(params, "trace") if trace_file is None else str(
+        params.get("trace", "file")
+    )
     n_lines = _int(params, "lines", 4096)
     endurance = _float(params, "endurance", 1e4)
     max_writes = _int(params, "max_writes", 10_000_000)
@@ -321,7 +331,16 @@ def run_trace_lifetime_task(
     # Chunked and scalar generators draw the identical RNG stream, so the
     # engine choice cannot change the trace.
     trace: Any
-    if trace_name == "uniform":
+    if trace_file is not None:
+        opener = open_trace_chunks if fast else open_trace_entries
+        trace = opener(
+            str(trace_file),
+            n_lines=n_lines,
+            line_bytes=_int(params, "line_bytes", 64),
+            window_start=_int(params, "window_start", 0),
+            window_mode=str(params.get("window_mode", "wrap")),
+        )
+    elif trace_name == "uniform":
         trace = (uniform_random_chunks(n_lines, rng=seed) if fast
                  else uniform_random_trace(n_lines, rng=seed))
     elif trace_name == "zipf":
@@ -344,6 +363,73 @@ def run_trace_lifetime_task(
     return {
         "scheme": scheme_name,
         "trace": trace_name,
+        "engine": "batched" if fast else "scalar",
+        "user_writes": result.user_writes,
+        "total_writes": result.total_writes,
+        "elapsed_ns": result.elapsed_ns,
+        "write_amplification": result.write_amplification,
+        "failed": result.failed,
+        "failed_pa": result.failed_pa,
+        "lifetime_seconds": result.lifetime_seconds,
+        "wear_gini": gini,
+    }
+
+
+# ------------------------------------------------------ tenant lifetime
+
+
+def run_tenant_lifetime_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """Measured lifetime of one (scheme, tenant population) grid point.
+
+    Builds a :class:`repro.traffic.TenantMixer` — from a spec file when
+    the ``profile`` parameter names one, otherwise the standard mixed
+    population (:func:`repro.traffic.mixed_spec`) over the ``tenants``
+    / ``alpha`` / ``churn_*`` knobs — and drives the simulator to
+    failure or budget.  All tenant randomness descends from the task
+    seed through ``derive_seed`` child streams, so results are
+    schedule-independent: serial and parallel campaign runs are
+    byte-identical.
+    """
+    from repro.pcm.stats import WearStats
+    from repro.sim.engine import run_trace, run_trace_fast
+    from repro.sim.memory_system import MemoryController
+    from repro.traffic.profiles import load_traffic_spec, mixed_spec
+
+    scheme_name = _str(params, "scheme")
+    n_lines = _int(params, "lines", 4096)
+    endurance = _float(params, "endurance", 1e4)
+    max_writes = _int(params, "max_writes", 10_000_000)
+    fast = bool(params.get("fast", True))
+
+    profile = params.get("profile")
+    if profile is not None:
+        spec = load_traffic_spec(str(profile))
+    else:
+        spec = mixed_spec(
+            _int(params, "tenants", 1000),
+            alpha=_float(params, "alpha", 1.2),
+            churn_interval=_int(params, "churn_interval", 0),
+            churn_fraction=_float(params, "churn_fraction", 0.02),
+            churn_boost=_float(params, "churn_boost", 8.0),
+            schedule_interval=_int(params, "schedule_interval", 8192),
+        )
+    mixer = spec.build_mixer(n_lines, seed)
+
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    scheme = build_scheme(scheme_name, n_lines, seed, params)
+    controller = MemoryController(scheme, config)
+
+    traffic: Any = mixer.chunks() if fast else mixer.entries()
+    driver = run_trace_fast if fast else run_trace
+    result = driver(controller, traffic, max_writes=max_writes)
+    gini = WearStats.from_wear(controller.array.wear).gini
+    return {
+        "scheme": scheme_name,
+        "traffic": spec.name,
+        "tenants": mixer.n_tenants,
+        "churn_interval": spec.churn_interval,
         "engine": "batched" if fast else "scalar",
         "user_writes": result.user_writes,
         "total_writes": result.total_writes,
@@ -386,4 +472,5 @@ def run_faults_task(
 register_task_kind("lifetime", run_lifetime_task)
 register_task_kind("simulate", run_simulate_task)
 register_task_kind("trace-lifetime", run_trace_lifetime_task)
+register_task_kind("tenant-lifetime", run_tenant_lifetime_task)
 register_task_kind("faults", run_faults_task)

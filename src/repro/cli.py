@@ -4,8 +4,12 @@ Installed as ``python -m repro``.  Subcommands:
 
 * ``lifetime``  — analytic paper-scale lifetimes for a scheme/attack pair,
 * ``simulate``  — run a real attack on the exact simulator (scaled config),
-* ``trace``     — measured lifetime/overhead under a synthetic trace on
-  the batched fast engine (``--no-fast`` for the scalar reference),
+* ``trace``     — measured lifetime/overhead under a synthetic trace —
+  or a loaded real trace (``--trace-file``, CSV or ``.rbt``) — on the
+  batched fast engine (``--no-fast`` for the scalar reference); the
+  ``convert`` / ``info`` subcommands manage trace files,
+* ``traffic``   — measured lifetime under multi-tenant mixed traffic
+  (``--tenants``/``--churn-*`` inline knobs or a ``--profile`` spec),
 * ``overhead``  — the §V-C3 hardware-cost table,
 * ``stages``    — security sizing of the dynamic Feistel network,
 * ``perf``      — the §V-C4 IPC-impact table,
@@ -23,6 +27,12 @@ Examples::
         --endurance 2e4
     python -m repro trace --scheme security-rbsg --trace uniform \
         --lines 4096 --endurance 1e4 --json
+    python -m repro trace convert tests/data/msr_sample.csv out.rbt \
+        --lines 4096
+    python -m repro trace info out.rbt
+    python -m repro trace --scheme security-rbsg --trace-file out.rbt
+    python -m repro traffic --scheme security-rbsg --tenants 1000 \
+        --churn-interval 50000 --json
     python -m repro overhead --stages 7 --json
     python -m repro stages --outer-interval 128
     python -m repro perf --interval 64 --ops 10000
@@ -203,33 +213,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.campaign.tasks import TaskError, run_trace_lifetime_task
-
-    params = {
-        "scheme": args.scheme,
-        "trace": args.trace,
-        "lines": args.lines,
-        "endurance": args.endurance,
-        "max_writes": args.budget,
-        "interval": args.interval,
-        "regions": args.regions,
-        "stages": args.stages,
-        "alpha": args.alpha,
-        "target": args.target,
-        "fast": not args.no_fast,
-    }
-    if args.outer is not None:
-        params["outer"] = args.outer
-    try:
-        result = run_trace_lifetime_task(params, args.seed)
-    except TaskError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.json:
-        print(json.dumps(result, sort_keys=True))
-        return 0
-    print(f"scheme / trace  : {args.scheme} / {args.trace} "
+def _print_trace_result(args: argparse.Namespace, result: dict,
+                        label: str) -> None:
+    """Shared text report of a measured-lifetime run (trace/traffic)."""
+    print(f"scheme / {label:<6}: {args.scheme} / "
+          f"{result.get('trace', result.get('traffic'))} "
           f"({result['engine']} engine)")
     print(f"device          : {args.lines} lines, E={args.endurance:g}")
     elapsed_ns = float(result["elapsed_ns"])  # type: ignore[arg-type]
@@ -244,6 +232,156 @@ def cmd_trace(args: argparse.Namespace) -> int:
     gini = float(result["wear_gini"])  # type: ignore[arg-type]
     print(f"write overhead  : {amplification:.4f}x physical/user writes")
     print(f"wear gini       : {gini:.4f}")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.campaign.tasks import TaskError, run_trace_lifetime_task
+    from repro.traffic import TraceFileError
+
+    if args.scheme is None:
+        print("error: repro trace needs --scheme", file=sys.stderr)
+        return 2
+    if args.trace is None and args.trace_file is None:
+        print("error: repro trace needs --trace or --trace-file",
+              file=sys.stderr)
+        return 2
+    params = {
+        "scheme": args.scheme,
+        "lines": args.lines,
+        "endurance": args.endurance,
+        "max_writes": args.budget,
+        "interval": args.interval,
+        "regions": args.regions,
+        "stages": args.stages,
+        "alpha": args.alpha,
+        "target": args.target,
+        "fast": not args.no_fast,
+    }
+    if args.trace is not None:
+        params["trace"] = args.trace
+    if args.trace_file is not None:
+        params["trace_file"] = args.trace_file
+        params["line_bytes"] = args.line_bytes
+        params["window_start"] = args.window_start
+        params["window_mode"] = args.window_mode
+        params.setdefault("trace", args.trace_file)
+    if args.outer is not None:
+        params["outer"] = args.outer
+    try:
+        result = run_trace_lifetime_task(params, args.seed)
+    except (TaskError, TraceFileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    _print_trace_result(args, result, "trace")
+    return 0
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.traffic import TraceFileError, convert_to_rbt
+
+    try:
+        n = convert_to_rbt(
+            args.csv, args.rbt,
+            n_lines=args.lines,
+            line_bytes=args.line_bytes,
+            window_start=args.window_start,
+            window_mode=args.window_mode,
+        )
+    except TraceFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {n} line writes to {args.rbt}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.traffic import (
+        TraceFileError,
+        csv_info,
+        rbt_metadata,
+        trace_format,
+    )
+
+    try:
+        if trace_format(args.path) == "rbt":
+            header = rbt_metadata(args.path)
+            document = {
+                "format": "rbt",
+                "n_entries": header["n_entries"],
+                "metadata": header.get("meta", {}),
+            }
+        else:
+            n_records, n_writes, n_lines, max_la = csv_info(
+                args.path, line_bytes=args.line_bytes
+            )
+            document = {
+                "format": "csv",
+                "n_records": n_records,
+                "n_writes": n_writes,
+                "n_write_lines": n_lines,
+                "max_raw_la": max_la,
+            }
+    except TraceFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+        return 0
+    print(f"format       : {document['format']}")
+    if document["format"] == "rbt":
+        print(f"line writes  : {document['n_entries']}")
+        for key, value in sorted(
+            dict(document["metadata"]).items()  # type: ignore[call-overload]
+        ):
+            print(f"  {key:<11}: {value}")
+    else:
+        print(f"records      : {document['n_records']}")
+        print(f"writes       : {document['n_writes']}")
+        print(f"line writes  : {document['n_write_lines']} "
+              f"(at {args.line_bytes} B/line)")
+        print(f"max raw line : {document['max_raw_la']}")
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.campaign.tasks import TaskError, run_tenant_lifetime_task
+    from repro.traffic import TrafficSpecError
+
+    params = {
+        "scheme": args.scheme,
+        "lines": args.lines,
+        "endurance": args.endurance,
+        "max_writes": args.budget,
+        "interval": args.interval,
+        "regions": args.regions,
+        "stages": args.stages,
+        "fast": not args.no_fast,
+    }
+    if args.outer is not None:
+        params["outer"] = args.outer
+    if args.profile is not None:
+        params["profile"] = args.profile
+    else:
+        params["tenants"] = args.tenants
+        params["alpha"] = args.alpha
+        params["churn_interval"] = args.churn_interval
+        params["churn_fraction"] = args.churn_fraction
+        params["churn_boost"] = args.churn_boost
+        params["schedule_interval"] = args.schedule_interval
+    try:
+        result = run_tenant_lifetime_task(params, args.seed)
+    except (TaskError, TrafficSpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    print(f"tenants         : {result['tenants']} "
+          f"(churn interval {result['churn_interval']})")
+    _print_trace_result(args, result, "traffic")
     return 0
 
 
@@ -629,15 +767,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="measured lifetime/overhead under a synthetic trace "
-             "(batched engine)",
+        help="measured lifetime/overhead under a synthetic or loaded "
+             "trace (batched engine); also `trace convert` / `trace info`",
     )
-    p.add_argument("--scheme", required=True,
+    p.add_argument("--scheme",
                    choices=["none", "start-gap", "table", "random-swap",
                             "rbsg", "sr", "multiway-sr", "two-level-sr",
                             "security-rbsg"])
-    p.add_argument("--trace", required=True,
+    p.add_argument("--trace",
                    choices=["uniform", "zipf", "sequential", "raa"])
+    p.add_argument("--trace-file", metavar="PATH",
+                   help="drive the device with a loaded trace file "
+                        "(MSR/SNIA CSV, optionally gzipped, or .rbt) "
+                        "instead of a synthetic --trace")
+    p.add_argument("--line-bytes", type=int, default=64,
+                   help="bytes per memory line for CSV offset mapping")
+    p.add_argument("--window-start", type=int, default=0,
+                   help="first line address of the CSV mapping window")
+    p.add_argument("--window-mode", choices=["wrap", "drop", "clamp"],
+                   default="wrap",
+                   help="how CSV addresses beyond --lines are normalised")
     p.add_argument("--lines", type=int, default=4096)
     p.add_argument("--endurance", type=float, default=1e4)
     p.add_argument("--budget", type=int, default=10_000_000,
@@ -658,6 +807,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit a single JSON object instead of text")
     p.set_defaults(func=cmd_trace)
+    trace_sub = p.add_subparsers(dest="trace_cmd")
+
+    sp = trace_sub.add_parser(
+        "convert", help="convert a CSV trace to the .rbt binary format"
+    )
+    sp.add_argument("csv", help="source CSV trace (plain or .gz)")
+    sp.add_argument("rbt", help="destination .rbt file")
+    sp.add_argument("--lines", type=int, required=True,
+                    help="device size the addresses are normalised to")
+    sp.add_argument("--line-bytes", type=int, default=64)
+    sp.add_argument("--window-start", type=int, default=0)
+    sp.add_argument("--window-mode", choices=["wrap", "drop", "clamp"],
+                    default="wrap")
+    sp.set_defaults(func=cmd_trace_convert)
+
+    sp = trace_sub.add_parser(
+        "info", help="summarise a CSV or .rbt trace file"
+    )
+    sp.add_argument("path", help="trace file (CSV, gzipped CSV, or .rbt)")
+    sp.add_argument("--line-bytes", type=int, default=64,
+                    help="bytes per line for the CSV line-write count")
+    sp.add_argument("--json", action="store_true",
+                    help="emit a single JSON object instead of text")
+    sp.set_defaults(func=cmd_trace_info)
+
+    p = sub.add_parser(
+        "traffic",
+        help="measured lifetime under multi-tenant mixed traffic "
+             "(batched engine)",
+    )
+    p.add_argument("--scheme", required=True,
+                   choices=["none", "start-gap", "table", "random-swap",
+                            "rbsg", "sr", "multiway-sr", "two-level-sr",
+                            "security-rbsg"])
+    p.add_argument("--profile", metavar="SPEC",
+                   help="traffic spec file (.toml or .json); overrides the "
+                        "inline --tenants/--alpha/--churn-* population")
+    p.add_argument("--tenants", type=int, default=1000,
+                   help="inline population size (60%% zipf / 30%% uniform "
+                        "/ 10%% sequential)")
+    p.add_argument("--alpha", type=float, default=1.2,
+                   help="zipf skew of the inline population")
+    p.add_argument("--churn-interval", type=int, default=0,
+                   help="writes between hot-tenant redraws (0 = no churn)")
+    p.add_argument("--churn-fraction", type=float, default=0.02,
+                   help="fraction of tenants boosted per churn epoch")
+    p.add_argument("--churn-boost", type=float, default=8.0,
+                   help="arrival-rate multiplier for hot tenants")
+    p.add_argument("--schedule-interval", type=int, default=8192,
+                   help="writes between arrival-rate re-evaluations")
+    p.add_argument("--lines", type=int, default=4096)
+    p.add_argument("--endurance", type=float, default=1e4)
+    p.add_argument("--budget", type=int, default=10_000_000,
+                   help="stop after this many user writes")
+    p.add_argument("--interval", type=int, default=16)
+    p.add_argument("--regions", type=int, default=8)
+    p.add_argument("--outer", type=int, default=None,
+                   help="outer remap interval (default: 2x --interval)")
+    p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--no-fast", action="store_true",
+                   help="use the scalar reference engine instead of the "
+                        "batched fast path (results are bit-identical)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a single JSON object instead of text")
+    p.set_defaults(func=cmd_traffic)
 
     p = sub.add_parser("overhead", help="hardware overhead table (§V-C3)")
     p.add_argument("--subregions", type=int, default=512)

@@ -16,7 +16,7 @@ cross-module call graph (:mod:`repro.lint.callgraph`):
 * **REP102 rng-provenance** — a generator built outside
   ``repro.util.rng`` (no seed, or a hard-coded constant seed) must not
   flow into a stochastic component (``faults`` / ``wearlevel`` /
-  ``attacks``).
+  ``attacks`` / ``traffic``).
 * **REP103 campaign-determinism** — everything reachable from a
   ``register_task_kind`` target runs inside worker processes in
   parallel; module-level mutable state, shared module-level RNGs,

@@ -366,7 +366,8 @@ class WallClock(Rule):
 
 @register
 class ModuleLevelMutableState(Rule):
-    """No module-level mutable state in ``wearlevel``/``pcm``/``sim``.
+    """No module-level mutable state in
+    ``wearlevel``/``pcm``/``sim``/``traffic``.
 
     A module-level list/dict/set in the simulation packages survives
     across experiments in one process: run A's wear history can leak
@@ -378,7 +379,7 @@ class ModuleLevelMutableState(Rule):
     code = "REP006"
     name = "module-level-mutable-state"
 
-    _SCOPED_PARTS = frozenset({"wearlevel", "pcm", "sim"})
+    _SCOPED_PARTS = frozenset({"wearlevel", "pcm", "sim", "traffic"})
     _MUTABLE_CALLS = MutableDefaultArgument._MUTABLE_CALLS
 
     def _module_statements(self, tree: ast.Module) -> Iterator[ast.stmt]:

@@ -67,7 +67,7 @@ _AMBIGUOUS_METHODS = frozenset({"copy", "swap"})
 _PCM_RECEIVERS = ("array", "controller", "oracle", "pcm", "mem")
 
 #: Module-path components that mark a stochastic component (REP102).
-STOCHASTIC_PARTS = frozenset({"faults", "wearlevel", "attacks"})
+STOCHASTIC_PARTS = frozenset({"faults", "wearlevel", "attacks", "traffic"})
 
 _RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
 

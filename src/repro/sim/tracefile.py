@@ -4,15 +4,26 @@ Lets experiments decouple workload generation from replay: generate once
 (or capture a :class:`~repro.sim.timeline.LatencyRecorder` session), store
 compactly, replay anywhere.  The on-disk format is a numpy ``.npz`` with
 two arrays (``las`` int64, ``data`` int8 — the LineData class per write)
-and a tiny JSON-ish metadata array.
+and a tiny JSON-ish metadata array.  Files may additionally be gzipped
+(``.npz.gz`` or any gzip magic) — both save and load are transparent.
 
 A damaged file (truncated copy, interrupted download, wrong format)
-raises :class:`TraceFileError` naming the file and the defect — at the
-*call* site, not lazily somewhere inside a replay loop.
+raises the shared loader taxonomy of :mod:`repro.traffic.errors` — at
+the *call* site, not lazily somewhere inside a replay loop:
+
+* missing path       → :class:`TraceFileMissingError`
+* bytes run out      → :class:`TraceFileTruncatedError`
+* not a trace at all → :class:`TraceFileCorruptError`
+* future revision    → :class:`TraceFileVersionError`
+
+All subclass :class:`TraceFileError` (still re-exported here), so
+pre-existing ``except TraceFileError`` sites keep working.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import zipfile
 from dataclasses import dataclass
@@ -23,14 +34,46 @@ import numpy as np
 
 from repro.pcm.timing import LineData
 from repro.sim.trace import TraceEntry
+from repro.traffic.errors import (
+    TraceFileCorruptError,
+    TraceFileError,
+    TraceFileMissingError,
+    TraceFileTruncatedError,
+    TraceFileVersionError,
+)
+
+__all__ = [
+    "TraceFileError",
+    "TraceFileCorruptError",
+    "TraceFileMissingError",
+    "TraceFileTruncatedError",
+    "TraceFileVersionError",
+    "TraceSummary",
+    "save_trace",
+    "load_trace",
+    "load_metadata",
+    "summarize_trace",
+]
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
-class TraceFileError(ValueError):
-    """A trace file is missing, truncated or not a trace at all."""
+def _read_archive_bytes(path: Path) -> bytes:
+    """The raw ``.npz`` bytes, decompressing a gzip wrapper if present."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if blob[:2] != _GZIP_MAGIC:
+        return blob
+    try:
+        return gzip.decompress(blob)
+    except (EOFError, gzip.BadGzipFile, OSError) as exc:
+        raise TraceFileTruncatedError(
+            f"{path}: gzip wrapper ends early ({type(exc).__name__}: "
+            f"{exc}); re-save it with save_trace"
+        ) from exc
 
 
 def _read_arrays(path: PathLike, *names: str) -> Tuple[np.ndarray, ...]:
@@ -38,17 +81,18 @@ def _read_arrays(path: PathLike, *names: str) -> Tuple[np.ndarray, ...]:
 
     ``np.load`` on a truncated or non-zip file surfaces as a zoo of
     ``BadZipFile``/``EOFError``/``OSError``/``ValueError``s depending on
-    where the bytes run out; fold them all into one
-    :class:`TraceFileError` that names the file.
+    where the bytes run out; fold them into the shared taxonomy so
+    callers can tell a partial copy from a wrong-format file.
     """
     path = Path(path)
     if not path.exists():
-        raise TraceFileError(f"{path}: no such trace file")
+        raise TraceFileMissingError(f"{path}: no such trace file")
+    blob = _read_archive_bytes(path)
     try:
-        with np.load(path) as archive:
+        with np.load(io.BytesIO(blob)) as archive:
             missing = [n for n in names if n not in archive.files]
             if missing:
-                raise TraceFileError(
+                raise TraceFileCorruptError(
                     f"{path}: not a trace file — missing array(s) "
                     f"{missing}; expected {list(names)}"
                 )
@@ -57,10 +101,26 @@ def _read_arrays(path: PathLike, *names: str) -> Tuple[np.ndarray, ...]:
         raise
     except (zipfile.BadZipFile, EOFError, OSError, KeyError,
             ValueError) as exc:
-        raise TraceFileError(
+        raise TraceFileTruncatedError(
             f"{path}: truncated or corrupt trace file "
             f"({type(exc).__name__}: {exc}); re-save it with save_trace"
         ) from exc
+
+
+def _check_version(path: PathLike, header: Dict[str, str]) -> None:
+    declared = header.get("format_version", str(_FORMAT_VERSION))
+    try:
+        version = int(declared)
+    except ValueError:
+        raise TraceFileCorruptError(
+            f"{Path(path)}: unreadable format_version {declared!r}"
+        ) from None
+    if version != _FORMAT_VERSION:
+        raise TraceFileVersionError(
+            f"{Path(path)}: trace format version {version} is not "
+            f"supported (this reader understands version "
+            f"{_FORMAT_VERSION})"
+        )
 
 
 @dataclass(frozen=True)
@@ -82,30 +142,40 @@ def save_trace(
     """Persist a trace; returns the number of entries written.
 
     ``entries`` may be any iterable (generators included) — it is fully
-    materialised, so bound it with ``n_writes`` when generating.
+    materialised, so bound it with ``n_writes`` when generating.  A
+    ``.gz`` path suffix gzips the archive on the way out.
     """
+    target = Path(path)
     las, classes = [], []
     for entry in entries:
         las.append(entry.la)
         classes.append(int(entry.data))
     header = dict(metadata or {})
     header["format_version"] = str(_FORMAT_VERSION)
-    np.savez_compressed(
-        Path(path),
-        las=np.asarray(las, dtype=np.int64),
-        data=np.asarray(classes, dtype=np.int8),
-        meta=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-    )
+    payload = {
+        "las": np.asarray(las, dtype=np.int64),
+        "data": np.asarray(classes, dtype=np.int8),
+        "meta": np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        ),
+    }
+    if target.suffix == ".gz":
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **payload)
+        target.write_bytes(gzip.compress(buffer.getvalue()))
+    else:
+        np.savez_compressed(target, **payload)
     return len(las)
 
 
 def load_trace(path: PathLike) -> Iterator[TraceEntry]:
     """Stream a stored trace back as :class:`TraceEntry` objects.
 
-    The file is read (and validated) eagerly, so a damaged file raises
-    :class:`TraceFileError` here — not on the first ``next()`` deep in a
-    replay loop; only entry construction is lazy.
+    The file is read (and validated, version included) eagerly, so a
+    damaged file raises its taxonomy error here — not on the first
+    ``next()`` deep in a replay loop; only entry construction is lazy.
     """
+    _check_version(path, load_metadata(path))
     las, classes = _read_arrays(path, "las", "data")
 
     def entries() -> Iterator[TraceEntry]:
@@ -121,7 +191,7 @@ def load_metadata(path: PathLike) -> Dict[str, str]:
     try:
         document = json.loads(meta.tobytes().decode())
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise TraceFileError(
+        raise TraceFileCorruptError(
             f"{Path(path)}: corrupt metadata header ({exc})"
         ) from exc
     return dict(document)
@@ -129,6 +199,7 @@ def load_metadata(path: PathLike) -> Dict[str, str]:
 
 def summarize_trace(path: PathLike) -> TraceSummary:
     """Compute summary statistics without building TraceEntry objects."""
+    _check_version(path, load_metadata(path))
     las, classes = _read_arrays(path, "las", "data")
     if las.size == 0:
         return TraceSummary(0, 0, -1, 0.0, {})

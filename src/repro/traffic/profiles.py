@@ -1,0 +1,278 @@
+"""Declarative tenant-population specs: file -> profiles -> mixer.
+
+A *traffic spec* describes a tenant population as groups — "700 zipf
+tenants with 256-line windows and a diurnal swing, 300 uniform tenants
+with small windows" — plus mixer-level churn knobs.  Layout (TOML shown;
+JSON with the same shape also loads)::
+
+    [traffic]
+    name = "tenant-mix"
+    tenants = 1000           # optional sanity check: must equal sum of
+                             # group counts when groups are given
+    churn_interval = 50000   # writes between hot-set redraws (0 = off)
+    churn_fraction = 0.02
+    churn_boost = 8.0
+    schedule_interval = 8192
+
+    [[group]]
+    count = 700
+    kind = "zipf"            # zipf | uniform | sequential
+    alpha = 1.3
+    window_lines = 256       # or window_fraction = 0.01
+    rate = 1.0
+    diurnal_amplitude = 0.5  # optional; 0 = flat arrival rate
+    diurnal_period = 100000
+    data = "ALL1"            # optional LineData class name
+
+With no ``[[group]]`` tables the spec means "``tenants`` zipf tenants"
+— and :func:`mixed_spec` builds the standard 60/30/10
+zipf/uniform/sequential population the CLI uses for inline flags.
+
+Window *placement* is not in the file: windows are placed by a
+``derive_seed(seed, "placement")`` stream when the spec is instantiated
+against a device size, so the same spec is reusable across device
+scales and stays bit-reproducible per seed.  Diurnal phases are spread
+per-tenant from ``derive_seed(seed, "phase")`` so a population's load
+curve is staggered, not synchronised.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.pcm.timing import LineData
+from repro.traffic.tenants import TenantMixer, TenantProfile
+from repro.util.rng import as_generator, derive_seed
+
+PathLike = Union[str, Path]
+
+
+class TrafficSpecError(ValueError):
+    """A traffic specification is malformed."""
+
+
+@dataclass(frozen=True)
+class TenantGroup:
+    """A homogeneous slice of the tenant population."""
+
+    count: int
+    kind: str = "zipf"
+    alpha: float = 1.2
+    window_lines: Optional[int] = None
+    window_fraction: Optional[float] = None
+    rate: float = 1.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 0
+    data: str = "ALL1"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise TrafficSpecError("group count must be >= 1")
+        if self.window_lines is not None and self.window_fraction is not None:
+            raise TrafficSpecError(
+                "give either window_lines or window_fraction, not both"
+            )
+        if self.window_lines is not None and self.window_lines < 1:
+            raise TrafficSpecError("window_lines must be >= 1")
+        if self.window_fraction is not None and not (
+            0.0 < self.window_fraction <= 1.0
+        ):
+            raise TrafficSpecError("window_fraction must be in (0, 1]")
+        if self.data.upper() not in LineData.__members__:
+            raise TrafficSpecError(
+                f"unknown data class {self.data!r}; expected one of "
+                f"{sorted(LineData.__members__)}"
+            )
+
+    def resolve_window(self, n_lines: int) -> int:
+        """The group's window width on an ``n_lines``-line device."""
+        if self.window_lines is not None:
+            width = self.window_lines
+        elif self.window_fraction is not None:
+            width = int(round(self.window_fraction * n_lines))
+        else:
+            # Default: square-root windows — small tenants on big devices
+            # without ever degenerating to a single line.
+            width = int(round(n_lines ** 0.5))
+        return max(1, min(width, n_lines))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Immutable description of a tenant population and its dynamics."""
+
+    name: str = "traffic"
+    groups: Tuple[TenantGroup, ...] = field(default=())
+    churn_interval: int = 0
+    churn_fraction: float = 0.02
+    churn_boost: float = 8.0
+    schedule_interval: int = 8192
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise TrafficSpecError("traffic spec needs at least one group")
+
+    @property
+    def n_tenants(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "TrafficSpec":
+        """Parse the TOML/JSON document layout (see module docstring)."""
+        unknown_tables = set(document) - {"traffic", "group"}
+        if unknown_tables:
+            raise TrafficSpecError(
+                f"unknown top-level table(s) {sorted(unknown_tables)}"
+            )
+        traffic = dict(document.get("traffic", {}))
+        known = {"name", "tenants", "churn_interval", "churn_fraction",
+                 "churn_boost", "schedule_interval"}
+        unknown = set(traffic) - known
+        if unknown:
+            raise TrafficSpecError(
+                f"unknown [traffic] keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        raw_groups = document.get("group", [])
+        groups: List[TenantGroup] = []
+        for index, raw in enumerate(raw_groups):
+            try:
+                groups.append(TenantGroup(**dict(raw)))
+            except TypeError as exc:
+                raise TrafficSpecError(
+                    f"[[group]] #{index + 1}: {exc}"
+                ) from None
+        declared = traffic.get("tenants")
+        if not groups:
+            if declared is None:
+                raise TrafficSpecError(
+                    "spec needs [[group]] tables or [traffic] tenants"
+                )
+            groups = [TenantGroup(count=int(declared))]
+        spec = cls(
+            name=str(traffic.get("name", "traffic")),
+            groups=tuple(groups),
+            churn_interval=int(traffic.get("churn_interval", 0)),
+            churn_fraction=float(traffic.get("churn_fraction", 0.02)),
+            churn_boost=float(traffic.get("churn_boost", 8.0)),
+            schedule_interval=int(traffic.get("schedule_interval", 8192)),
+        )
+        if declared is not None and int(declared) != spec.n_tenants:
+            raise TrafficSpecError(
+                f"[traffic] declares {declared} tenants but the groups "
+                f"sum to {spec.n_tenants}"
+            )
+        return spec
+
+    def build_profiles(
+        self, n_lines: int, seed: int
+    ) -> List[TenantProfile]:
+        """Instantiate the population against a device of ``n_lines``.
+
+        Window placement and per-tenant diurnal phases come from
+        ``derive_seed`` child streams of ``seed``; tenant order (and so
+        each tenant's identity in the mixer) is group order.
+        """
+        if n_lines < 1:
+            raise ValueError("n_lines must be >= 1")
+        placement = as_generator(derive_seed(seed, "placement"))
+        phases = as_generator(derive_seed(seed, "phase"))
+        profiles: List[TenantProfile] = []
+        for group in self.groups:
+            width = group.resolve_window(n_lines)
+            for _ in range(group.count):
+                start = int(placement.integers(0, n_lines - width + 1))
+                phase = (
+                    float(phases.uniform(0.0, 1.0))
+                    if group.diurnal_period > 0 else 0.0
+                )
+                profiles.append(TenantProfile(
+                    kind=group.kind,
+                    window_start=start,
+                    window_len=width,
+                    alpha=group.alpha,
+                    rate=group.rate,
+                    diurnal_amplitude=group.diurnal_amplitude,
+                    diurnal_period=group.diurnal_period,
+                    diurnal_phase=phase,
+                    data=LineData[group.data.upper()],
+                ))
+        return profiles
+
+    def build_mixer(self, n_lines: int, seed: int) -> TenantMixer:
+        """Profiles plus mixer knobs, ready to stream."""
+        return TenantMixer(
+            self.build_profiles(n_lines, seed),
+            seed=seed,
+            churn_interval=self.churn_interval,
+            churn_fraction=self.churn_fraction,
+            churn_boost=self.churn_boost,
+            schedule_interval=self.schedule_interval,
+        )
+
+
+def mixed_spec(
+    n_tenants: int,
+    *,
+    alpha: float = 1.2,
+    churn_interval: int = 0,
+    churn_fraction: float = 0.02,
+    churn_boost: float = 8.0,
+    schedule_interval: int = 8192,
+    name: str = "mixed",
+) -> TrafficSpec:
+    """The standard inline population: 60% zipf, 30% uniform, 10%
+    sequential (streaming) tenants — what ``repro traffic`` builds when
+    given ``--tenants N`` instead of a spec file."""
+    if n_tenants < 1:
+        raise TrafficSpecError("n_tenants must be >= 1")
+    n_zipf = max(1, round(n_tenants * 0.6))
+    n_uniform = max(0, round(n_tenants * 0.3))
+    n_seq = n_tenants - n_zipf - n_uniform
+    groups = [TenantGroup(count=n_zipf, kind="zipf", alpha=alpha)]
+    if n_uniform:
+        groups.append(TenantGroup(count=n_uniform, kind="uniform"))
+    if n_seq > 0:
+        groups.append(TenantGroup(count=n_seq, kind="sequential"))
+    return TrafficSpec(
+        name=name,
+        groups=tuple(groups),
+        churn_interval=churn_interval,
+        churn_fraction=churn_fraction,
+        churn_boost=churn_boost,
+        schedule_interval=schedule_interval,
+    )
+
+
+def load_traffic_spec(path: PathLike) -> TrafficSpec:
+    """Load a traffic spec from a ``.toml`` or ``.json`` file."""
+    source = Path(path)
+    if not source.exists():
+        raise TrafficSpecError(f"{source}: no such traffic spec")
+    text = source.read_text(encoding="utf-8")
+    if source.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - Python < 3.11
+            raise TrafficSpecError(
+                f"reading {source} needs the stdlib 'tomllib' "
+                "(Python 3.11+); convert the spec to JSON for older "
+                "interpreters"
+            ) from exc
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise TrafficSpecError(
+                f"{source}: invalid TOML: {exc}"
+            ) from exc
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TrafficSpecError(
+                f"{source}: invalid JSON: {exc}"
+            ) from exc
+    return TrafficSpec.from_dict(document)

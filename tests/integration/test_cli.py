@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+DATA = Path(__file__).parent.parent / "data"
 
 
 class TestLifetime:
@@ -105,6 +108,144 @@ class TestJsonOutput:
         )  # the "2.02 KB" the text renderer prints
         assert payload["cubing_gates"] == 1270
         assert {"n_subregions", "n_stages", "spare_bytes"} <= set(payload)
+
+
+class TestTrace:
+    def test_synthetic_trace_run(self, capsys):
+        assert main([
+            "trace", "--scheme", "rbsg", "--trace", "uniform",
+            "--lines", "256", "--endurance", "200",
+            "--budget", "100000", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "batched"
+        assert payload["trace"] == "uniform"
+
+    def test_trace_file_run(self, capsys):
+        assert main([
+            "trace", "--scheme", "security-rbsg",
+            "--trace-file", str(DATA / "msr_sample.rbt"),
+            "--lines", "4096", "--endurance", "100", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["user_writes"] == 5354
+
+    def test_no_fast_is_bit_identical(self, capsys):
+        argv = [
+            "trace", "--scheme", "start-gap",
+            "--trace-file", str(DATA / "msr_sample.csv"),
+            "--lines", "512", "--endurance", "100", "--json",
+        ]
+        assert main(argv) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--no-fast"]) == 0
+        scalar = json.loads(capsys.readouterr().out)
+        assert fast.pop("engine") == "batched"
+        assert scalar.pop("engine") == "scalar"
+        assert fast == scalar
+
+    def test_scheme_required(self, capsys):
+        assert main(["trace", "--trace", "uniform"]) == 2
+        assert "--scheme" in capsys.readouterr().err
+
+    def test_trace_source_required(self, capsys):
+        assert main(["trace", "--scheme", "none"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        assert main([
+            "trace", "--scheme", "none", "--trace-file", "/nope.rbt",
+        ]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+
+class TestTraceConvertInfo:
+    def test_convert_then_info(self, tmp_path, capsys):
+        out = tmp_path / "t.rbt"
+        assert main([
+            "trace", "convert", str(DATA / "msr_sample.csv"), str(out),
+            "--lines", "4096",
+        ]) == 0
+        assert "wrote 5354 line writes" in capsys.readouterr().out
+        assert out.read_bytes() == (DATA / "msr_sample.rbt").read_bytes()
+        assert main(["trace", "info", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "rbt"
+        assert payload["n_entries"] == 5354
+        assert payload["metadata"]["source"] == "msr_sample.csv"
+
+    def test_info_on_csv(self, capsys):
+        assert main([
+            "trace", "info", str(DATA / "msr_sample.csv"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "csv"
+        assert payload["n_records"] == 30
+        assert payload["n_writes"] == 24
+
+    def test_convert_errors_exit_2(self, tmp_path, capsys):
+        assert main([
+            "trace", "convert", "/nope.csv", str(tmp_path / "o.rbt"),
+            "--lines", "64",
+        ]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_info_errors_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rbt"
+        bad.write_bytes(b"RBT\x09")
+        assert main(["trace", "info", str(bad)]) == 2
+        assert "version" in capsys.readouterr().err
+
+
+class TestTraffic:
+    ARGV = [
+        "traffic", "--scheme", "security-rbsg", "--tenants", "25",
+        "--lines", "256", "--endurance", "200", "--budget", "50000",
+        "--churn-interval", "10000", "--json",
+    ]
+
+    def test_inline_population_run(self, capsys):
+        assert main(self.ARGV) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"] == 25
+        assert payload["traffic"] == "mixed"
+        assert payload["engine"] == "batched"
+
+    def test_no_fast_is_bit_identical(self, capsys):
+        assert main(self.ARGV) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert main(self.ARGV + ["--no-fast"]) == 0
+        scalar = json.loads(capsys.readouterr().out)
+        fast.pop("engine")
+        scalar.pop("engine")
+        assert fast == scalar
+
+    def test_profile_file(self, tmp_path, capsys):
+        spec = tmp_path / "pop.toml"
+        spec.write_text(
+            "[traffic]\nname = \"cli\"\n\n"
+            "[[group]]\ncount = 3\nkind = \"uniform\"\nwindow_lines = 8\n"
+        )
+        assert main([
+            "traffic", "--scheme", "none", "--profile", str(spec),
+            "--lines", "64", "--endurance", "1e6", "--budget", "2000",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traffic"] == "cli"
+        assert payload["tenants"] == 3
+
+    def test_bad_profile_exits_2(self, capsys):
+        assert main([
+            "traffic", "--scheme", "none", "--profile", "/nope.toml",
+        ]) == 2
+        assert "no such traffic spec" in capsys.readouterr().err
+
+    def test_text_report(self, capsys):
+        assert main([a for a in self.ARGV if a != "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "tenants" in out
+        assert "wear gini" in out
 
 
 class TestOtherCommands:

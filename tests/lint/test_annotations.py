@@ -44,6 +44,13 @@ STRICT_MODULES = [
     "repro/campaign/service/coordinator.py",
     "repro/campaign/service/worker.py",
     "repro/campaign/service/watch.py",
+    "repro/traffic/__init__.py",
+    "repro/traffic/adapter.py",
+    "repro/traffic/csvtrace.py",
+    "repro/traffic/errors.py",
+    "repro/traffic/profiles.py",
+    "repro/traffic/rbt.py",
+    "repro/traffic/tenants.py",
 ]
 
 

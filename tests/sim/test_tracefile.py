@@ -1,5 +1,8 @@
 """Tests for trace persistence."""
 
+import gzip
+import json
+
 import pytest
 
 import numpy as np
@@ -7,7 +10,11 @@ import numpy as np
 from repro.pcm.timing import ALL0, ALL1, MIXED
 from repro.sim.trace import TraceEntry, zipf_trace
 from repro.sim.tracefile import (
+    TraceFileCorruptError,
     TraceFileError,
+    TraceFileMissingError,
+    TraceFileTruncatedError,
+    TraceFileVersionError,
     load_metadata,
     load_trace,
     save_trace,
@@ -114,3 +121,72 @@ class TestDamagedFiles:
             load_trace(path)
         with pytest.raises(TraceFileError, match="missing array"):
             load_metadata(path)
+
+
+class TestGzip:
+    ENTRIES = [TraceEntry(3, ALL1), TraceEntry(7, ALL0)]
+
+    def test_gz_suffix_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.npz.gz"
+        assert save_trace(path, self.ENTRIES) == 2
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzipped
+        assert list(load_trace(path)) == self.ENTRIES
+
+    def test_load_detects_gzip_by_magic(self, tmp_path):
+        plain = tmp_path / "t.npz"
+        save_trace(plain, self.ENTRIES)
+        disguised = tmp_path / "still.npz"  # gzip bytes, plain suffix
+        disguised.write_bytes(gzip.compress(plain.read_bytes()))
+        assert list(load_trace(disguised)) == self.ENTRIES
+
+    def test_truncated_gzip_wrapper(self, tmp_path):
+        path = tmp_path / "cut.npz.gz"
+        save_trace(path, self.ENTRIES)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(TraceFileTruncatedError, match="ends early"):
+            load_trace(path)
+
+
+class TestErrorTaxonomy:
+    """One failure mode per TraceFileError subclass."""
+
+    def _saved(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, [TraceEntry(1, ALL1)])
+        return path
+
+    def test_missing_is_its_own_class(self, tmp_path):
+        with pytest.raises(TraceFileMissingError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_truncated_is_its_own_class(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes()[:12])
+        with pytest.raises(TraceFileTruncatedError):
+            load_trace(path)
+
+    def test_corrupt_is_its_own_class(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+
+    def test_future_version_is_its_own_class(self, tmp_path):
+        path = tmp_path / "future.npz"
+        header = json.dumps({"format_version": "99"}).encode()
+        np.savez(
+            path,
+            las=np.array([1], dtype=np.int64),
+            data=np.array([int(ALL1)], dtype=np.int8),
+            meta=np.frombuffer(header, dtype=np.uint8),
+        )
+        with pytest.raises(TraceFileVersionError, match="version 99"):
+            load_trace(path)
+        with pytest.raises(TraceFileVersionError):
+            summarize_trace(path)
+
+    def test_subclasses_share_the_base(self):
+        for cls in (TraceFileMissingError, TraceFileTruncatedError,
+                    TraceFileCorruptError, TraceFileVersionError):
+            assert issubclass(cls, TraceFileError)
+        assert issubclass(TraceFileError, ValueError)

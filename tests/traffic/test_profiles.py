@@ -1,0 +1,189 @@
+"""Tests for traffic specs: parsing, instantiation, the inline mix."""
+
+import pytest
+
+from repro.traffic import (
+    TenantGroup,
+    TenantMixer,
+    TrafficSpec,
+    TrafficSpecError,
+    load_traffic_spec,
+    mixed_spec,
+)
+
+
+class TestTenantGroup:
+    def test_window_modes_are_exclusive(self):
+        with pytest.raises(TrafficSpecError, match="not both"):
+            TenantGroup(count=1, window_lines=8, window_fraction=0.5)
+
+    @pytest.mark.parametrize("kw", [
+        {"count": 0},
+        {"window_lines": 0},
+        {"window_fraction": 0.0},
+        {"window_fraction": 1.5},
+        {"data": "ALL7"},
+    ])
+    def test_bad_values(self, kw):
+        with pytest.raises(TrafficSpecError):
+            TenantGroup(**{"count": 1, **kw})
+
+    def test_resolve_window_defaults_to_sqrt(self):
+        assert TenantGroup(count=1).resolve_window(4096) == 64
+
+    def test_resolve_window_fraction_and_clamp(self):
+        assert TenantGroup(
+            count=1, window_fraction=0.25
+        ).resolve_window(64) == 16
+        assert TenantGroup(
+            count=1, window_lines=9999
+        ).resolve_window(64) == 64
+
+
+class TestSpecParsing:
+    def test_groups_layout(self):
+        spec = TrafficSpec.from_dict({
+            "traffic": {"name": "m", "tenants": 3, "churn_interval": 100},
+            "group": [
+                {"count": 2, "kind": "zipf", "alpha": 1.5},
+                {"count": 1, "kind": "sequential", "window_lines": 4},
+            ],
+        })
+        assert spec.name == "m"
+        assert spec.n_tenants == 3
+        assert spec.churn_interval == 100
+
+    def test_tenants_only_shorthand(self):
+        spec = TrafficSpec.from_dict({"traffic": {"tenants": 7}})
+        assert spec.n_tenants == 7
+        assert spec.groups[0].kind == "zipf"
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(TrafficSpecError, match="top-level"):
+            TrafficSpec.from_dict({"traffic": {"tenants": 1}, "grp": []})
+
+    def test_unknown_traffic_key_rejected(self):
+        with pytest.raises(TrafficSpecError, match="unknown"):
+            TrafficSpec.from_dict({"traffic": {"tenantz": 1}})
+
+    def test_unknown_group_key_rejected(self):
+        with pytest.raises(TrafficSpecError, match=r"\[\[group\]\] #1"):
+            TrafficSpec.from_dict({"group": [{"count": 1, "beta": 2}]})
+
+    def test_declared_count_must_match(self):
+        with pytest.raises(TrafficSpecError, match="sum to 2"):
+            TrafficSpec.from_dict({
+                "traffic": {"tenants": 5},
+                "group": [{"count": 2}],
+            })
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(TrafficSpecError, match="needs"):
+            TrafficSpec.from_dict({})
+
+
+class TestSpecFiles:
+    TOML = """
+[traffic]
+name = "demo"
+churn_interval = 1000
+
+[[group]]
+count = 3
+kind = "uniform"
+window_lines = 16
+"""
+
+    def test_toml_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(self.TOML)
+        spec = load_traffic_spec(path)
+        assert spec.name == "demo"
+        assert spec.n_tenants == 3
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            '{"traffic": {"name": "j"}, "group": [{"count": 2}]}'
+        )
+        assert load_traffic_spec(path).n_tenants == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TrafficSpecError, match="no such"):
+            load_traffic_spec(tmp_path / "nope.toml")
+
+    def test_invalid_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[traffic\nname=")
+        with pytest.raises(TrafficSpecError, match="invalid TOML"):
+            load_traffic_spec(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(TrafficSpecError, match="invalid JSON"):
+            load_traffic_spec(path)
+
+
+class TestInstantiation:
+    SPEC = TrafficSpec(
+        groups=(TenantGroup(count=5, kind="zipf", window_lines=32),
+                TenantGroup(count=3, kind="uniform",
+                            diurnal_amplitude=0.5, diurnal_period=1000)),
+    )
+
+    def test_profiles_fit_the_device(self):
+        profiles = self.SPEC.build_profiles(256, seed=4)
+        assert len(profiles) == 8
+        for p in profiles:
+            assert 0 <= p.window_start
+            assert p.window_start + p.window_len <= 256
+
+    def test_placement_is_seeded(self):
+        a = self.SPEC.build_profiles(256, seed=4)
+        b = self.SPEC.build_profiles(256, seed=4)
+        c = self.SPEC.build_profiles(256, seed=5)
+        assert a == b
+        assert a != c
+
+    def test_diurnal_phases_spread_only_where_enabled(self):
+        profiles = self.SPEC.build_profiles(256, seed=4)
+        assert all(p.diurnal_phase == 0.0 for p in profiles[:5])
+        assert any(p.diurnal_phase != 0.0 for p in profiles[5:])
+
+    def test_build_mixer_carries_the_knobs(self):
+        spec = TrafficSpec(
+            groups=(TenantGroup(count=2),), churn_interval=77,
+            churn_boost=3.0, schedule_interval=128,
+        )
+        mixer = spec.build_mixer(64, seed=0)
+        assert isinstance(mixer, TenantMixer)
+        assert mixer.n_tenants == 2
+        assert mixer.churn_interval == 77
+        assert mixer.churn_boost == 3.0
+        assert mixer.schedule_interval == 128
+
+    def test_device_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self.SPEC.build_profiles(0, seed=0)
+
+
+class TestMixedSpec:
+    def test_population_split(self):
+        spec = mixed_spec(1000)
+        assert spec.n_tenants == 1000
+        kinds = {g.kind: g.count for g in spec.groups}
+        assert kinds == {"zipf": 600, "uniform": 300, "sequential": 100}
+
+    def test_tiny_populations_stay_consistent(self):
+        for n in (1, 2, 3, 7):
+            assert mixed_spec(n).n_tenants == n
+
+    def test_knobs_flow_through(self):
+        spec = mixed_spec(10, alpha=1.7, churn_interval=50)
+        assert spec.churn_interval == 50
+        assert spec.groups[0].alpha == 1.7
+
+    def test_rejects_empty(self):
+        with pytest.raises(TrafficSpecError):
+            mixed_spec(0)

@@ -22,8 +22,11 @@ examples:
 smoke:
 	pytest tests/ -q -x -k "not matrix and not Matrix" --timeout=300
 
+# Worker processes for the per-file lint pass (0 = one per CPU).
+LINT_JOBS ?= 4
+
 lint:
-	PYTHONPATH=src python -m repro.lint src/repro examples
+	PYTHONPATH=src python -m repro.lint src/repro examples --jobs $(LINT_JOBS)
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy src/repro; \
 	else \
@@ -31,7 +34,7 @@ lint:
 	fi
 
 lint-flow:
-	PYTHONPATH=src python -m repro.lint src/repro examples --check-suppressions
+	PYTHONPATH=src python -m repro.lint src/repro examples --check-suppressions --jobs $(LINT_JOBS)
 	@mkdir -p build
 	PYTHONPATH=src python -m repro.lint src/repro examples --format sarif > build/reprolint.sarif
 	@echo "SARIF report written to build/reprolint.sarif"

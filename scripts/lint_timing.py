@@ -26,6 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 CACHE_DIR = REPO_ROOT / "build" / ".lint-timing-cache"
 TARGETS = ["src/repro", "examples"]
 DEFAULT_BUDGET_S = 20.0
+JOBS = os.environ.get("LINT_JOBS", "4")
 
 
 def _run_lint() -> float:
@@ -35,7 +36,7 @@ def _run_lint() -> float:
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "repro.lint", *TARGETS,
-         "--cache-dir", str(CACHE_DIR)],
+         "--cache-dir", str(CACHE_DIR), "--jobs", JOBS],
         cwd=REPO_ROOT,
         env=env,
         capture_output=True,

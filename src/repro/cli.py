@@ -700,6 +700,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--no-flow")
     if args.no_cache:
         argv.append("--no-cache")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     if args.check_suppressions:
         argv.append("--check-suppressions")
     if args.baseline:
@@ -1054,11 +1056,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", metavar="CODES",
                    help="comma-separated rule codes to skip")
     p.add_argument("--flow", dest="flow", action="store_true", default=True,
-                   help="run flow-sensitive rules REP101-REP205 (default)")
+                   help="run flow-sensitive rules REP101-REP306 (default)")
     p.add_argument("--no-flow", dest="flow", action="store_false",
                    help="skip the flow-sensitive rules")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the incremental cache")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the per-file pass "
+                        "(0 = one per CPU; output is byte-identical)")
     p.add_argument("--check-suppressions", action="store_true",
                    help="report stale reprolint pragmas (REP100)")
     p.add_argument("--baseline", nargs=2, metavar=("MODE", "FILE"),

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.defense.attack_detector import OnlineAttackDetector
 from repro.wearlevel.base import Move, WearLeveler
 
@@ -77,6 +79,9 @@ class AdaptiveWearLeveler(WearLeveler):
 
     def translate(self, la: int) -> int:
         return self.scheme.translate(la)
+
+    def translate_many(self, las: np.ndarray) -> np.ndarray:
+        return self.scheme.translate_many(las)
 
     def record_write(self, la: int) -> List[Move]:
         alarmed = self.detector.record(la)

@@ -1,0 +1,585 @@
+"""Array-abstraction layer: numpy dtype / shape-class / alias tracking.
+
+The vectorized hot paths (``PCMArray.write_many``, the batched scheme
+API, the round-based simulators) lean on three numpy properties the
+rest of reprolint cannot see:
+
+* **dtype width** — wear and write-count accumulators must be
+  ``int64``: at paper scale (1 GB device, endurance E=10**8) a 32-bit
+  counter silently wraps (REP301), and float32 latency sums lose
+  integer precision past 2**24 ns (REP303);
+* **scalar vs array shape class** — ``wear[idx] += 1`` is a silent
+  lost-update when ``idx`` is an array with duplicate entries; only
+  ``np.add.at`` accumulates per occurrence (REP302);
+* **view/alias provenance** — ``np.asarray`` and basic slicing return
+  views, so writes through the result mutate the source.
+
+This module computes, per function, a flow-insensitive abstract
+environment mapping variable names (and ``self.attr`` paths) to
+:class:`ArrayValue` facts, seeded from the numpy constructor calls
+(``np.zeros/empty/asarray/ascontiguousarray`` dtype kwargs and
+friends).  Facts cross function boundaries two ways, both riding the
+PR-7 interprocedural machinery:
+
+* :func:`array_summaries` runs a bottom-up fixpoint over every
+  statically-known function and records the abstract value of its
+  return expression(s), so ``w = make_wear_map(n)`` sees the dtype
+  chosen inside the helper;
+* pure passthrough helpers (``FunctionSummary.passthrough`` from
+  :mod:`repro.lint.summaries`) propagate the abstract value of the
+  passed-through argument.
+
+The lattice is deliberately shallow: a joined disagreement drops to
+"unknown" rather than tracking unions, and every rule built on top
+only *fires* on known facts — unresolved values stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    LintProject,
+    ModuleTable,
+    local_imports,
+)
+from repro.lint.rules import dotted_name
+from repro.lint.summaries import SummaryTable, project_summaries, walk_own
+
+__all__ = [
+    "ArrayValue", "UNKNOWN", "join", "int_max", "is_narrow_int",
+    "is_narrow_float", "dtype_from_expr", "build_env", "array_summaries",
+    "key_for",
+]
+
+#: Integer dtype -> bit width (signed and unsigned kept separate so
+#: ``int_max`` is exact).
+INT_WIDTHS: Dict[str, int] = {
+    "int8": 8, "int16": 16, "int32": 32, "int64": 64,
+    "uint8": 8, "uint16": 16, "uint32": 32, "uint64": 64,
+    "intp": 64, "uintp": 64,
+}
+FLOAT_WIDTHS: Dict[str, int] = {"float16": 16, "float32": 32, "float64": 64}
+
+NARROW_INT: FrozenSet[str] = frozenset(
+    d for d, w in INT_WIDTHS.items() if w < 64
+)
+NARROW_FLOAT: FrozenSet[str] = frozenset({"float16", "float32"})
+
+_DTYPE_NAMES: FrozenSet[str] = (
+    frozenset(INT_WIDTHS) | frozenset(FLOAT_WIDTHS) | frozenset({"bool"})
+)
+
+_NUMPY_HEADS = frozenset({"np", "numpy"})
+
+
+def int_max(dtype: str) -> Optional[int]:
+    """Largest value representable by an integer ``dtype`` (else None)."""
+    width = INT_WIDTHS.get(dtype)
+    if width is None:
+        return None
+    if dtype.startswith("u"):
+        return 2 ** width - 1
+    return 2 ** (width - 1) - 1
+
+
+def is_narrow_int(dtype: Optional[str]) -> bool:
+    return dtype in NARROW_INT
+
+
+def is_narrow_float(dtype: Optional[str]) -> bool:
+    return dtype in NARROW_FLOAT
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """Abstract facts about one value.
+
+    ``dtype`` is a numpy dtype name or None (unknown); ``kind`` is the
+    shape class (``array``/``scalar``/``set``/``dict``/``slice``/
+    ``unknown``); ``unique`` means *proven duplicate-free* (an
+    ``np.arange``/``np.unique``/``np.argsort`` result, a slice...), the
+    property REP302 needs before allowing fancy-index ``+=``; ``bases``
+    is view/alias provenance — the names this value may share memory
+    with.
+    """
+
+    dtype: Optional[str] = None
+    kind: str = "unknown"
+    unique: bool = False
+    bases: FrozenSet[str] = frozenset()
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind == "scalar"
+
+
+UNKNOWN = ArrayValue()
+_SCALAR = ArrayValue(kind="scalar")
+_ARRAY = ArrayValue(kind="array")
+
+
+def join(a: Optional[ArrayValue], b: Optional[ArrayValue]) -> ArrayValue:
+    """Least upper bound: disagreement widens to unknown."""
+    if a is None:
+        return b if b is not None else UNKNOWN
+    if b is None:
+        return a
+    return ArrayValue(
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        kind=a.kind if a.kind == b.kind else "unknown",
+        unique=a.unique and b.unique,
+        bases=a.bases | b.bases,
+    )
+
+
+def dtype_from_expr(node: Optional[ast.expr]) -> Optional[str]:
+    """Parse a ``dtype=`` argument: ``np.int32``, ``"int32"``, ``bool``,
+    ``int``/``float`` (numpy maps the builtins to the 64-bit kinds on
+    every platform this repo targets)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _DTYPE_NAMES else None
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    leaf = dotted.split(".")[-1]
+    if leaf in _DTYPE_NAMES:
+        return leaf
+    if leaf == "int":
+        return "int64"
+    if leaf == "float":
+        return "float64"
+    return None
+
+
+def key_for(node: ast.expr) -> Optional[str]:
+    """Environment key of an assignable expression (``x``, ``self.x``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        dotted = dotted_name(node)
+        return dotted
+    return None
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _dtype_arg(call: ast.Call, pos: Optional[int] = None) -> Optional[str]:
+    """The ``dtype`` of a constructor call (kwarg, or positional ``pos``)."""
+    node = _kwarg(call, "dtype")
+    if node is None and pos is not None and len(call.args) > pos:
+        node = call.args[pos]
+    return dtype_from_expr(node)
+
+
+def _binop_dtype(
+    left: ArrayValue, right: ArrayValue
+) -> Optional[str]:
+    """Result dtype of an arithmetic combination, when decidable.
+
+    Matching known dtypes keep it; a known numpy operand combined with
+    a plain Python scalar keeps the numpy dtype (numpy value-based
+    casting); everything else is unknown.
+    """
+    if left.dtype is not None and left.dtype == right.dtype:
+        return left.dtype
+    if left.dtype is not None and right.dtype is None and right.is_scalar:
+        return left.dtype
+    if right.dtype is not None and left.dtype is None and left.is_scalar:
+        return right.dtype
+    return None
+
+
+#: Numpy array constructors handled by :func:`_numpy_call_value`, with
+#: their default dtype when the ``dtype`` kwarg is absent.
+_FRESH_DEFAULTS: Dict[str, Optional[str]] = {
+    "zeros": "float64", "ones": "float64", "empty": "float64",
+    "full": "float64", "linspace": "float64",
+}
+
+#: ``np.f(x)`` calls whose result carries ``x``'s dtype.
+_DTYPE_OF_ARG: FrozenSet[str] = frozenset({
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "cumsum", "sort", "ravel", "copy", "abs",
+})
+
+#: ``np.f(x)`` results that may alias ``x`` (views or conditional
+#: no-copies).
+_VIEWISH: FrozenSet[str] = frozenset({
+    "asarray", "ascontiguousarray", "asfortranarray", "ravel",
+})
+
+_ITER_HAZARD_KINDS: FrozenSet[str] = frozenset({"set", "dict"})
+
+
+class EnvBuilder:
+    """Builds abstract environments for the functions of one project.
+
+    ``project``/``summaries``/``array_sums`` give the interprocedural
+    view; any of them may be None, dropping back to intra-procedural
+    facts (used by the syntactic REP305 and by unit tests).
+    """
+
+    def __init__(
+        self,
+        project: Optional[LintProject] = None,
+        table: Optional[ModuleTable] = None,
+        info: Optional[FunctionInfo] = None,
+        summaries: Optional[SummaryTable] = None,
+        array_sums: Optional[Dict[str, ArrayValue]] = None,
+    ) -> None:
+        self.project = project
+        self.table = table
+        self.info = info
+        self.summaries = summaries
+        self.array_sums = array_sums
+        self.extra = local_imports(info.node) if info is not None else {}
+
+    # -- expression evaluation ---------------------------------------
+
+    def eval(self, node: ast.expr, env: Dict[str, ArrayValue]) -> ArrayValue:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            key = key_for(node)
+            if key is not None and key in env:
+                return env[key]
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return ArrayValue(dtype="bool", kind="scalar")
+            if isinstance(node.value, (int, float)):
+                return _SCALAR
+            return UNKNOWN
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return ArrayValue(kind="set")
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return ArrayValue(kind="dict")
+        if isinstance(node, ast.Call):
+            return self._call_value(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_value(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            kind = "array" if "array" in (left.kind, right.kind) else (
+                "scalar" if left.is_scalar and right.is_scalar else "unknown"
+            )
+            return ArrayValue(dtype=_binop_dtype(left, right), kind=kind)
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left, env)
+            kind = left.kind if left.kind in ("array", "scalar") else "unknown"
+            return ArrayValue(dtype="bool", kind=kind)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, ast.Slice):
+            return ArrayValue(kind="slice", unique=True)
+        return UNKNOWN
+
+    def _subscript_value(
+        self, node: ast.Subscript, env: Dict[str, ArrayValue]
+    ) -> ArrayValue:
+        base = self.eval(node.value, env)
+        index = node.slice
+        base_key = key_for(node.value)
+        base_names = frozenset([base_key] if base_key else []) | base.bases
+        if isinstance(index, ast.Slice):
+            # Basic slicing returns a view sharing the base's memory;
+            # a slice of a duplicate-free index array stays so.
+            return ArrayValue(base.dtype, base.kind, base.unique, base_names)
+        idx = self.eval(index, env)
+        if idx.is_scalar or isinstance(index, ast.Constant):
+            return ArrayValue(base.dtype, "scalar", False, frozenset())
+        if idx.is_array:
+            # Fancy indexing copies; uniqueness of the *values* is lost.
+            return ArrayValue(base.dtype, "array", False, frozenset())
+        return ArrayValue(base.dtype, "unknown", False, base_names)
+
+    def _call_value(
+        self, call: ast.Call, env: Dict[str, ArrayValue]
+    ) -> ArrayValue:
+        dotted = dotted_name(call.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            head, leaf = parts[0], parts[-1]
+            if head in _NUMPY_HEADS and len(parts) >= 2:
+                return self._numpy_call_value(call, leaf, env)
+            if len(parts) == 1:
+                builtin = self._builtin_value(call, leaf, env)
+                if builtin is not None:
+                    return builtin
+        if isinstance(call.func, ast.Attribute):
+            method = self._method_value(call, call.func, env)
+            if method is not None:
+                return method
+        return self._resolved_value(call, env)
+
+    def _numpy_call_value(
+        self, call: ast.Call, leaf: str, env: Dict[str, ArrayValue]
+    ) -> ArrayValue:
+        arg0 = self.eval(call.args[0], env) if call.args else UNKNOWN
+        arg0_key = key_for(call.args[0]) if call.args else None
+        if leaf in _FRESH_DEFAULTS:
+            dtype = _dtype_arg(call) or _FRESH_DEFAULTS[leaf]
+            return ArrayValue(dtype, "array")
+        if leaf == "arange":
+            return ArrayValue(_dtype_arg(call) or "int64", "array",
+                              unique=True)
+        if leaf in ("array", "asarray", "ascontiguousarray",
+                    "asfortranarray"):
+            dtype = _dtype_arg(call) or arg0.dtype
+            bases: FrozenSet[str] = frozenset()
+            if leaf in _VIEWISH:
+                bases = (frozenset([arg0_key] if arg0_key else [])
+                         | arg0.bases)
+            return ArrayValue(dtype, "array", arg0.unique, bases)
+        if leaf == "fromiter":
+            return ArrayValue(_dtype_arg(call, pos=1), "array")
+        if leaf in _DTYPE_OF_ARG:
+            dtype = _dtype_arg(call) or arg0.dtype
+            unique = arg0.unique and leaf in ("sort", "copy")
+            bases = ((frozenset([arg0_key] if arg0_key else [])
+                      | arg0.bases) if leaf == "ravel" else frozenset())
+            return ArrayValue(dtype, "array", unique, bases)
+        if leaf == "unique":
+            return ArrayValue(arg0.dtype, "array", unique=True)
+        if leaf in ("argsort", "flatnonzero", "searchsorted"):
+            return ArrayValue("int64", "array",
+                              unique=leaf != "searchsorted")
+        if leaf == "bincount":
+            return ArrayValue("int64", "array")
+        if leaf in ("sum", "min", "max", "prod", "dot"):
+            return ArrayValue(arg0.dtype, "scalar")
+        if leaf == "mean":
+            return ArrayValue("float64", "scalar")
+        if leaf in INT_WIDTHS or leaf in FLOAT_WIDTHS or leaf == "bool_":
+            return ArrayValue(leaf.rstrip("_"), "scalar")
+        if leaf in ("concatenate", "stack", "hstack", "vstack", "where",
+                    "repeat", "tile", "clip", "minimum", "maximum"):
+            return _ARRAY
+        return UNKNOWN
+
+    def _builtin_value(
+        self, call: ast.Call, leaf: str, env: Dict[str, ArrayValue]
+    ) -> Optional[ArrayValue]:
+        arg0 = self.eval(call.args[0], env) if call.args else UNKNOWN
+        if leaf in ("set", "frozenset"):
+            return ArrayValue(kind="set")
+        if leaf == "dict":
+            return ArrayValue(kind="dict")
+        if leaf == "list":
+            # list(s) of a set/dict preserves the nondeterministic
+            # iteration order — keep the hazard kind for REP305.
+            if arg0.kind in _ITER_HAZARD_KINDS:
+                return arg0
+            return UNKNOWN
+        if leaf == "sorted":
+            return ArrayValue(unique=arg0.unique)
+        if leaf in ("int", "float", "len", "round", "abs", "bool"):
+            return _SCALAR
+        if leaf == "range":
+            return ArrayValue("int64", "unknown", unique=True)
+        return None
+
+    def _method_value(
+        self, call: ast.Call, func: ast.Attribute, env: Dict[str, ArrayValue]
+    ) -> Optional[ArrayValue]:
+        recv = self.eval(func.value, env)
+        attr = func.attr
+        if attr == "astype":
+            dtype = _dtype_arg(call, pos=0)
+            return ArrayValue(dtype, "array", recv.unique)
+        if attr == "copy":
+            return ArrayValue(recv.dtype, recv.kind, recv.unique)
+        if attr in ("sum", "min", "max", "item", "prod"):
+            return ArrayValue(recv.dtype, "scalar")
+        if attr in ("any", "all"):
+            return ArrayValue("bool", "scalar")
+        if attr == "mean":
+            return ArrayValue("float64", "scalar")
+        if attr == "argsort":
+            return ArrayValue("int64", "array", unique=True)
+        if attr in ("keys", "values", "items"):
+            if recv.kind == "dict" or recv.kind == "unknown":
+                return ArrayValue(kind="dict")
+        if attr in ("reshape", "view"):
+            key = key_for(func.value)
+            bases = frozenset([key] if key else []) | recv.bases
+            return ArrayValue(recv.dtype, "array", recv.unique, bases)
+        return None
+
+    def _resolved_value(
+        self, call: ast.Call, env: Dict[str, ArrayValue]
+    ) -> ArrayValue:
+        """Interprocedural lookup: return summary, else passthrough."""
+        if self.project is None or self.table is None:
+            return UNKNOWN
+        class_name = self.info.class_name if self.info is not None else None
+        resolved = self.project.resolve_call(
+            self.table, call, self.extra, class_name
+        )
+        if resolved is None:
+            return UNKNOWN
+        if self.array_sums is not None:
+            summary = self.array_sums.get(resolved.fq)
+            if summary is not None and summary != UNKNOWN:
+                return summary
+        if self.summaries is not None:
+            fn_summary = self.summaries.for_function(resolved)
+            if fn_summary is not None and fn_summary.passthrough:
+                offset = 1 if resolved.class_name is not None else 0
+                passed = [
+                    self.eval(call.args[p - offset], env)
+                    for p in fn_summary.passthrough
+                    if 0 <= p - offset < len(call.args)
+                ]
+                if passed:
+                    value = passed[0]
+                    for extra in passed[1:]:
+                        value = join(value, extra)
+                    return value
+        return UNKNOWN
+
+    # -- environment construction ------------------------------------
+
+    def env_for(self, fn: ast.AST) -> Dict[str, ArrayValue]:
+        """Flow-insensitive abstract environment of one function.
+
+        Rebinding joins (so a name holding int32 on one branch and
+        int64 on the other reads as unknown dtype); a short fixpoint
+        propagates through assignment chains.
+        """
+        env: Dict[str, ArrayValue] = {}
+        self._seed_params(fn, env)
+        for _ in range(4):
+            changed = False
+            assigned: Dict[str, ArrayValue] = {}
+            for node in walk_own(fn):
+                for key, value in self._bindings(node, env):
+                    if key in assigned:
+                        assigned[key] = join(assigned[key], value)
+                    else:
+                        assigned[key] = value
+            for key, value in assigned.items():
+                if env.get(key) != value:
+                    env[key] = value
+                    changed = True
+            if not changed:
+                break
+        return env
+
+    def _seed_params(self, fn: ast.AST, env: Dict[str, ArrayValue]) -> None:
+        args = getattr(fn, "args", None)
+        if args is None:
+            return
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            ann = dotted_name(arg.annotation)
+            if ann is None:
+                continue
+            leaf = ann.split(".")[-1]
+            if leaf == "ndarray":
+                env[arg.arg] = _ARRAY
+            elif leaf in ("int", "float"):
+                env[arg.arg] = _SCALAR
+            elif leaf == "slice":
+                env[arg.arg] = ArrayValue(kind="slice", unique=True)
+
+    def _bindings(
+        self, node: ast.AST, env: Dict[str, ArrayValue]
+    ) -> List[Tuple[str, ArrayValue]]:
+        out: List[Tuple[str, ArrayValue]] = []
+        if isinstance(node, ast.Assign):
+            value = self.eval(node.value, env)
+            for target in node.targets:
+                key = key_for(target)
+                if key is not None:
+                    out.append((key, value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            key = key_for(node.target)
+            if key is not None:
+                out.append((key, self.eval(node.value, env)))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            key = key_for(node.target)
+            if key is not None:
+                out.append((key, UNKNOWN))
+        return out
+
+
+def _return_value(
+    builder: EnvBuilder, fn: ast.AST
+) -> ArrayValue:
+    env = builder.env_for(fn)
+    value: Optional[ArrayValue] = None
+    seen = False
+    for node in walk_own(fn):
+        if isinstance(node, ast.Return):
+            seen = True
+            if node.value is None:
+                value = join(value, UNKNOWN)
+            else:
+                value = join(value, builder.eval(node.value, env))
+    if not seen or value is None:
+        return UNKNOWN
+    # Provenance names are meaningless outside the defining frame.
+    if value.bases:
+        value = ArrayValue(value.dtype, value.kind, value.unique)
+    return value
+
+
+def array_summaries(project: LintProject) -> Dict[str, ArrayValue]:
+    """Abstract return values of every statically-known function.
+
+    Computed as a whole-project fixpoint (bounded — abstraction chains
+    in this repo are short) and memoised on the project.
+    """
+    cached = project.array_summary_cache
+    if isinstance(cached, dict):
+        return cached
+    summaries = project_summaries(project)
+    result: Dict[str, ArrayValue] = {}
+    infos: List[Tuple[ModuleTable, FunctionInfo]] = []
+    for modname in sorted(project.tables):
+        table = project.tables[modname]
+        for qual in sorted(table.functions):
+            infos.append((table, table.functions[qual]))
+    for _ in range(4):
+        changed = False
+        for table, info in infos:
+            builder = EnvBuilder(project, table, info, summaries, result)
+            value = _return_value(builder, info.node)
+            if result.get(info.fq, UNKNOWN) != value:
+                result[info.fq] = value
+                changed = True
+        if not changed:
+            break
+    project.array_summary_cache = result
+    return result
+
+
+def build_env(
+    project: LintProject, table: ModuleTable, info: FunctionInfo
+) -> Dict[str, ArrayValue]:
+    """Abstract environment of one project function (interprocedural)."""
+    builder = EnvBuilder(
+        project, table, info,
+        project_summaries(project), array_summaries(project),
+    )
+    return builder.env_for(info.node)

@@ -1,0 +1,436 @@
+"""The numpy array-safety rule family (REP301/REP302/REP303/REP305).
+
+Built on the array-abstraction layer (:mod:`repro.lint.arrayabs`):
+per-variable dtype / shape-class / alias facts, seeded from numpy
+constructor calls and propagated through the interprocedural
+summaries.  The address-domain family (REP304/REP306) lives in
+:mod:`repro.lint.domains`.
+
+* **REP301 narrow-accumulator** — wear/write-count state must be
+  ``int64``.  At paper scale a 1 GB device with endurance E=10**8
+  takes ~8·10**8 writes per line before failure and >10**13 writes
+  device-wide; ``int32`` wraps at 2.1·10**9, ``int16`` at 32767.
+  Also flags narrow integer values meeting constants their dtype
+  cannot represent.
+* **REP302 duplicate-index accumulation** — ``arr[idx] += k`` applies
+  each duplicate index *once* (numpy fancy-index stores collapse);
+  address arrays routinely carry duplicates (two writes to one line
+  in a chunk), so accumulation must go through ``np.add.at`` unless
+  the index is provably duplicate-free.
+* **REP303 silent-downcast** — latency (``*_ns``) and wear arithmetic
+  must not pass through ``float32``/``float16``: integer nanosecond
+  counts lose exactness above 2**24 and wear counts above 2**24
+  writes, quietly skewing lifetime results.
+* **REP305 nondeterministic-array** — arrays built by iterating a
+  ``set``/``dict``, by the legacy ``np.random.*`` global generator,
+  or by an unstable sort of address/group keys are not reproducible
+  run-to-run; the simulator's bit-identical-results contract (REP103,
+  the campaign determinism audit) extends to array construction.
+
+See ``docs/lint.md`` ("The array rules") for the full rationale and
+fix patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.arrayabs import (
+    INT_WIDTHS,
+    NARROW_FLOAT,
+    NARROW_INT,
+    ArrayValue,
+    EnvBuilder,
+    array_summaries,
+    int_max,
+    key_for,
+)
+from repro.lint.callgraph import FunctionInfo, LintProject, ModuleTable
+from repro.lint.diagnostics import (
+    Diagnostic,
+    FlowRule,
+    LintModule,
+    Rule,
+    register,
+)
+from repro.lint.rules import dotted_name
+from repro.lint.summaries import project_summaries, walk_own
+
+__all__ = [
+    "NarrowAccumulator", "DuplicateIndexAccumulation", "SilentDowncast",
+    "NondeterministicArray",
+]
+
+#: Accumulator names that must be 64-bit (leaf of the assigned name).
+_WEAR_NAME = re.compile(r"(^|_)(wear|write_?counts?|writes|endurance)")
+#: Latency/wear names whose arithmetic must stay wide.
+_LATENCY_NAME = re.compile(
+    r"(_ns$|^ns_|(^|_)lat(ency)?(_|$)|(^|_)wear)"
+)
+#: Plural address-array spellings (REP302's possibly-duplicate set).
+_ADDRESS_PLURAL = re.compile(r"(^|_)(las|pas|ias|addrs|idxs|indices)$")
+#: Address/group key names whose sort order must be tie-stable.
+_SORT_KEY = re.compile(r"(^|_)(la|ia|pa|addr|group|key)s?\d*$")
+
+_NUMPY_HEADS = frozenset({"np", "numpy"})
+
+#: ``np.random.<leaf>`` legacy global-generator calls REP305 flags.
+_LEGACY_RANDOM = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "permutation", "shuffle", "standard_normal",
+    "bytes", "seed",
+})
+
+#: numpy calls that materialise their first argument into an array.
+_ARRAY_SINKS = frozenset({
+    "array", "asarray", "ascontiguousarray", "asfortranarray",
+    "fromiter", "sort", "concatenate", "stack", "hstack", "vstack",
+})
+
+
+def _leaf(key: str) -> str:
+    return key.split(".")[-1].lower()
+
+
+def _np_leaf(call: ast.Call) -> Optional[str]:
+    """Leaf name of an ``np.<...>`` call, else None."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) >= 2 and parts[0] in _NUMPY_HEADS:
+        return parts[-1]
+    return None
+
+
+def _project_functions(
+    project: LintProject,
+) -> Iterator[Tuple[ModuleTable, FunctionInfo]]:
+    for modname in sorted(project.tables):
+        table = project.tables[modname]
+        infos = sorted(
+            table.functions.values(),
+            key=lambda i: (getattr(i.node, "lineno", 0), i.qualname),
+        )
+        for info in infos:
+            yield table, info
+
+
+def _builder(
+    project: LintProject, table: ModuleTable, info: FunctionInfo
+) -> EnvBuilder:
+    return EnvBuilder(
+        project, table, info,
+        project_summaries(project), array_summaries(project),
+    )
+
+
+def _assignment_targets(
+    node: ast.AST,
+) -> List[Tuple[ast.expr, Optional[ast.expr]]]:
+    """(target, value) pairs of one binding statement."""
+    if isinstance(node, ast.Assign):
+        return [(t, node.value) for t in node.targets]
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [(node.target, node.value)]
+    if isinstance(node, ast.AugAssign):
+        return [(node.target, node.value)]
+    return []
+
+
+def _target_key(target: ast.expr) -> Optional[str]:
+    """Env key of an assignment target; subscript stores key the base."""
+    if isinstance(target, ast.Subscript):
+        return key_for(target.value)
+    return key_for(target)
+
+
+@register
+class NarrowAccumulator(FlowRule):
+    """Wear/write-count accumulators narrower than int64 overflow at
+    endurance scale.
+
+    A PCM line endures ~10**8 writes; device-wide campaign totals pass
+    10**13.  ``np.zeros(n, dtype=np.int32)`` as a wear map wraps
+    silently (numpy integer overflow does not raise), corrupting every
+    lifetime metric downstream.  The rule also flags narrow integer
+    values compared or combined with constants beyond their dtype's
+    range (``np.int16(...)`` meeting ``10**8`` is always a bug).
+    """
+
+    code = "REP301"
+    name = "narrow-accumulator"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table, info in _project_functions(project):
+            builder = _builder(project, table, info)
+            env = builder.env_for(info.node)
+            yield from self._check_function(builder, env, info)
+
+    def _check_function(
+        self,
+        builder: EnvBuilder,
+        env: Dict[str, ArrayValue],
+        info: FunctionInfo,
+    ) -> Iterator[Diagnostic]:
+        seen: Set[Tuple[int, int]] = set()
+        for node in walk_own(info.node):
+            for target, value in _assignment_targets(node):
+                key = _target_key(target)
+                if key is None or value is None:
+                    continue
+                if not _WEAR_NAME.search(_leaf(key)):
+                    continue
+                abstract = builder.eval(value, env)
+                if abstract.dtype in NARROW_INT:
+                    site = (node.lineno, node.col_offset)
+                    if site not in seen:
+                        seen.add(site)
+                        yield self.diagnostic(
+                            info.module, node,
+                            f"wear/write-count accumulator '{key}' is "
+                            f"{abstract.dtype}; endurance-scale counts "
+                            "(E=10**8 per line, >10**13 device-wide) "
+                            "overflow it silently — use int64",
+                        )
+            if isinstance(node, (ast.BinOp, ast.Compare, ast.Call)):
+                yield from self._check_range(builder, env, info, node, seen)
+
+    def _check_range(
+        self,
+        builder: EnvBuilder,
+        env: Dict[str, ArrayValue],
+        info: FunctionInfo,
+        node: ast.AST,
+        seen: Set[Tuple[int, int]],
+    ) -> Iterator[Diagnostic]:
+        pairs: List[Tuple[ast.expr, ast.expr]] = []
+        if isinstance(node, ast.BinOp):
+            pairs = [(node.left, node.right), (node.right, node.left)]
+        elif isinstance(node, ast.Compare):
+            for comparator in node.comparators:
+                pairs.append((node.left, comparator))
+                pairs.append((comparator, node.left))
+        elif isinstance(node, ast.Call):
+            # np.int16(100_000_000): the cast itself truncates.
+            leaf = _np_leaf(node)
+            if (leaf in INT_WIDTHS and leaf in NARROW_INT and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, int)):
+                limit = int_max(leaf)
+                if limit is not None and abs(node.args[0].value) > limit:
+                    site = (node.lineno, node.col_offset)
+                    if site not in seen:
+                        seen.add(site)
+                        yield self.diagnostic(
+                            info.module, node,
+                            f"{leaf} cannot represent "
+                            f"{node.args[0].value} (max {limit}); the "
+                            "cast truncates silently",
+                        )
+            return
+        for narrow_expr, const_expr in pairs:
+            if not (isinstance(const_expr, ast.Constant)
+                    and isinstance(const_expr.value, int)
+                    and not isinstance(const_expr.value, bool)):
+                continue
+            abstract = builder.eval(narrow_expr, env)
+            if abstract.dtype not in NARROW_INT:
+                continue
+            limit = int_max(abstract.dtype)
+            if limit is None or abs(const_expr.value) <= limit:
+                continue
+            site = (node.lineno, node.col_offset)
+            if site not in seen:
+                seen.add(site)
+                yield self.diagnostic(
+                    info.module, node,
+                    f"{abstract.dtype} value meets constant "
+                    f"{const_expr.value}, beyond its range (max "
+                    f"{limit}); widen to int64 before endurance-scale "
+                    "arithmetic",
+                )
+
+
+@register
+class DuplicateIndexAccumulation(FlowRule):
+    """``arr[idx] += k`` silently drops duplicate indices; accumulate
+    with ``np.add.at``.
+
+    Numpy fancy-index in-place arithmetic buffers the gather, so two
+    occurrences of the same index contribute *one* increment — the
+    exact failure mode of per-line wear accounting when a write chunk
+    touches a line twice.  The rule allows provably duplicate-free
+    indices (slices, ``np.arange``/``np.unique``/``np.argsort``
+    results, boolean masks) and fires on known integer index arrays
+    and address-plural names (``las``/``pas``/``ias``...).
+    """
+
+    code = "REP302"
+    name = "duplicate-index-accumulation"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table, info in _project_functions(project):
+            builder = _builder(project, table, info)
+            env = builder.env_for(info.node)
+            for node in walk_own(info.node):
+                if not isinstance(node, ast.AugAssign):
+                    continue
+                if not isinstance(node.op, (ast.Add, ast.Sub)):
+                    continue
+                if not isinstance(node.target, ast.Subscript):
+                    continue
+                index = node.target.slice
+                if isinstance(index, (ast.Slice, ast.Constant)):
+                    continue
+                idx_val = builder.eval(index, env)
+                if (idx_val.is_scalar or idx_val.unique
+                        or idx_val.dtype == "bool"
+                        or idx_val.kind == "slice"):
+                    continue
+                named_plural = False
+                idx_key = key_for(index)
+                if idx_key is not None:
+                    named_plural = bool(
+                        _ADDRESS_PLURAL.search(_leaf(idx_key))
+                    )
+                if not idx_val.is_array and not named_plural:
+                    continue
+                base = key_for(node.target.value) or "<array>"
+                shown = idx_key or "<index>"
+                yield self.diagnostic(
+                    info.module, node,
+                    f"'{base}[{shown}] += ...' applies duplicate "
+                    "indices once (fancy-index stores collapse); use "
+                    f"np.add.at({base}, {shown}, ...) or prove the "
+                    "index duplicate-free (np.unique/arange/mask)",
+                )
+
+
+@register
+class SilentDowncast(FlowRule):
+    """Latency/wear arithmetic must not pass through float32/float16.
+
+    ``float32`` has a 24-bit significand: nanosecond latencies above
+    ~16.7 ms and wear counts above 2**24 writes stop incrementing
+    exactly (``x + 1 == x``), so lifetime and latency statistics drift
+    without any error.  Keep ``*_ns``/wear arrays in float64 or int64.
+    """
+
+    code = "REP303"
+    name = "silent-downcast"
+
+    def check_project(self, project: object) -> Iterator[Diagnostic]:
+        assert isinstance(project, LintProject)
+        for table, info in _project_functions(project):
+            builder = _builder(project, table, info)
+            env = builder.env_for(info.node)
+            for node in walk_own(info.node):
+                for target, value in _assignment_targets(node):
+                    key = _target_key(target)
+                    if key is None or value is None:
+                        continue
+                    if not _LATENCY_NAME.search(_leaf(key)):
+                        continue
+                    abstract = builder.eval(value, env)
+                    if abstract.dtype in NARROW_FLOAT:
+                        yield self.diagnostic(
+                            info.module, node,
+                            f"'{key}' holds latency/wear data as "
+                            f"{abstract.dtype}; the 24-bit significand "
+                            "loses integer precision past 2**24 "
+                            "(~16.7 ms of ns, 16.7M writes) — use "
+                            "float64 or int64",
+                        )
+
+
+@register
+class NondeterministicArray(Rule):
+    """Array construction must be reproducible run-to-run.
+
+    Three nondeterminism leaks into arrays: iterating a ``set`` (hash-
+    randomised for strings) or ``dict`` into ``np.array``/
+    ``np.fromiter``; the legacy ``np.random.*`` global generator
+    (unseeded process-global state — use ``repro.util.rng``); and
+    unstable sorts of address/group keys, where ties land in
+    implementation-defined order (pass ``kind="stable"``, as
+    ``grouped_cumcount`` does).
+    """
+
+    code = "REP305"
+    name = "nondeterministic-array"
+
+    def check(self, module: LintModule) -> Iterator[Diagnostic]:
+        if module.is_rng_module:
+            return
+        builder = EnvBuilder()
+        scopes: List[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            env = builder.env_for(scope)
+            for node in walk_own(scope):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(builder, env, module, node)
+
+    def _check_call(
+        self,
+        builder: EnvBuilder,
+        env: Dict[str, ArrayValue],
+        module: LintModule,
+        call: ast.Call,
+    ) -> Iterator[Diagnostic]:
+        dotted = dotted_name(call.func)
+        parts = dotted.split(".") if dotted else []
+        # -- legacy global np.random.* ------------------------------
+        if (len(parts) >= 3 and parts[0] in _NUMPY_HEADS
+                and parts[1] == "random" and parts[-1] in _LEGACY_RANDOM):
+            yield self.diagnostic(
+                module, call,
+                f"legacy global generator np.random.{parts[-1]}() is "
+                "process-global mutable state; draw from a "
+                "repro.util.rng generator instead",
+            )
+            return
+        leaf = _np_leaf(call)
+        # -- set/dict iteration into an array -----------------------
+        if leaf in _ARRAY_SINKS and call.args:
+            first = builder.eval(call.args[0], env)
+            if first.kind in ("set", "dict"):
+                yield self.diagnostic(
+                    module, call,
+                    f"np.{leaf}() iterates a {first.kind}; iteration "
+                    "order is not reproducible across runs "
+                    "(PYTHONHASHSEED) — sort into a list first",
+                )
+        # -- unstable sorts of address/group keys -------------------
+        subject: Optional[ast.expr] = None
+        if leaf in ("sort", "argsort", "lexsort") and call.args:
+            subject = call.args[0]
+        elif (isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("sort", "argsort")):
+            recv = builder.eval(call.func.value, env)
+            if recv.is_array:
+                subject = call.func.value
+        if subject is not None and not self._stable_kind(call):
+            key = key_for(subject)
+            if key is not None and _SORT_KEY.search(_leaf(key)):
+                yield self.diagnostic(
+                    module, call,
+                    f"unstable sort of '{key}': equal keys land in "
+                    "implementation-defined order, so downstream "
+                    "results depend on sort internals — pass "
+                    "kind=\"stable\"",
+                )
+
+    @staticmethod
+    def _stable_kind(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "kind" and isinstance(kw.value, ast.Constant):
+                return kw.value.value in ("stable", "mergesort")
+        return False

@@ -136,8 +136,16 @@ class ModuleTable:
     state: Dict[str, ModuleState] = field(default_factory=dict)
     #: class name -> attribute -> declared type (a dotted annotation
     #: string), harvested from annotated ``__init__`` parameters stored
-    #: on ``self`` — lets ``self.store.append(...)`` resolve.
+    #: on ``self`` — lets ``self.store.append(...)`` resolve.  PR 9
+    #: extends the harvest to constructor assignments
+    #: (``self.outer = DynamicFeistelMapper(...)``) and list
+    #: comprehensions of constructors (``self.regions = [SRRegion(...)
+    #: for ...]`` records the *element* type), which is what lets the
+    #: address-domain rules type ``self.outer.translate(...)`` calls.
     attr_types: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: class name -> base-class dotted names as written (unexpanded;
+    #: run them through :func:`expand_dotted` to follow imports).
+    class_bases: Dict[str, List[str]] = field(default_factory=dict)
 
 
 def _collect_imports(
@@ -185,6 +193,26 @@ def _annotation_dotted(node: ast.expr) -> Optional[str]:
     return dotted_name(node)
 
 
+def _ctor_dotted(value: ast.expr) -> Optional[str]:
+    """Dotted class name when ``value`` is a constructor call.
+
+    ``SRRegion(...)`` and ``[SRRegion(...) for r in ...]`` both resolve
+    to ``SRRegion`` (for the latter, the element type); anything whose
+    callee does not look like a class (capitalised leaf) returns None.
+    """
+    if isinstance(value, ast.ListComp):
+        value = value.elt
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return None
+    leaf = dotted.split(".")[-1]
+    if leaf[:1].isupper():
+        return dotted
+    return None
+
+
 def _harvest_attr_types(cls: ast.ClassDef, into: Dict[str, str]) -> None:
     """``self.x = param`` bindings in ``__init__`` whose param is annotated."""
     init = next(
@@ -220,6 +248,13 @@ def _harvest_attr_types(cls: ast.ClassDef, into: Dict[str, str]) -> None:
                 and isinstance(value, ast.Name)
                 and value.id in param_types):
             into.setdefault(target.attr, param_types[value.id])
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and value is not None):
+            ctor = _ctor_dotted(value)
+            if ctor is not None:
+                into.setdefault(target.attr, ctor)
 
 
 def _record_state(
@@ -253,6 +288,10 @@ def _scan_body(
                     )
             attrs = table.attr_types.setdefault(stmt.name, {})
             _harvest_attr_types(stmt, attrs)
+            table.class_bases[stmt.name] = [
+                d for d in (dotted_name(b) for b in stmt.bases)
+                if d is not None
+            ]
         elif isinstance(stmt, ast.Assign):
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
@@ -331,6 +370,10 @@ class LintProject:
         #: Memoisation slot for :class:`repro.lint.summaries.SummaryTable`
         #: (typed loosely to avoid a circular import).
         self.summary_cache: Optional[object] = None
+        #: Memoisation slots for the array-abstraction and address-domain
+        #: layers (:mod:`repro.lint.arrayabs`, :mod:`repro.lint.domains`).
+        self.array_summary_cache: Optional[object] = None
+        self.domain_summary_cache: Optional[object] = None
 
     # -- lookup ------------------------------------------------------
 

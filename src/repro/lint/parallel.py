@@ -1,0 +1,91 @@
+"""File-level parallel fan-out for the syntactic lint pass.
+
+``--jobs N`` runs the per-file rules (REP0xx/REP305) over worker
+processes; the flow/interprocedural pass stays in the parent — it is
+keyed on the whole project and cannot be sharded by file.  Output is
+byte-stable regardless of worker count because nothing here orders
+anything: workers return each file's raw diagnostics keyed by path,
+the parent applies suppressions, fills the cache and does the final
+global sort exactly as the serial path does.
+
+This is host-side developer tooling, not simulator code: the
+determinism REP007 protects (bit-identical simulation results) is
+enforced downstream by the sort/cache merge, and no simulator state
+exists in the workers.
+"""
+
+# reprolint: disable-file=REP007 lint worker fan-out is host tooling; byte-stable merge in runner.lint_sources keeps output order deterministic
+
+from __future__ import annotations
+
+import ast
+import concurrent.futures
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.diagnostics import REGISTRY, Diagnostic, LintModule
+
+#: (rel_path, source, rule codes) -> one worker unit.
+_Payload = Tuple[str, str, Tuple[str, ...]]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: 0 means one per CPU."""
+    if jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def check_one_file(payload: _Payload) -> Tuple[str, List[Diagnostic]]:
+    """Run the named syntactic rules over one source file.
+
+    Top-level so it pickles into worker processes; importing
+    :mod:`repro.lint` (already done by any entry point, and re-done in
+    spawned children importing this module's callers) populates the
+    registry.  Sources are parsed in the parent first, so a syntax
+    error here cannot happen; a defensive empty result keeps a racing
+    edit from wedging a worker.
+    """
+    rel_path, source, codes = payload
+    import repro.lint  # noqa: F401  (spawn-start workers need the registry)
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError:
+        return rel_path, []
+    module = LintModule(rel_path=rel_path, source=source, tree=tree)
+    diagnostics: List[Diagnostic] = []
+    for code in codes:
+        rule = REGISTRY.get(code)
+        if rule is not None:
+            diagnostics.extend(rule.check(module))
+    return rel_path, diagnostics
+
+
+def check_files_parallel(
+    files: Sequence[Tuple[str, str]],
+    codes: Sequence[str],
+    jobs: int,
+) -> Dict[str, List[Diagnostic]]:
+    """Fan ``files`` (rel_path, source) over ``jobs`` worker processes.
+
+    Returns the same per-file diagnostic lists the serial loop
+    produces; callers merge/suppress/sort, so worker completion order
+    never reaches the output.
+    """
+    payloads: List[_Payload] = [
+        (rel_path, source, tuple(codes)) for rel_path, source in files
+    ]
+    jobs = min(resolve_jobs(jobs), max(len(payloads), 1))
+    results: Dict[str, List[Diagnostic]] = {}
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            rel_path, diags = check_one_file(payload)
+            results[rel_path] = diags
+        return results
+    chunk = max(1, len(payloads) // (jobs * 4))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        for rel_path, diags in pool.map(
+            check_one_file, payloads, chunksize=chunk
+        ):
+            results[rel_path] = diags
+    return results

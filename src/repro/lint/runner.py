@@ -11,7 +11,15 @@ Three rule families run per invocation:
   interprocedural function summaries;
 * the concurrency/service rules (REP201–REP205, also flow rules)
   guard the distributed campaign service: blocked event loops, dropped
-  awaitables, unsafe forks, mixed clock domains and protocol drift.
+  awaitables, unsafe forks, mixed clock domains and protocol drift;
+* the array/address rules (REP301–REP306) enforce numpy dtype/
+  aliasing discipline and the LA/IA/PA address-domain separation;
+  REP305 is syntactic, the rest ride the flow pass.
+
+``--jobs N`` fans the syntactic pass over N worker processes (0 = one
+per CPU); the flow pass is whole-project and stays in the parent.
+Output is byte-identical for every N — diagnostics are merged per
+file and globally sorted, never emitted in completion order.
 
 ``--baseline write FILE`` records the current findings; ``--baseline
 check FILE`` reports only new findings and fails on stale entries, so
@@ -38,6 +46,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.lint import rules as _rules  # noqa: F401  (populates REGISTRY)
 from repro.lint import flowrules as _flowrules  # noqa: F401  (REP101–REP104)
 from repro.lint import asyncrules as _asyncrules  # noqa: F401  (REP201–REP205)
+from repro.lint import arrayrules as _arrayrules  # noqa: F401  (REP301+)
+from repro.lint import domains as _domains  # noqa: F401  (REP304/REP306)
 from repro.lint.baseline import (
     BaselineError,
     apply_baseline,
@@ -55,6 +65,7 @@ from repro.lint.diagnostics import (
     Severity,
     all_rules,
 )
+from repro.lint.parallel import check_files_parallel
 from repro.lint.sarif import render_sarif
 from repro.lint.suppress import SuppressionMap, parse_suppressions
 
@@ -117,18 +128,24 @@ def lint_sources(
     selected: Optional[Iterable[Rule]] = None,
     flow: bool = True,
     cache: Optional[LintCache] = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Lint a mapping of ``rel_path -> source``; the core engine.
 
     Multi-file input is what gives the flow rules their cross-module
     view; tests hand in small dict fixtures, :func:`lint_paths` hands
-    in the real tree.
+    in the real tree.  ``jobs > 1`` fans the per-file syntactic rules
+    over worker processes; suppression accounting, caching and the
+    final sort stay in the parent, so the output is byte-identical to
+    a serial run.
     """
     chosen = list(all_rules() if selected is None else selected)
     syntactic, flow_rules = _split_rules(chosen, flow)
     result = LintResult(files_checked=len(sources))
+    file_key = _codes_key(syntactic)
 
     modules: List[LintModule] = []
+    pending: List[LintModule] = []
     shas: Dict[str, str] = {}
     for rel_path, source in sources.items():
         shas[rel_path] = source_sha(source)
@@ -151,7 +168,6 @@ def lint_sources(
         module = LintModule(rel_path=rel_path, source=source, tree=tree)
         modules.append(module)
 
-        file_key = _codes_key(syntactic)
         cached = (
             cache.get_file(rel_path, shas[rel_path], file_key)
             if cache is not None else None
@@ -159,14 +175,33 @@ def lint_sources(
         if cached is not None:
             result.diagnostics.extend(cached)
             continue
-        file_diags: List[Diagnostic] = []
-        for rule in syntactic:
-            for diag in rule.check(module):
-                if not smap.is_suppressed(diag.code, diag.line):
-                    file_diags.append(diag)
-        if cache is not None:
-            cache.put_file(rel_path, shas[rel_path], file_key, file_diags)
-        result.diagnostics.extend(file_diags)
+        pending.append(module)
+
+    if pending:
+        if jobs != 1 and len(pending) > 1:
+            raw = check_files_parallel(
+                [(m.rel_path, m.source) for m in pending],
+                [rule.code for rule in syntactic],
+                jobs,
+            )
+        else:
+            raw = {
+                m.rel_path: [d for rule in syntactic
+                             for d in rule.check(m)]
+                for m in pending
+            }
+        for module in pending:
+            smap = result.suppressions[module.rel_path]
+            file_diags = [
+                d for d in raw.get(module.rel_path, [])
+                if not smap.is_suppressed(d.code, d.line)
+            ]
+            if cache is not None:
+                cache.put_file(
+                    module.rel_path, shas[module.rel_path], file_key,
+                    file_diags,
+                )
+            result.diagnostics.extend(file_diags)
 
     if flow_rules and modules:
         flow_key = project_key(shas)
@@ -214,9 +249,12 @@ def lint_paths(
     selected: Optional[Iterable[Rule]] = None,
     flow: bool = True,
     cache: Optional[LintCache] = None,
+    jobs: int = 1,
 ) -> List[Diagnostic]:
     """Lint every python file reachable from ``paths``."""
-    return lint_tree(paths, selected, flow=flow, cache=cache).diagnostics
+    return lint_tree(
+        paths, selected, flow=flow, cache=cache, jobs=jobs
+    ).diagnostics
 
 
 def lint_tree(
@@ -224,12 +262,14 @@ def lint_tree(
     selected: Optional[Iterable[Rule]] = None,
     flow: bool = True,
     cache: Optional[LintCache] = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Like :func:`lint_paths`, returning the full :class:`LintResult`."""
     sources: Dict[str, str] = {}
     for path in iter_python_files(paths):
         sources[path.as_posix()] = path.read_text(encoding="utf-8")
-    return lint_sources(sources, selected, flow=flow, cache=cache)
+    return lint_sources(sources, selected, flow=flow, cache=cache,
+                        jobs=jobs)
 
 
 def unused_suppression_diagnostics(
@@ -313,11 +353,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--flow", dest="flow", action="store_true", default=True,
-        help="run the flow-sensitive rules REP101-REP205 (default)",
+        help="run the flow-sensitive rules REP101-REP306 (default)",
     )
     parser.add_argument(
         "--no-flow", dest="flow", action="store_false",
         help="skip the flow-sensitive rules",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for the per-file syntactic pass "
+            "(0 = one per CPU, default 1); the flow pass is "
+            "whole-project and stays serial — output is byte-identical "
+            "for every N"
+        ),
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -374,7 +423,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     try:
         result = lint_tree(args.paths, selected, flow=args.flow,
-                           cache=cache)
+                           cache=cache, jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"no such file or directory: {exc.args[0]}", file=sys.stderr)
         return 2

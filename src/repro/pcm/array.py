@@ -501,9 +501,11 @@ class PCMArray:
             counts_arr = None
             if isinstance(pas, slice):
                 n_targets = len(range(*pas.indices(self.n_physical)))
+                # reprolint: disable=REP302 slice index: no duplicates possible
                 self.wear[pas] += int(counts)
             elif np.isscalar(pas):
                 n_targets = 1
+                # reprolint: disable=REP302 scalar index: single element
                 self.wear[pas] += int(counts)
             else:
                 idx = np.asarray(pas)

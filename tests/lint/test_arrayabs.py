@@ -1,0 +1,249 @@
+"""Unit tests for the array-abstraction layer (repro.lint.arrayabs).
+
+Covers the lattice the REP3xx rules lean on: dtype joins, shape-class
+widening, uniqueness, view/alias provenance, and interprocedural
+propagation of abstract return values through the summary machinery.
+"""
+
+import ast
+
+from repro.lint.arrayabs import (
+    UNKNOWN,
+    ArrayValue,
+    EnvBuilder,
+    array_summaries,
+    build_env,
+    dtype_from_expr,
+    int_max,
+    join,
+)
+from repro.lint.callgraph import LintProject
+from repro.lint.diagnostics import LintModule
+
+
+def _project(sources):
+    modules = [
+        LintModule(rel_path=path, source=src, tree=ast.parse(src))
+        for path, src in sources.items()
+    ]
+    return LintProject(modules)
+
+
+def _env(source):
+    """Intra-procedural environment of the first function in source."""
+    tree = ast.parse(source)
+    fn = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    return EnvBuilder().env_for(fn)
+
+
+def _expr(text):
+    return ast.parse(text, mode="eval").body
+
+
+class TestLattice:
+    def test_join_same_facts_is_identity(self):
+        a = ArrayValue("int64", "array", unique=True)
+        assert join(a, a) == a
+
+    def test_join_dtype_disagreement_widens(self):
+        a = ArrayValue("int32", "array")
+        b = ArrayValue("int64", "array")
+        assert join(a, b).dtype is None
+        assert join(a, b).kind == "array"
+
+    def test_join_kind_disagreement_widens(self):
+        a = ArrayValue("int64", "array")
+        b = ArrayValue("int64", "scalar")
+        assert join(a, b).kind == "unknown"
+        assert join(a, b).dtype == "int64"
+
+    def test_join_uniqueness_is_conjunctive(self):
+        a = ArrayValue(kind="array", unique=True)
+        b = ArrayValue(kind="array", unique=False)
+        assert not join(a, b).unique
+
+    def test_join_bases_union(self):
+        a = ArrayValue(bases=frozenset({"x"}))
+        b = ArrayValue(bases=frozenset({"y"}))
+        assert join(a, b).bases == {"x", "y"}
+
+    def test_join_with_none_keeps_other(self):
+        a = ArrayValue("int64", "array")
+        assert join(None, a) == a
+        assert join(a, None) == a
+        assert join(None, None) == UNKNOWN
+
+    def test_int_max(self):
+        assert int_max("int32") == 2**31 - 1
+        assert int_max("uint16") == 2**16 - 1
+        assert int_max("int64") == 2**63 - 1
+        assert int_max("float32") is None
+
+    def test_dtype_from_expr_spellings(self):
+        assert dtype_from_expr(_expr("np.int32")) == "int32"
+        assert dtype_from_expr(_expr("numpy.float64")) == "float64"
+        assert dtype_from_expr(_expr('"int16"')) == "int16"
+        assert dtype_from_expr(_expr("int")) == "int64"
+        assert dtype_from_expr(_expr("float")) == "float64"
+        assert dtype_from_expr(_expr("object")) is None
+
+
+class TestConstructorSeeding:
+    def test_zeros_dtype_kwarg(self):
+        env = _env(
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int32)\n"
+        )
+        assert env["wear"].dtype == "int32"
+        assert env["wear"].is_array
+
+    def test_zeros_default_is_float64(self):
+        env = _env("def f(n: int):\n    x = np.zeros(n)\n")
+        assert env["x"].dtype == "float64"
+
+    def test_arange_is_unique_int64(self):
+        env = _env("def f(n: int):\n    idx = np.arange(n)\n")
+        assert env["idx"].dtype == "int64"
+        assert env["idx"].unique
+
+    def test_fromiter_positional_dtype(self):
+        env = _env(
+            "def f(xs):\n"
+            "    a = np.fromiter(xs, np.int64, count=4)\n"
+        )
+        assert env["a"].dtype == "int64"
+
+    def test_astype_changes_dtype(self):
+        env = _env(
+            "def f(n: int):\n"
+            "    a = np.zeros(n, dtype=np.int64)\n"
+            "    b = a.astype(np.float32)\n"
+        )
+        assert env["b"].dtype == "float32"
+
+    def test_unique_and_argsort_prove_duplicate_free(self):
+        env = _env(
+            "def f(las):\n"
+            "    u = np.unique(las)\n"
+            "    order = np.argsort(las)\n"
+        )
+        assert env["u"].unique
+        assert env["order"].unique
+
+    def test_set_and_dict_kinds(self):
+        env = _env(
+            "def f(xs):\n"
+            "    s = set(xs)\n"
+            "    d = {}\n"
+            "    ls = list(s)\n"
+        )
+        assert env["s"].kind == "set"
+        assert env["d"].kind == "dict"
+        # list() of a set keeps the iteration-order hazard.
+        assert env["ls"].kind == "set"
+
+
+class TestAliasProvenance:
+    def test_asarray_records_view_base(self):
+        env = _env(
+            "def f(a):\n"
+            "    b = np.asarray(a)\n"
+        )
+        assert "a" in env["b"].bases
+
+    def test_slice_keeps_base_and_uniqueness(self):
+        env = _env(
+            "def f(n: int):\n"
+            "    idx = np.arange(n)\n"
+            "    head = idx[:4]\n"
+        )
+        assert "idx" in env["head"].bases
+        assert env["head"].unique
+
+    def test_fancy_index_copies_and_drops_uniqueness(self):
+        env = _env(
+            "def f(n: int, sel):\n"
+            "    idx = np.arange(n)\n"
+            "    picked = idx[np.asarray(sel)]\n"
+        )
+        assert env["picked"].bases == frozenset()
+        assert not env["picked"].unique
+
+    def test_rebinding_disagreement_joins_to_unknown_dtype(self):
+        env = _env(
+            "def f(flag, n: int):\n"
+            "    a = np.zeros(n, dtype=np.int32)\n"
+            "    a = np.zeros(n, dtype=np.int64)\n"
+        )
+        assert env["a"].dtype is None
+        assert env["a"].is_array
+
+
+class TestInterprocedural:
+    def test_return_summary_carries_dtype(self):
+        project = _project({
+            "src/repro/a.py": (
+                "import numpy as np\n"
+                "def make_wear_map(n: int):\n"
+                "    return np.zeros(n, dtype=np.int64)\n"
+                "def caller(n: int):\n"
+                "    w = make_wear_map(n)\n"
+            ),
+        })
+        table = project.tables["repro.a"]
+        env = build_env(project, table, table.functions["caller"])
+        assert env["w"].dtype == "int64"
+        assert env["w"].is_array
+
+    def test_cross_module_return_summary(self):
+        project = _project({
+            "src/repro/maps.py": (
+                "import numpy as np\n"
+                "def narrow_map(n: int):\n"
+                "    return np.zeros(n, dtype=np.int16)\n"
+            ),
+            "src/repro/use.py": (
+                "from repro.maps import narrow_map\n"
+                "def caller(n: int):\n"
+                "    w = narrow_map(n)\n"
+            ),
+        })
+        table = project.tables["repro.use"]
+        env = build_env(project, table, table.functions["caller"])
+        assert env["w"].dtype == "int16"
+
+    def test_passthrough_helper_propagates_value(self):
+        project = _project({
+            "src/repro/a.py": (
+                "import numpy as np\n"
+                "def ident(x):\n"
+                "    return x\n"
+                "def caller(n: int):\n"
+                "    a = np.arange(n)\n"
+                "    b = ident(a)\n"
+            ),
+        })
+        table = project.tables["repro.a"]
+        env = build_env(project, table, table.functions["caller"])
+        assert env["b"].dtype == "int64"
+        assert env["b"].unique
+
+    def test_summaries_strip_frame_local_provenance(self):
+        project = _project({
+            "src/repro/a.py": (
+                "import numpy as np\n"
+                "def view_of(x):\n"
+                "    y = np.asarray(x)\n"
+                "    return y\n"
+            ),
+        })
+        sums = array_summaries(project)
+        value = sums["repro.a.view_of"]
+        assert value.bases == frozenset()
+
+    def test_summaries_memoised_on_project(self):
+        project = _project({
+            "src/repro/a.py": "def f():\n    return 1\n",
+        })
+        assert array_summaries(project) is array_summaries(project)

@@ -1,0 +1,300 @@
+"""Positive/negative/suppression fixtures for REP301/302/303/305.
+
+Each rule gets at least one firing fixture, one clean fixture showing
+the sanctioned pattern, and a suppression fixture proving a reasoned
+pragma silences it (and is counted as used by --check-suppressions).
+"""
+
+from repro.lint import REGISTRY, lint_source
+from repro.lint.runner import main
+
+
+def _codes(source, code, rel_path="src/repro/demo.py"):
+    diags = lint_source(source, rel_path, selected=[REGISTRY[code]],
+                        flow=True)
+    return [d.code for d in diags]
+
+
+class TestREP301NarrowAccumulator:
+    def test_int32_wear_map_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int32)\n"
+            "    return wear\n"
+        )
+        assert _codes(src, "REP301") == ["REP301"]
+
+    def test_int64_wear_map_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    return wear\n"
+        )
+        assert _codes(src, "REP301") == []
+
+    def test_attribute_write_counts_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "class PCM:\n"
+            "    def __init__(self, n: int):\n"
+            "        self.write_counts = np.zeros(n, dtype=np.uint16)\n"
+        )
+        assert _codes(src, "REP301") == ["REP301"]
+
+    def test_dtype_through_helper_flagged(self):
+        # The dtype fact crosses the call via the array summaries.
+        src = (
+            "import numpy as np\n"
+            "def narrow_map(n: int):\n"
+            "    return np.zeros(n, dtype=np.int32)\n"
+            "def build(n: int):\n"
+            "    wear = narrow_map(n)\n"
+            "    return wear\n"
+        )
+        assert _codes(src, "REP301") == ["REP301"]
+
+    def test_narrow_cast_of_endurance_constant_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.int16(100_000_000)\n"
+        )
+        assert _codes(src, "REP301") == ["REP301"]
+
+    def test_narrow_value_meets_endurance_constant_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    count = np.int32(0)\n"
+            "    return count > 3_000_000_000\n"
+        )
+        assert _codes(src, "REP301") == ["REP301"]
+
+    def test_wide_value_meets_endurance_constant_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    count = np.int64(0)\n"
+            "    return count > 3_000_000_000\n"
+        )
+        assert _codes(src, "REP301") == []
+
+    def test_suppression_counts_as_used(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    # reprolint: disable=REP301 -- display-only histogram\n"
+            "    wear = np.zeros(n, dtype=np.int32)\n"
+            "    return wear\n"
+        )
+        assert main([str(mod), "--no-cache", "--check-suppressions"]) == 0
+
+
+class TestREP302DuplicateIndexAccumulation:
+    def test_fancy_index_augassign_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(las, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    idx = np.asarray(las)\n"
+            "    wear[idx] += 1\n"
+        )
+        assert _codes(src, "REP302") == ["REP302"]
+
+    def test_address_plural_name_flagged_without_type(self):
+        src = (
+            "import numpy as np\n"
+            "def f(pas, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    wear[pas] += 1\n"
+        )
+        assert _codes(src, "REP302") == ["REP302"]
+
+    def test_add_at_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(las, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    idx = np.asarray(las)\n"
+            "    np.add.at(wear, idx, 1)\n"
+        )
+        assert _codes(src, "REP302") == []
+
+    def test_provably_unique_index_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(las, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    idx = np.unique(las)\n"
+            "    wear[idx] += 1\n"
+        )
+        assert _codes(src, "REP302") == []
+
+    def test_scalar_index_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(i: int, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    wear[i] += 1\n"
+        )
+        assert _codes(src, "REP302") == []
+
+    def test_slice_index_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    wear[:4] += 1\n"
+        )
+        assert _codes(src, "REP302") == []
+
+    def test_suppression_counts_as_used(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def f(pas, n: int):\n"
+            "    wear = np.zeros(n, dtype=np.int64)\n"
+            "    # reprolint: disable=REP302 -- caller dedups pas\n"
+            "    wear[pas] += 1\n"
+        )
+        assert main([str(mod), "--no-cache", "--check-suppressions"]) == 0
+
+
+class TestREP303SilentDowncast:
+    def test_float32_latency_array_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(arr):\n"
+            "    total_ns = arr.astype(np.float32)\n"
+            "    return total_ns\n"
+        )
+        assert _codes(src, "REP303") == ["REP303"]
+
+    def test_float32_wear_constructor_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    wear_avg = np.zeros(n, dtype=np.float32)\n"
+            "    return wear_avg\n"
+        )
+        assert _codes(src, "REP303") == ["REP303"]
+
+    def test_float64_latency_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(arr):\n"
+            "    total_ns = arr.astype(np.float64)\n"
+            "    return total_ns\n"
+        )
+        assert _codes(src, "REP303") == []
+
+    def test_unrelated_name_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(arr):\n"
+            "    weights = arr.astype(np.float32)\n"
+            "    return weights\n"
+        )
+        assert _codes(src, "REP303") == []
+
+    def test_suppression_counts_as_used(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def f(arr):\n"
+            "    # reprolint: disable=REP303 -- plot buffer, not accounting\n"
+            "    total_ns = arr.astype(np.float32)\n"
+            "    return total_ns\n"
+        )
+        assert main([str(mod), "--no-cache", "--check-suppressions"]) == 0
+
+
+class TestREP305NondeterministicArray:
+    def test_legacy_global_generator_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand()\n"
+        )
+        assert _codes(src, "REP305") == ["REP305"]
+
+    def test_modern_generator_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng):\n"
+            "    return rng.integers(0, 8)\n"
+        )
+        assert _codes(src, "REP305") == []
+
+    def test_set_into_array_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    pending = set(xs)\n"
+            "    return np.array(pending)\n"
+        )
+        assert _codes(src, "REP305") == ["REP305"]
+
+    def test_sorted_set_into_array_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    pending = set(xs)\n"
+            "    return np.array(sorted(pending))\n"
+        )
+        assert _codes(src, "REP305") == []
+
+    def test_dict_keys_into_fromiter_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(d):\n"
+            "    live = {k: 1 for k in d}\n"
+            "    return np.fromiter(live.keys(), np.int64)\n"
+        )
+        assert _codes(src, "REP305") == ["REP305"]
+
+    def test_unstable_sort_of_addresses_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(las):\n"
+            "    order = np.argsort(las)\n"
+            "    return order\n"
+        )
+        assert _codes(src, "REP305") == ["REP305"]
+
+    def test_stable_sort_of_addresses_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(las):\n"
+            "    order = np.argsort(las, kind=\"stable\")\n"
+            "    return order\n"
+        )
+        assert _codes(src, "REP305") == []
+
+    def test_unstable_sort_of_unrelated_name_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(heights):\n"
+            "    return np.argsort(heights)\n"
+        )
+        assert _codes(src, "REP305") == []
+
+    def test_rng_home_module_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand()\n"
+        )
+        assert _codes(src, "REP305",
+                      rel_path="src/repro/util/rng.py") == []
+
+    def test_suppression_counts_as_used(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "def f(las):\n"
+            "    # reprolint: disable=REP305 -- ordering proven unique\n"
+            "    return np.argsort(las)\n"
+        )
+        assert main([str(mod), "--no-cache", "--check-suppressions"]) == 0

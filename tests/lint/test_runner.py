@@ -16,12 +16,13 @@ SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 
 class TestRegistry:
-    def test_sixteen_rules_registered(self):
+    def test_twenty_two_rules_registered(self):
         assert sorted(REGISTRY) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
             "REP007",
             "REP101", "REP102", "REP103", "REP104",
             "REP201", "REP202", "REP203", "REP204", "REP205",
+            "REP301", "REP302", "REP303", "REP304", "REP305", "REP306",
         ]
 
     def test_flow_rules_are_flow_rules(self):
@@ -29,9 +30,13 @@ class TestRegistry:
 
         flow = {code for code, rule in REGISTRY.items()
                 if isinstance(rule, FlowRule)}
+        # REP305 (nondeterministic array construction) is deliberately
+        # syntactic so the per-file cache and the --jobs worker pool
+        # both cover it.
         assert flow == {
             "REP101", "REP102", "REP103", "REP104",
             "REP201", "REP202", "REP203", "REP204", "REP205",
+            "REP301", "REP302", "REP303", "REP304", "REP306",
         }
 
     def test_every_rule_documented(self):
@@ -71,7 +76,7 @@ class TestCLI:
             "    return np.random.rand()\n"
         )
         assert main([str(bad), "--select", "REP004"]) == 1
-        assert main([str(bad), "--ignore", "REP001,REP004"]) == 0
+        assert main([str(bad), "--ignore", "REP001,REP004,REP305"]) == 0
 
     def test_unknown_rule_code_is_usage_error(self, capsys):
         assert main([str(SRC_REPRO), "--select", "REP999"]) == 2
@@ -105,6 +110,16 @@ class TestRepoIsClean:
 
         selected = [REGISTRY[code] for code in
                     ("REP201", "REP202", "REP203", "REP204", "REP205")]
+        diagnostics = lint_paths([str(SRC_REPRO)], selected=selected)
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+    def test_array_rule_family_clean_on_tree(self):
+        """REP301–REP306 run as part of the gate and stay clean."""
+        from repro.lint import REGISTRY
+
+        selected = [REGISTRY[code] for code in
+                    ("REP301", "REP302", "REP303", "REP304", "REP305",
+                     "REP306")]
         diagnostics = lint_paths([str(SRC_REPRO)], selected=selected)
         assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
 
@@ -149,6 +164,56 @@ class TestFlowFlag:
         )
         bad.write_text(src)
         assert main([str(bad), "--no-cache"]) == 0
+
+
+class TestParallelJobs:
+    """--jobs N fans the per-file pass over worker processes; the
+    output contract is byte-identity with the serial path."""
+
+    def _tree(self, tmp_path):
+        for i in range(6):
+            mod = tmp_path / f"mod{i}.py"
+            mod.write_text(
+                "import numpy as np\n"
+                f"x{i} = np.random.rand()\n"
+                "def f(a=[]):\n"
+                "    return a\n"
+            )
+        return tmp_path
+
+    def test_jobs_output_byte_identical(self, tmp_path, capsys):
+        tree = self._tree(tmp_path)
+        assert main([str(tree), "--no-cache", "--jobs", "1"]) == 1
+        serial = capsys.readouterr().out
+        assert main([str(tree), "--no-cache", "--jobs", "4"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_zero_means_cpu_count(self):
+        from repro.lint.parallel import resolve_jobs
+
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(3) == 3
+
+    def test_jobs_respect_suppressions(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand()  # reprolint: disable=REP001 -- fixture\n"
+        )
+        assert main([str(mod), str(self._tree(tmp_path)), "--no-cache",
+                     "--jobs", "2", "--check-suppressions"]) == 1
+        out = capsys.readouterr().out
+        assert "REP100" not in out  # the pragma is used, not stale
+
+    def test_jobs_fill_the_cache_like_serial(self, tmp_path, capsys):
+        tree = self._tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        assert main([str(tree), "--cache-dir", str(cache_dir),
+                     "--jobs", "4"]) == 1
+        warm_parallel = capsys.readouterr().out
+        assert main([str(tree), "--cache-dir", str(cache_dir),
+                     "--jobs", "1"]) == 1
+        assert capsys.readouterr().out == warm_parallel
 
 
 class TestSarifFormat:
@@ -222,7 +287,8 @@ class TestCheckSuppressions:
         mod = tmp_path / "mod.py"
         mod.write_text(
             "import numpy as np\n"
-            "x = np.random.rand()  # reprolint: disable=REP001 -- fixture\n"
+            "x = np.random.rand()"
+            "  # reprolint: disable=REP001,REP305 -- fixture\n"
         )
         assert main([str(mod), "--check-suppressions"]) == 0
 

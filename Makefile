@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-fast examples smoke faults-smoke campaign-smoke chaos-smoke trace-smoke lint lint-flow lint-changed lint-timing clean
+.PHONY: install test bench bench-fast bench-ff examples smoke faults-smoke campaign-smoke chaos-smoke trace-smoke lint lint-flow lint-changed lint-timing clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,14 @@ bench:
 bench-fast:
 	PYTHONPATH=src python -m pytest benchmarks/test_engine_throughput.py -q -s
 	@test -s BENCH_5.json && echo "bench-fast: OK"
+
+# Analytic fast-forward tier vs the chunk engine on lifetime-to-failure:
+# asserts >= 50x effective throughput at 256Ki lines and simulates a
+# 2^23-line device to end of life, then writes BENCH_10.json at the repo
+# root (the committed copy documents the reference-machine numbers).
+bench-ff:
+	PYTHONPATH=src python -m pytest benchmarks/test_fastforward_throughput.py -q -s
+	@test -s BENCH_10.json && echo "bench-ff: OK"
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done

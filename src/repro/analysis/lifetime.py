@@ -20,7 +20,7 @@ detection ⇒ shorter lifetime.  See DESIGN.md / EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.ballsbins import dwells_to_max_load
 from repro.config import PCMConfig, RBSGConfig, SecurityRBSGConfig, SRConfig
@@ -181,6 +181,9 @@ def measured_lifetime_ns(
     trace: "FastTrace",
     max_writes: int = 10_000_000,
     fast: bool = True,
+    fast_forward: str = "auto",
+    n_shards: "Optional[int]" = None,
+    memmap_dir: "Optional[str]" = None,
 ) -> float:
     """Lifetime *measured* on the exact simulator, not modelled.
 
@@ -191,18 +194,36 @@ def measured_lifetime_ns(
     which is bit-identical to the scalar path (``fast=False``) and falls
     back to it automatically where chunking does not apply.
 
+    ``fast_forward`` selects the third, analytic tier when ``trace`` is a
+    :class:`~repro.sim.fastforward.TraceSpec`: ``"auto"`` (default)
+    engages it only at paper scale, where it is within the documented
+    error bound of the closed forms above (see docs/performance.md) and
+    the chunk engine would take hours; ``"off"`` forces chunk-exact;
+    ``"analytic"`` forces the analytic tier regardless of scale.  At
+    small scale ``"auto"`` falls through to the chunk engine, keeping the
+    historical bit-exact behaviour.  ``n_shards``/``memmap_dir`` put the
+    physical array on a :class:`~repro.pcm.sharded.ShardedPCMArray` for
+    devices too large for one resident allocation.
+
     Raises ``RuntimeError`` if the device survives ``max_writes`` user
     writes — a lifetime measurement must end in a failure.
     """
     from repro.sim.engine import run_trace, run_trace_fast
+    from repro.sim.fastforward import TraceSpec
     from repro.sim.memory_system import MemoryController
     from repro.sim.trace import trace_entries
 
-    controller = MemoryController(scheme, pcm)
-    if not fast:
+    controller = MemoryController(
+        scheme, pcm, n_shards=n_shards, memmap_dir=memmap_dir
+    )
+    if not fast and not isinstance(trace, TraceSpec):
         trace = trace_entries(trace)
-    driver = run_trace_fast if fast else run_trace
-    result = driver(controller, trace, max_writes=max_writes)
+    if fast:
+        result = run_trace_fast(
+            controller, trace, max_writes=max_writes, fast_forward=fast_forward
+        )
+    else:
+        result = run_trace(controller, trace, max_writes=max_writes)
     if not result.failed:
         raise RuntimeError(
             f"device did not fail within {max_writes} writes; "

@@ -375,6 +375,94 @@ def run_trace_lifetime_task(
     }
 
 
+def run_lifetime_ff_task(
+    params: Mapping[str, Scalar], seed: int
+) -> Dict[str, object]:
+    """Paper-scale measured lifetime on the analytic fast-forward tier.
+
+    The distributed counterpart of ``trace-lifetime`` for device sizes
+    where even the chunk-exact engine is too slow: the trace is described
+    by a :class:`~repro.sim.fastforward.TraceSpec` and the engine jumps
+    whole remapping rounds analytically, dropping back to chunk-exact
+    near end-of-life (see docs/performance.md).  Parameters mirror
+    ``trace-lifetime`` plus ``fast_forward`` (``auto`` / ``analytic`` /
+    ``off``), ``n_shards`` (0 = monolithic array), ``memmap_dir`` and
+    ``spares`` (spare lines appended to the physical space — dealt
+    round-robin across shards when sharded).
+
+    The reported lifetime is the paper's **first-failure** metric.
+    ``spares`` provisions the pool — the array (and any memmap files)
+    grows, which is what a fleet-partitioned campaign needs sized
+    correctly — but retirement is a scalar-controller feature
+    (:class:`~repro.pcm.sparing.SparingController`), so the pool does
+    not extend this metric.  Wear statistics exclude the unworn spare
+    tail.
+    """
+    from repro.pcm.stats import WearStats
+    from repro.sim.engine import run_trace_fast
+    from repro.sim.fastforward import TRACE_KINDS, TraceSpec
+    from repro.sim.memory_system import MemoryController
+
+    scheme_name = _str(params, "scheme")
+    trace_name = _str(params, "trace")
+    if trace_name not in TRACE_KINDS:
+        raise TaskError(
+            f"unknown trace kind {trace_name!r}; expected one of "
+            f"{sorted(TRACE_KINDS)}"
+        )
+    n_lines = _int(params, "lines", 1 << 23)
+    endurance = _float(params, "endurance", 1e8)
+    max_writes = params.get("max_writes")
+    mode = str(params.get("fast_forward", "auto"))
+    n_shards = _int(params, "n_shards", 0)
+    memmap_dir = params.get("memmap_dir")
+
+    config = PCMConfig(n_lines=n_lines, endurance=endurance)
+    scheme = build_scheme(scheme_name, n_lines, seed, params)
+    controller = MemoryController(
+        scheme,
+        config,
+        n_shards=n_shards if n_shards > 0 else None,
+        memmap_dir=None if memmap_dir is None else str(memmap_dir),
+    )
+    spares = _int(params, "spares", 0)
+    if spares:
+        controller.array.add_lines(spares)
+    spec = TraceSpec(
+        kind=trace_name,
+        n_lines=n_lines,
+        n_writes=None,
+        alpha=_float(params, "alpha", 1.2),
+        target=_int(params, "target", 5),
+        seed=seed,
+    )
+    result = run_trace_fast(
+        controller,
+        spec,
+        max_writes=None if max_writes is None else int(max_writes),
+        fast_forward=mode,
+    )
+    wear = controller.array.wear
+    if spares:  # spare PAs are contiguous at the end and unworn
+        wear = wear[:-spares]
+    gini = WearStats.from_wear(wear).gini
+    return {
+        "scheme": scheme_name,
+        "trace": trace_name,
+        "engine": f"fast-forward:{mode}",
+        "n_shards": n_shards,
+        "spares": spares,
+        "user_writes": result.user_writes,
+        "total_writes": result.total_writes,
+        "elapsed_ns": result.elapsed_ns,
+        "write_amplification": result.write_amplification,
+        "failed": result.failed,
+        "failed_pa": result.failed_pa,
+        "lifetime_seconds": result.lifetime_seconds,
+        "wear_gini": gini,
+    }
+
+
 # ------------------------------------------------------ tenant lifetime
 
 
@@ -472,5 +560,6 @@ def run_faults_task(
 register_task_kind("lifetime", run_lifetime_task)
 register_task_kind("simulate", run_simulate_task)
 register_task_kind("trace-lifetime", run_trace_lifetime_task)
+register_task_kind("lifetime-ff", run_lifetime_ff_task)
 register_task_kind("tenant-lifetime", run_tenant_lifetime_task)
 register_task_kind("faults", run_faults_task)

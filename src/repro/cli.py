@@ -89,8 +89,13 @@ def _fmt_duration(ns: float) -> str:
 
 
 def cmd_lifetime(args: argparse.Namespace) -> int:
+    if args.paper_scale:
+        return _lifetime_paper_scale(args)
     pcm = PAPER_PCM
     scheme, attack = args.scheme, args.attack
+    if attack is None:
+        print("--attack is required without --paper-scale", file=sys.stderr)
+        return 2
     if scheme == "none" and attack == "raa":
         ns = raa_nowl_lifetime_ns(pcm)
     elif scheme == "rbsg":
@@ -145,6 +150,54 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     print(f"scheme / attack : {scheme} / {attack.upper()}")
     print(f"lifetime        : {_fmt_duration(ns)} "
           f"({ns / ideal:.1%} of ideal)")
+    return 0
+
+
+def _lifetime_paper_scale(args: argparse.Namespace) -> int:
+    """``repro lifetime --paper-scale``: measured, not modelled.
+
+    Drives the requested scheme at the paper's device scale (2^23 lines,
+    E = 1e8, a spare pool) on the analytic fast-forward engine, through
+    the same ``lifetime-ff`` task the distributed campaign runner uses —
+    one box, minutes instead of the chunk engine's hours.
+    """
+    from repro.campaign.tasks import get_task
+
+    # Map the closed-form flag names onto build_scheme's parameter keys:
+    # the sub-region schemes read their split/interval from --subregions
+    # and --inner, everything else from --regions and --interval.
+    subregioned = args.scheme in ("multiway-sr", "two-level-sr", "security-rbsg")
+    params = {
+        "scheme": args.scheme,
+        "trace": args.trace,
+        "lines": args.lines,
+        "endurance": args.endurance,
+        "fast_forward": args.fast_forward,
+        "n_shards": args.shards,
+        "spares": args.spares,
+        "alpha": args.alpha,
+        "regions": args.subregions if subregioned else args.regions,
+        "interval": args.inner if subregioned else args.interval,
+        "outer": args.outer,
+        "stages": args.stages,
+    }
+    if args.memmap_dir is not None:
+        params["memmap_dir"] = args.memmap_dir
+    result = get_task("lifetime-ff")(params, args.seed)
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    print(f"device          : {args.lines} lines, E={args.endurance:g}, "
+          f"{args.spares} spares, {args.shards or 'no'} shards")
+    print(f"scheme / trace  : {args.scheme} / {args.trace} "
+          f"(seed {args.seed})")
+    print(f"engine          : {result['engine']}")
+    print(f"user writes     : {result['user_writes']:,}")
+    print(f"amplification   : {result['write_amplification']:.4f}")
+    print(f"wear gini       : {result['wear_gini']:.4f}")
+    lifetime_ns = float(result["elapsed_ns"])  # type: ignore[arg-type]
+    status = "failed" if result["failed"] else "survived budget"
+    print(f"lifetime        : {_fmt_duration(lifetime_ns)} ({status})")
     return 0
 
 
@@ -741,14 +794,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lifetime", help="analytic paper-scale lifetime")
     p.add_argument("--scheme", required=True,
-                   choices=["none", "rbsg", "two-level-sr", "security-rbsg"])
-    p.add_argument("--attack", required=True, choices=["raa", "rta"])
+                   choices=["none", "start-gap", "table", "random-swap",
+                            "rbsg", "sr", "multiway-sr", "two-level-sr",
+                            "security-rbsg"])
+    p.add_argument("--attack", choices=["raa", "rta"],
+                   help="closed-form model to evaluate (default mode)")
     p.add_argument("--regions", type=int, default=32)
     p.add_argument("--interval", type=int, default=100)
     p.add_argument("--subregions", type=int, default=512)
     p.add_argument("--inner", type=int, default=64)
     p.add_argument("--outer", type=int, default=128)
     p.add_argument("--stages", type=int, default=7)
+    p.add_argument("--paper-scale", action="store_true",
+                   help="measure (not model) lifetime at paper scale on "
+                        "the analytic fast-forward engine")
+    p.add_argument("--trace", default="uniform",
+                   choices=["uniform", "zipf", "sequential", "raa"],
+                   help="[--paper-scale] workload distribution")
+    p.add_argument("--lines", type=int, default=1 << 23,
+                   help="[--paper-scale] device lines (default 2^23)")
+    p.add_argument("--endurance", type=float, default=1e8,
+                   help="[--paper-scale] per-line endurance (default 1e8)")
+    p.add_argument("--spares", type=int, default=64,
+                   help="[--paper-scale] spare-pool lines provisioned "
+                        "(sizes the array/memmaps; lifetime reported is "
+                        "still the paper's first-failure metric)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="[--paper-scale] shard the array into N banks")
+    p.add_argument("--memmap-dir", default=None,
+                   help="[--paper-scale] back shard banks with memmap files")
+    p.add_argument("--fast-forward", default="auto",
+                   choices=["auto", "analytic", "off"],
+                   help="[--paper-scale] engine tier policy")
+    p.add_argument("--alpha", type=float, default=1.2,
+                   help="[--paper-scale] zipf exponent")
+    p.add_argument("--seed", type=int, default=0,
+                   help="[--paper-scale] trace / scheme seed")
     p.add_argument("--json", action="store_true",
                    help="emit a single JSON object instead of text")
     p.set_defaults(func=cmd_lifetime)

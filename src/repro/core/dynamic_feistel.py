@@ -147,6 +147,45 @@ class DynamicFeistelMapper:
         """True when every line has been remapped in the current round."""
         return self._n_remapped == self.n_lines
 
+    def advance_rounds(self, rounds: int) -> None:
+        """Jump ``rounds`` whole remapping rounds in one step.
+
+        Rotates the key pair ``rounds`` times (each rotation draws fresh
+        key material from this mapper's RNG, exactly as ``_begin_round``
+        would) and lands on the round-boundary state: every line remapped
+        under the final ``feistel_c``, gap parked at the spare, no line
+        parked or displaced.  The analytic fast-forward tier uses this to
+        skip the per-trigger cycle walk; ``total_movements`` is the
+        caller's responsibility (it knows how many triggers it modelled).
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        for _ in range(rounds):
+            self.feistel_p = self.feistel_c
+            self.feistel_c = self.feistel_c.rekeyed(self._rng)
+        if rounds:
+            self.is_remapped[:] = True
+            self._n_remapped = self.n_lines
+            self.gap = self.n_lines
+            self.parked_la = None
+            self.displaced_la = None
+            self.displaced_slot = None
+            self.round_count += rounds
+
+    def fixed_point_fraction(self, sample: int = 1 << 16) -> float:
+        """Fraction of lines mapped identically by the old and new keys.
+
+        Fixed points of ``σ = ENC_Kc ∘ DEC_Kp`` remap for free (no data
+        movement); the cubing-Feistel composition makes them common, so
+        the analytic movement-wear model measures the fraction on a
+        sample of the current key pair as its per-round representative.
+        """
+        probe = np.arange(min(self.n_lines, sample), dtype=np.uint64)
+        same = np.asarray(self.feistel_c.encrypt(probe)) == np.asarray(
+            self.feistel_p.encrypt(probe)
+        )
+        return float(same.mean())
+
     # ------------------------------------------------------------ movement
 
     def step(self) -> Optional[Move]:

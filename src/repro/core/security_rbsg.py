@@ -26,7 +26,7 @@ document here and in :mod:`repro.analysis.overhead`.)
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,11 +35,17 @@ from repro.util.rng import SeedLike, as_generator
 from repro.wearlevel.base import (
     CopyMove,
     Move,
+    RoundProfile,
     SwapMove,
     WearLeveler,
     grouped_cumcount,
+    spread_exact,
 )
-from repro.wearlevel.startgap import StartGapRegion
+from repro.wearlevel.startgap import StartGapRegion, gap_walk_wear
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 class SecurityRBSG(WearLeveler):
@@ -232,6 +238,112 @@ class SecurityRBSG(WearLeveler):
         for r in np.nonzero(counts)[0]:
             self.inners[int(r)].write_count += int(counts[r])
         return pas, n
+
+    # -------------------------------------------------- fast-forward API
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Analytic Security-RBSG round: DFN key rotations + inner gap walks.
+
+        The dynamic outer randomizer re-keys every round, so user wear is
+        fully smoothed over the physical space under uniform/sequential
+        traffic; zipf clips ``writes`` to roughly one outer round and
+        snapshots the current mapping.  Outer movement wear is ~2 line
+        writes per non-fixed-point trigger (swap chains write the pivot
+        and the target), with the fixed-point fraction measured on the
+        current key pair (:meth:`DynamicFeistelMapper.
+        fixed_point_fraction`); the spare line takes one park write per
+        completed round.  Inner Start-Gap movement wear is the exact gap
+        walk per sub-region.  RAA is declined — the chunk engine and
+        :mod:`repro.sim.roundsim` own that regime.
+        """
+        if spec.kind == "raa":
+            return None
+        writes = int(writes)
+        n = self.n_lines
+        stride = self._region_stride
+        if spec.kind == "zipf":
+            writes = min(writes, n * self.outer_interval)
+        interval = self.outer_interval
+        t_out = (self.outer_write_count + writes) // interval - (
+            self.outer_write_count // interval
+        )
+        rounds = t_out // n
+        move_frac = 1.0 - self.outer.fixed_point_fraction()
+        rates = np.zeros(self.n_physical)
+        counts = np.zeros(self.n_physical, dtype=np.int64)
+        data_slots = self.n_subregions * stride
+        rates[:data_slots] += 2.0 * move_frac * t_out / data_slots
+        counts[self._outer_spare_pa] += rounds
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            ias = self.outer.translate_many(np.arange(n, dtype=np.int64))
+            spare = ias == self.outer.spare_slot
+            region_q = np.bincount(
+                np.where(spare, 0, ias // self.subregion_size),
+                weights=np.where(spare, 0.0, weights),
+                minlength=self.n_subregions,
+            )
+            total_q = float(region_q.sum())
+            if total_q > 0:
+                region_q = region_q / total_q
+            user = np.zeros(self.n_physical)
+            np.add.at(
+                user,
+                self.translate_many(np.arange(n, dtype=np.int64)),
+                weights,
+            )
+            rates += user * writes
+        else:
+            region_q = np.full(self.n_subregions, 1.0 / self.n_subregions)
+            if spec.kind == "uniform":
+                rates += writes / self.n_physical
+            else:  # sequential: deterministic aggregate, DFN-smoothed
+                counts += spread_exact(
+                    np.full(self.n_physical, writes / self.n_physical), writes
+                )
+        region_writes = spread_exact(region_q * writes, writes)
+        inner_movements = 0
+        for index, region in enumerate(self.inners):
+            movements = region.pending_movements(int(region_writes[index]))
+            inner_movements += movements
+            base = index * stride
+            counts[base : base + stride] += gap_walk_wear(
+                stride, region.gap, movements
+            )
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += (
+            move_frac * t_out * timing.swap_latency(spec.data, spec.data)
+        )
+        elapsed += inner_movements * timing.copy_latency(spec.data)
+        return RoundProfile(
+            writes,
+            elapsed,
+            wear_counts=counts,
+            wear_rates=rates,
+            meta={
+                "rounds": rounds,
+                "triggers": t_out,
+                "region_writes": region_writes,
+            },
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        self.outer_write_count += profile.writes
+        rounds = profile.meta["rounds"]
+        triggers = profile.meta["triggers"]
+        assert isinstance(rounds, int) and isinstance(triggers, int)
+        self.outer.advance_rounds(rounds)
+        self.outer.total_movements += triggers
+        region_writes = profile.meta["region_writes"]
+        assert isinstance(region_writes, np.ndarray)
+        for region, w_r in zip(self.inners, region_writes):
+            movements = region.pending_movements(int(w_r))
+            region.write_count += int(w_r)
+            region.advance_movements(movements)
+        return profile.elapsed_ns
 
     # ------------------------------------------------------------- queries
 

@@ -704,7 +704,7 @@ class AddressDomainConfusion(FlowRule):
 #: Batched entry points vs their scalar counterparts (REP306).
 _BATCHED_METHODS = frozenset({
     "translate_many", "record_writes_many", "consume_chunk",
-    "writes_until_next_remap",
+    "writes_until_next_remap", "round_wear_profile", "apply_round",
 })
 _SCALAR_METHODS = frozenset({"translate", "record_write"})
 

@@ -136,7 +136,11 @@ class DiscardedLatency(Rule):
     *return* the operation's latency in nanoseconds — the paper's timing
     side channel.  The batched drivers are sinks of the same kind:
     ``run_trace_fast`` returns the ``SimulationResult`` holding the
-    elapsed time its chunks accumulated.  Calling one as a bare
+    elapsed time its chunks accumulated, and the fast-forward tier's
+    sinks (``scheme.apply_round`` returns the round's elapsed ns,
+    ``array.apply_wear_bulk`` returns the commit/refuse verdict,
+    ``run_fast_forward`` returns the combined result) are just as easy
+    to drop on the floor.  Calling one as a bare
     expression statement silently drops that number; an experiment that
     should observe it will quietly measure nothing.  Assign the result
     (``_ = controller.write(...)`` for an intentional discard) or
@@ -149,13 +153,13 @@ class DiscardedLatency(Rule):
     _LATENCY_METHODS = frozenset(
         {
             "write", "copy", "swap", "read_with_latency", "remap",
-            "write_many", "write_chunk",
+            "write_many", "write_chunk", "apply_round", "apply_wear_bulk",
         }
     )
     #: Module-level latency-carrying functions, recognised whether called
     #: bare (``run_trace_fast(...)``) or through a module attribute
     #: (``engine.run_trace_fast(...)``).
-    _LATENCY_FUNCTIONS = frozenset({"run_trace_fast"})
+    _LATENCY_FUNCTIONS = frozenset({"run_trace_fast", "run_fast_forward"})
     #: Receivers whose ``.write()`` is file-like, not PCM-like.
     _FILELIKE = frozenset(
         {

@@ -8,6 +8,7 @@ preserving the side channel exactly (Fig. 4 of the paper).
 """
 
 from repro.pcm.array import PCMArray, LineFailure, UncorrectableError
+from repro.pcm.sharded import ShardedPCMArray
 from repro.pcm.ecc import CorrectionOutcome, ECPModel
 from repro.pcm.faults import FaultModel
 from repro.pcm.health import DeviceHealth
@@ -33,6 +34,7 @@ __all__ = [
     "LineData",
     "LineFailure",
     "PCMArray",
+    "ShardedPCMArray",
     "SparesExhausted",
     "SparingController",
     "TimingModel",

@@ -243,6 +243,15 @@ class PCMArray:
         """Read without advancing time (for internal bookkeeping/tests)."""
         return LineData(int(self.data[pa]))
 
+    def copy_data(self, src: int, dst: int) -> None:
+        """Duplicate stored content ``src`` -> ``dst``, no wear, no latency.
+
+        The sparing layer's salvage step; shared API with
+        :class:`~repro.pcm.sharded.ShardedPCMArray`, whose ``data``
+        property is a read-only copy and cannot be poked directly.
+        """
+        self.data[dst] = self.data[src]
+
     def write(self, pa: int, data: LineData) -> float:
         """Write ``data`` to line ``pa``; return this write's latency in ns.
 
@@ -520,6 +529,65 @@ class PCMArray:
         self.total_writes += new_writes
         self.elapsed_ns += new_writes * write_ns
         self._check_bulk_failure(pas)
+
+    def apply_wear_bulk(self, counts: np.ndarray, elapsed_ns: float) -> bool:
+        """Apply a dense per-line wear increment atomically, or refuse.
+
+        The fast-forward engine's commit point: ``counts`` is a dense
+        ``int64`` array of length ``n_physical`` (one entry per line, zeros
+        allowed).  The increment is all-or-nothing — if *any* line would
+        reach its endurance limit the call returns ``False`` with **no
+        state mutated**, and the caller halves its round and retries (and
+        ultimately drops back to the chunk-exact engine, which attributes
+        the failing write exactly).  On success wear, ``total_writes``
+        (one physical write per unit of wear) and ``elapsed_ns`` advance
+        and the call returns ``True``.
+
+        The endurance test reuses the chunk engine's max-based pre-screen:
+        far from end-of-life a single ``max`` comparison proves the whole
+        increment safe; only near the limit does the exact per-line
+        comparison run.  Not supported under fault injection — stuck-bit
+        and drift state cannot be advanced in closed form.
+        """
+        if self.faults is not None:
+            raise ValueError(
+                "apply_wear_bulk is incompatible with fault injection; "
+                "use the chunk-exact engine"
+            )
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_physical,):
+            raise ValueError(
+                f"counts must be dense over {self.n_physical} lines, "
+                f"got shape {counts.shape}"
+            )
+        if counts.min() < 0:
+            raise ValueError("negative wear count")
+        if self.endurance_map is None:
+            # Cheap pre-screen: worst line + worst increment still short of
+            # the limit proves every line safe without a dense compare.
+            if int(self.wear.max()) + int(counts.max()) >= self.config.endurance:
+                if bool(((self.wear + counts) >= self.config.endurance).any()):
+                    return False
+        else:
+            if bool(((self.wear + counts) >= self.endurance_map).any()):
+                return False
+        self.wear += counts
+        self.total_writes += int(counts.sum())
+        self.elapsed_ns += float(elapsed_ns)
+        return True
+
+    def fill_data(self, value: LineData, end: Optional[int] = None) -> None:
+        """Set line contents to ``value`` without wear or latency.
+
+        The fast-forward engine's steady-state data model: once a run of
+        analytic rounds begins, every scheme-visible line is assumed to
+        hold the trace's write data (the non-differential timing tables
+        depend only on the *new* data, so user-write latency is exact; see
+        docs/performance.md for the movement-latency model).
+        """
+        if end is None:
+            end = self.n_physical
+        self.data[:end] = np.int8(int(value))
 
     def _check_bulk_failure(
         self, pas: Union[int, slice, Sequence[int], np.ndarray]

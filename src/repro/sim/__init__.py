@@ -17,6 +17,7 @@ from repro.sim.engine import (
     run_trace_fast,
     run_until_failure,
 )
+from repro.sim.fastforward import TraceSpec, run_fast_forward
 from repro.sim.memory_system import MemoryController
 from repro.sim.multibank import MultiBankSystem
 from repro.sim.roundsim import (

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.pcm.array import LineFailure
 from repro.pcm.timing import LineData
+from repro.sim.fastforward import TraceSpec, fast_forward_engaged, run_fast_forward
 from repro.sim.memory_system import MemoryController
 from repro.sim.trace import TraceChunk, TraceEntry, trace_chunks
 
@@ -52,11 +53,13 @@ class SimulationResult:
 
 def run_trace(
     controller: MemoryController,
-    trace: Iterable[TraceEntry],
+    trace: Union[Iterable[TraceEntry], TraceSpec],
     max_writes: Optional[int] = None,
 ) -> SimulationResult:
     """Drive the controller with ``trace`` until it ends, fails, or hits
     ``max_writes`` user writes."""
+    if isinstance(trace, TraceSpec):
+        trace = trace.entries()
     user_writes = 0
     try:
         for entry in trace:
@@ -81,12 +84,14 @@ def run_trace(
     )
 
 
-FastTrace = Union[Iterable[TraceEntry], Iterable[TraceChunk]]
+FastTrace = Union[Iterable[TraceEntry], Iterable[TraceChunk], TraceSpec]
 
 
 def _as_chunks(trace: FastTrace, batch: int) -> Iterator[TraceChunk]:
-    """Accept either granularity: entry streams are batched, chunked
-    streams pass through untouched."""
+    """Accept any granularity: entry streams are batched, chunked streams
+    pass through untouched, trace specs expand to their chunk stream."""
+    if isinstance(trace, TraceSpec):
+        return trace.chunks()
     it = iter(trace)
     try:
         first = next(it)
@@ -104,13 +109,15 @@ def run_trace_fast(
     max_writes: Optional[int] = None,
     *,
     batch: int = 8192,
+    fast_forward: str = "off",
 ) -> SimulationResult:
     """Chunked twin of :func:`run_trace`; bit-identical results.
 
     ``trace`` may be a scalar :class:`TraceEntry` stream (batched here
-    via :func:`repro.sim.trace.trace_chunks`) or a native chunked stream
+    via :func:`repro.sim.trace.trace_chunks`), a native chunked stream
     of ``(las, datas)`` arrays (e.g. ``uniform_random_chunks``), which
-    skips per-entry Python objects entirely.
+    skips per-entry Python objects entirely, or a
+    :class:`~repro.sim.fastforward.TraceSpec` naming a distribution.
 
     Each chunk is cut at remap boundaries by the scheme itself
     (``consume_chunk``); the boundary writes — and everything else when a
@@ -118,7 +125,17 @@ def run_trace_fast(
     ``controller.write``, so remap movements and every RNG draw happen in
     exactly the scalar order.  Failures mid-chunk are attributed to the
     precise failing write via ``LineFailure.chunk_index``.
+
+    ``fast_forward`` selects the analytic third tier (requires a
+    :class:`TraceSpec` trace): ``"off"`` (default — preserves the
+    bit-identity contract above), ``"auto"`` (engage at paper-like scale
+    when the scheme and configuration allow; fall through to chunk-exact
+    otherwise), or ``"analytic"`` (engage whenever possible, for
+    validation runs).  See :mod:`repro.sim.fastforward`.
     """
+    if fast_forward_engaged(controller, trace, fast_forward):
+        assert isinstance(trace, TraceSpec)
+        return run_fast_forward(controller, trace, max_writes, batch=batch)
     user_writes = 0
     try:
         for las, datas in _as_chunks(trace, batch):

@@ -15,10 +15,14 @@ so the caller must execute them (in order) before translating the write.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Tuple, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 def grouped_cumcount(groups: np.ndarray) -> np.ndarray:
@@ -70,6 +74,69 @@ class SwapMove:
 
 
 Move = Union[CopyMove, SwapMove]
+
+
+def spread_exact(expected: np.ndarray, total: int) -> np.ndarray:
+    """Integer wear counts summing to ``total`` that round ``expected``.
+
+    Floor each slot's expected count, then hand the remaining units to the
+    slots with the largest fractional parts (ties broken by lower index).
+    This is the "two-pass-exact" discretization the deterministic trace
+    kinds (sequential, RAA) use: the aggregate is exact and no slot is off
+    by more than one write.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    floors = np.floor(expected).astype(np.int64)
+    short = total - int(floors.sum())
+    if short < 0:
+        raise ValueError("expected counts sum above total")
+    if short > 0:
+        frac = expected - floors
+        top = np.argsort(-frac, kind="stable")[:short]
+        floors[top] += 1
+    return floors
+
+
+@dataclass(frozen=True)
+class RoundProfile:
+    """Closed-form wear increment for a run of remap rounds.
+
+    Produced by :meth:`WearLeveler.round_wear_profile` and committed by
+    :meth:`WearLeveler.apply_round`.  The profile describes what ``writes``
+    logical writes of a known trace distribution do to the device while the
+    scheme's mapping evolves through zero or more remap rounds:
+
+    ``wear_counts``
+        Dense per-PA *exact* wear (``int64``, length ``n_physical``) — the
+        deterministic part: remap movement wear and deterministic trace
+        kinds (sequential sweeps, RAA).  ``None`` means all-zero.
+    ``wear_rates``
+        Dense per-PA *expected* wear (``float64``) for the stochastic part
+        of the round; the driver draws ``Poisson(wear_rates)`` so per-line
+        wear keeps its natural balls-into-bins fluctuations.  ``None``
+        means the profile is fully deterministic (``exact`` is then True).
+    ``elapsed_ns``
+        Expected simulated time for the round: user-write latency plus
+        remap movement latency, computed from the controller's timing
+        model.  Returned again by ``apply_round`` so callers account it.
+    ``meta``
+        Scheme-private advance payload (movement counts, completed rounds)
+        carried from profile construction to :meth:`apply_round`.
+    """
+
+    writes: int
+    elapsed_ns: float
+    wear_counts: Optional[np.ndarray] = None
+    wear_rates: Optional[np.ndarray] = None
+    exact: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.writes <= 0:
+            raise ValueError(f"profile writes must be > 0, got {self.writes}")
+        if self.wear_counts is None and self.wear_rates is None:
+            raise ValueError("profile needs wear_counts and/or wear_rates")
 
 
 class WearLeveler(abc.ABC):
@@ -126,13 +193,65 @@ class WearLeveler(abc.ABC):
 
         The first ``k - 1`` writes are guaranteed remap-free regardless of
         their addresses.  The base class returns 1 — "the very next write
-        may remap" — which is always safe and makes the fast engine fall
-        back to the scalar path transparently.  Schemes with countable
-        triggers return their real counter distance; region-partitioned
-        schemes return a conservative minimum here and do the exact
-        per-address split in :meth:`consume_chunk`.
+        may remap" — the *conservative fallback*: always safe, and it makes
+        the chunk engine degrade transparently to the scalar path one write
+        at a time.  Schemes with countable triggers return their real
+        counter distance; region-partitioned schemes return a conservative
+        minimum here and do the exact per-address split in
+        :meth:`consume_chunk`.
+
+        The analytic fast-forward tier mirrors exactly this contract one
+        level up: :meth:`round_wear_profile` returning ``None`` is the
+        round-granular analogue of returning 1 here — "I cannot promise
+        anything about whole rounds; drive me through the chunk (and
+        ultimately scalar) path instead."  A scheme that overrides neither
+        method still simulates correctly, just without the speedups.
         """
         return 1
+
+    # -------------------------------------------------- fast-forward API
+    #
+    # One more rung up the same ladder: between remap *events* the mapping
+    # is static (the chunk contract above), and across a whole remap
+    # *round* the wear deposited by a known trace distribution has a
+    # closed form.  `round_wear_profile` returns that closed form as a
+    # dense per-PA increment (exact counts, expected rates, or both) and
+    # `apply_round` commits the matching mapping-state jump.  See
+    # repro.sim.fastforward for the driver and docs/performance.md for
+    # the error-bound model.
+
+    def round_wear_profile(
+        self,
+        spec: "TraceSpec",
+        writes: int,
+        timing: "TimingModel",
+    ) -> Optional[RoundProfile]:
+        """Closed-form wear profile for ``writes`` writes of ``spec``.
+
+        Returns ``None`` — the conservative fallback mirroring the base
+        :meth:`writes_until_next_remap` contract — when the scheme cannot
+        (or chooses not to) describe the requested trace analytically; the
+        fast-forward driver then drops back to the chunk-exact engine,
+        which is always correct.  Schemes that do return a profile may
+        clip ``profile.writes`` below the requested ``writes`` (e.g. to a
+        key-rotation boundary); the driver honors the clip.
+        """
+        return None
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        """Commit the mapping-state jump described by ``profile``.
+
+        Called by the fast-forward driver *after* the wear increment was
+        accepted by :meth:`repro.pcm.array.PCMArray.apply_wear_bulk`.
+        Returns the round's ``elapsed_ns`` — simulated latency the caller
+        must account, exactly like the scalar/batched write paths.  The
+        base class raises: a scheme that never returns a profile from
+        :meth:`round_wear_profile` is never asked to apply one.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} returned no round profile; "
+            "apply_round must not be called"
+        )
 
     def record_writes_many(self, las: np.ndarray) -> None:
         """Account a run of writes *known* to trigger no remap.

@@ -14,14 +14,25 @@ sub-region can be worn out.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import Move, SwapMove, WearLeveler, grouped_cumcount
+from repro.wearlevel.base import (
+    Move,
+    RoundProfile,
+    SwapMove,
+    WearLeveler,
+    grouped_cumcount,
+    spread_exact,
+)
 from repro.wearlevel.security_refresh import SRRegion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 class MultiWaySR(WearLeveler):
@@ -128,3 +139,78 @@ class MultiWaySR(WearLeveler):
         for r in np.nonzero(counts)[0]:
             self.regions[int(r)].write_count += int(counts[r])
         return pas, n
+
+    # -------------------------------------------------- fast-forward API
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Independent SR rounds per contiguous LA range.
+
+        Region shares come straight off the trace distribution (the split
+        is by address sequence — high LA bits), deterministically
+        discretized so the per-region counters advance exactly.  Zipf
+        clips ``writes`` so the hottest region completes at most one key
+        round, keeping its mapping snapshot valid; RAA is declined.
+        """
+        if spec.kind == "raa":
+            return None
+        writes = int(writes)
+        size = self.subregion_size
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            region_q = weights.reshape(self.n_subregions, size).sum(axis=1)
+            rotation = size * self.regions[0].remap_interval
+            writes = min(writes, int(rotation / max(float(region_q.max()), 1e-12)))
+            if writes <= 0:
+                return None
+        else:
+            region_q = np.full(self.n_subregions, 1.0 / self.n_subregions)
+        region_writes = spread_exact(region_q * writes, writes)
+        rates = np.zeros(self.n_physical)
+        counts: Optional[np.ndarray] = None
+        total_swaps = 0.0
+        for index, region in enumerate(self.regions):
+            w_r = int(region_writes[index])
+            swaps = region.pending_triggers(w_r) * region.swap_factor
+            total_swaps += swaps
+            base = index * size
+            rates[base : base + size] += 2.0 * swaps / size
+            if spec.kind == "uniform":
+                rates[base : base + size] += w_r / size
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            user = np.zeros(self.n_physical)
+            np.add.at(
+                user,
+                self.translate_many(np.arange(self.n_lines, dtype=np.int64)),
+                weights,
+            )
+            rates += user * writes
+        elif spec.kind == "sequential":
+            counts = np.concatenate(
+                [
+                    spread_exact(np.full(size, int(w) / size), int(w))
+                    for w in region_writes
+                ]
+            )
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += total_swaps * timing.swap_latency(spec.data, spec.data)
+        return RoundProfile(
+            writes,
+            elapsed,
+            wear_counts=counts,
+            wear_rates=rates,
+            meta={"region_writes": region_writes},
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        region_writes = profile.meta["region_writes"]
+        assert isinstance(region_writes, np.ndarray)
+        for region, w_r in zip(self.regions, region_writes):
+            triggers = region.pending_triggers(int(w_r))
+            region.write_count += int(w_r)
+            region.advance_triggers(triggers)
+        return profile.elapsed_ns

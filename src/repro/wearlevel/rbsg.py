@@ -20,7 +20,7 @@ slots plus one gap slot each.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +28,19 @@ from repro.core.feistel import FeistelNetwork
 from repro.core.randomizer import RandomInvertibleMatrix
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import CopyMove, Move, WearLeveler, grouped_cumcount
-from repro.wearlevel.startgap import StartGapRegion
+from repro.wearlevel.base import (
+    CopyMove,
+    Move,
+    RoundProfile,
+    WearLeveler,
+    grouped_cumcount,
+    spread_exact,
+)
+from repro.wearlevel.startgap import StartGapRegion, gap_walk_wear
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 class RegionBasedStartGap(WearLeveler):
@@ -198,6 +209,99 @@ class RegionBasedStartGap(WearLeveler):
         for r in np.nonzero(counts)[0]:
             self.regions[int(r)].write_count += int(counts[r])
         return pas, n
+
+    # -------------------------------------------------- fast-forward API
+
+    def _region_weights(self, spec: "TraceSpec") -> np.ndarray:
+        """Expected fraction of user writes landing in each region."""
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            ias = self.randomize_many(np.arange(self.n_lines, dtype=np.int64))
+            return np.bincount(
+                ias // self.region_size,
+                weights=weights,
+                minlength=self.n_regions,
+            )
+        # The static randomizer is a bijection: uniform stays uniform and
+        # a sequential sweep hits every region exactly region_size times.
+        return np.full(self.n_regions, 1.0 / self.n_regions)
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Per-region Start-Gap rounds behind the static randomizer.
+
+        User writes split across regions by the randomized distribution
+        weights (deterministically discretized so counters advance
+        exactly); each region's movement wear is its exact gap walk.
+        Zipf snapshots the full mapping and clips ``writes`` so the
+        hottest region completes at most one rotation; RAA is declined
+        (chunk engine / roundsim territory), like Start-Gap.
+        """
+        if spec.kind == "raa":
+            return None
+        writes = int(writes)
+        stride = self.region_size + 1
+        region_q = self._region_weights(spec)
+        if spec.kind == "zipf":
+            rotation = stride * self.remap_interval
+            writes = min(writes, int(rotation / max(float(region_q.max()), 1e-12)))
+            if writes <= 0:
+                return None
+        region_writes = spread_exact(region_q * writes, writes)
+        counts = np.zeros(self.n_physical, dtype=np.int64)
+        rates: Optional[np.ndarray] = None
+        exact = False
+        total_movements = 0
+        for index, region in enumerate(self.regions):
+            w_r = int(region_writes[index])
+            movements = region.pending_movements(w_r)
+            total_movements += movements
+            base = index * stride
+            counts[base : base + stride] += gap_walk_wear(
+                stride, region.gap, movements
+            )
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            rates = np.zeros(self.n_physical)
+            np.add.at(
+                rates,
+                self.translate_many(np.arange(self.n_lines, dtype=np.int64)),
+                weights,
+            )
+            rates *= writes
+        elif spec.kind == "uniform":
+            rates = np.repeat(region_writes / stride, stride)
+        else:  # sequential: deterministic, rotation-smoothed per region
+            user = np.concatenate(
+                [
+                    spread_exact(np.full(stride, w / stride), int(w))
+                    for w in region_writes
+                ]
+            )
+            counts += user
+            exact = True
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += total_movements * timing.copy_latency(spec.data)
+        return RoundProfile(
+            writes,
+            elapsed,
+            wear_counts=counts,
+            wear_rates=rates,
+            exact=exact,
+            meta={"region_writes": region_writes},
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        region_writes = profile.meta["region_writes"]
+        assert isinstance(region_writes, np.ndarray)
+        for region, w_r in zip(self.regions, region_writes):
+            movements = region.pending_movements(int(w_r))
+            region.write_count += int(w_r)
+            region.advance_movements(movements)
+        return profile.elapsed_ns
 
     # ------------------------------------------------------------- queries
 

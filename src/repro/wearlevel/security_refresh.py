@@ -16,13 +16,23 @@ physical lines — no gap line needed (Fig. 5).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import Move, SwapMove, WearLeveler
+from repro.wearlevel.base import (
+    Move,
+    RoundProfile,
+    SwapMove,
+    WearLeveler,
+    spread_exact,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 class SRRegion:
@@ -115,6 +125,42 @@ class SRRegion:
         """Writes remaining before the CRP advances again."""
         return self.remap_interval - (self.write_count % self.remap_interval)
 
+    # -------------------------------------------------- fast-forward jump
+
+    def pending_triggers(self, writes: int) -> int:
+        """CRP advances the next ``writes`` region writes will trigger."""
+        interval = self.remap_interval
+        return (self.write_count + writes) // interval - self.write_count // interval
+
+    @property
+    def swap_factor(self) -> float:
+        """Expected data movements per CRP advance (steady state).
+
+        Each address pair ``(la, pair(la))`` swaps exactly once per round,
+        when the CRP passes its lower member — half the advances move
+        data.  When ``keyc == keyp`` (the boot round) every line is a
+        fixed point and nothing ever moves.
+        """
+        return 0.0 if self.keyc == self.keyp else 0.5
+
+    def advance_triggers(self, triggers: int) -> None:
+        """Jump the CRP (and any completed key rotations) over ``triggers``.
+
+        Whole rounds draw their keys in one batched RNG call; only the
+        last two survive as ``keyp``/``keyc``, exactly as ``triggers``
+        sequential :meth:`remap_step` calls would leave them (the analytic
+        tier does not promise draw-for-draw RNG-stream identity with the
+        exact engines — it never runs interleaved with them).  Write
+        counters are the caller's responsibility.
+        """
+        total = self.crp + triggers
+        rounds, self.crp = divmod(total, self.n_lines)
+        if rounds:
+            keys = self._rng.integers(0, self.n_lines, size=rounds)
+            self.keyp = int(keys[-2]) if rounds >= 2 else self.keyc
+            self.keyc = int(keys[-1])
+            self.round_count += rounds
+
 
 class SecurityRefresh(WearLeveler):
     """One-level Security Refresh over the whole logical space."""
@@ -150,3 +196,55 @@ class SecurityRefresh(WearLeveler):
     def key_xor(self) -> int:
         """Ground truth ``keyc XOR keyp`` — what the RTA tries to recover."""
         return self.region.keyc ^ self.region.keyp
+
+    # -------------------------------------------------- fast-forward API
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Closed-form SR round: XOR mapping + pairwise swap movement.
+
+        The key XOR is a bijection, so uniform stays uniform and a
+        sequential sweep covers every slot evenly; zipf snapshots the
+        current mapping with ``writes`` clipped to one key round.  Swap
+        movement wear is two line writes per actual swap, half the CRP
+        advances in expectation (see :attr:`SRRegion.swap_factor`),
+        rotation-smoothed over the region.  RAA is declined.
+        """
+        if spec.kind == "raa":
+            return None
+        region = self.region
+        writes = int(writes)
+        n = self.n_lines
+        if spec.kind == "zipf":
+            writes = min(writes, n * region.remap_interval)
+        triggers = region.pending_triggers(writes)
+        swaps = triggers * region.swap_factor
+        rates = np.full(n, 2.0 * swaps / n)
+        counts: Optional[np.ndarray] = None
+        if spec.kind == "uniform":
+            rates += writes / n
+        elif spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            user = np.zeros(n)
+            np.add.at(
+                user,
+                self.translate_many(np.arange(n, dtype=np.int64)),
+                weights,
+            )
+            rates += user * writes
+        else:  # sequential: deterministic even coverage
+            counts = spread_exact(np.full(n, writes / n), writes)
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += swaps * timing.swap_latency(spec.data, spec.data)
+        return RoundProfile(
+            writes, elapsed, wear_counts=counts, wear_rates=rates
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        region = self.region
+        triggers = region.pending_triggers(profile.writes)
+        region.write_count += profile.writes
+        region.advance_triggers(triggers)
+        return profile.elapsed_ns

@@ -16,11 +16,37 @@ advances, completing one remapping round exactly as in Fig. 2.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
-from repro.wearlevel.base import CopyMove, Move, WearLeveler
+from repro.wearlevel.base import (
+    CopyMove,
+    Move,
+    RoundProfile,
+    WearLeveler,
+    spread_exact,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
+
+
+def gap_walk_wear(n_slots: int, gap0: int, movements: int) -> np.ndarray:
+    """Exact per-slot wear of ``movements`` consecutive gap movements.
+
+    Movement ``j`` copies into slot ``(gap0 - j) mod n_slots`` (the gap
+    walks downward, wrapping through the top slot), so the destinations
+    are ``movements // n_slots`` full laps plus one contiguous wrapped
+    run — no loop needed.
+    """
+    counts = np.full(n_slots, movements // n_slots, dtype=np.int64)
+    rem = movements % n_slots
+    if rem:
+        # reprolint: disable=REP302 rem < n_slots distinct offsets
+        counts[(gap0 - np.arange(rem)) % n_slots] += 1
+    return counts
 
 
 class StartGapRegion:
@@ -75,6 +101,26 @@ class StartGapRegion:
         """Writes remaining before the next gap movement fires."""
         return self.remap_interval - (self.write_count % self.remap_interval)
 
+    def pending_movements(self, writes: int) -> int:
+        """Gap movements the next ``writes`` region writes will trigger."""
+        interval = self.remap_interval
+        return (self.write_count + writes) // interval - self.write_count // interval
+
+    def advance_movements(self, movements: int) -> None:
+        """Jump the ``start``/``gap`` registers over ``movements`` movements.
+
+        Closed form of ``movements`` successive :meth:`gap_movement` calls:
+        after ``M`` total movements from boot the gap sits at
+        ``(n - M) mod (n + 1)`` and ``start`` has advanced once per full
+        lap of the gap (every ``n + 1`` movements).  Write counters are the
+        caller's responsibility.
+        """
+        total = self.total_movements + movements
+        n_slots = self.n_lines + 1
+        self.gap = (self.n_lines - total) % n_slots
+        self.start = (total // n_slots) % self.n_lines
+        self.total_movements = total
+
     def translate_many(self, ias: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`translate` (bounds are the caller's problem)."""
         pas = (ias + self.start) % self.n_lines
@@ -114,3 +160,67 @@ class StartGap(WearLeveler):
         # Address-oblivious single counter; the prefix contract guarantees
         # the bulk advance stays strictly below the next trigger.
         self.region.write_count += int(las.size)
+
+    # -------------------------------------------------- fast-forward API
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Closed-form Start-Gap round: exact movement wear + user wear.
+
+        Movement destinations are the deterministic gap walk
+        (:func:`gap_walk_wear`).  User wear under uniform traffic is
+        rotation-smoothed over all ``n + 1`` slots (the mapping rotates
+        one slot per ``n + 1`` movements); sequential traffic uses the
+        same smoothing but deterministically discretized; zipf snapshots
+        the current mapping, with ``writes`` clipped to one full rotation
+        so the hot line's slot stays put within the round.  RAA is
+        declined — a single hot address interacts with the moving gap at
+        per-interval granularity, which is exactly what the chunk engine
+        (and :mod:`repro.sim.roundsim`) already simulate efficiently.
+        """
+        if spec.kind == "raa":
+            return None
+        region = self.region
+        writes = int(writes)
+        n_slots = self.n_physical
+        if spec.kind == "zipf":
+            writes = min(writes, n_slots * region.remap_interval)
+        movements = region.pending_movements(writes)
+        counts = gap_walk_wear(n_slots, region.gap, movements)
+        rates: Optional[np.ndarray] = None
+        exact = False
+        if spec.kind == "uniform":
+            rates = np.full(n_slots, writes / n_slots)
+        elif spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            rates = np.zeros(n_slots)
+            np.add.at(
+                rates,
+                self.translate_many(np.arange(self.n_lines, dtype=np.int64)),
+                weights,
+            )
+            rates *= writes
+        else:  # sequential: deterministic aggregate, smoothed placement
+            counts = counts + spread_exact(
+                np.full(n_slots, writes / n_slots), writes
+            )
+            exact = True
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += movements * timing.copy_latency(spec.data)
+        return RoundProfile(
+            writes,
+            elapsed,
+            wear_counts=counts,
+            wear_rates=rates,
+            exact=exact,
+            meta={"movements": movements},
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        self.region.write_count += profile.writes
+        movements = profile.meta["movements"]
+        assert isinstance(movements, int)
+        self.region.advance_movements(movements)
+        return profile.elapsed_ns

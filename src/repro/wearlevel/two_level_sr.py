@@ -18,14 +18,25 @@ slots inside one sub-region.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.util.bitops import bit_length_exact
 from repro.util.rng import SeedLike, as_generator
-from repro.wearlevel.base import Move, SwapMove, WearLeveler, grouped_cumcount
+from repro.wearlevel.base import (
+    Move,
+    RoundProfile,
+    SwapMove,
+    WearLeveler,
+    grouped_cumcount,
+    spread_exact,
+)
 from repro.wearlevel.security_refresh import SRRegion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pcm.timing import TimingModel
+    from repro.sim.fastforward import TraceSpec
 
 
 class TwoLevelSecurityRefresh(WearLeveler):
@@ -175,6 +186,85 @@ class TwoLevelSecurityRefresh(WearLeveler):
         for r in np.nonzero(counts)[0]:
             self.inners[int(r)].write_count += int(counts[r])
         return pas, n
+
+    # -------------------------------------------------- fast-forward API
+
+    def round_wear_profile(
+        self, spec: "TraceSpec", writes: int, timing: "TimingModel"
+    ) -> Optional[RoundProfile]:
+        """Hierarchical SR: outer XOR over the bank, inner XOR per region.
+
+        Both levels are XOR bijections, so uniform and sequential traffic
+        cover the physical space evenly; the inner region shares under
+        zipf come from a snapshot of the outer mapping, with ``writes``
+        clipped to one outer key round.  Swap wear at both levels is two
+        line writes per actual swap, half the triggers in expectation.
+        RAA is declined.
+        """
+        if spec.kind == "raa":
+            return None
+        writes = int(writes)
+        n = self.n_lines
+        size = self.subregion_size
+        if spec.kind == "zipf":
+            writes = min(writes, n * self.outer.remap_interval)
+        outer_swaps = self.outer.pending_triggers(writes) * self.outer.swap_factor
+        rates = np.full(n, 2.0 * outer_swaps / n)
+        if spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            ias = self.outer.translate_many(np.arange(n, dtype=np.int64))
+            region_q = np.bincount(
+                ias // size, weights=weights, minlength=self.n_subregions
+            )
+        else:
+            region_q = np.full(self.n_subregions, 1.0 / self.n_subregions)
+        region_writes = spread_exact(region_q * writes, writes)
+        inner_swaps = 0.0
+        for index, inner in enumerate(self.inners):
+            w_r = int(region_writes[index])
+            swaps = inner.pending_triggers(w_r) * inner.swap_factor
+            inner_swaps += swaps
+            base = index * size
+            rates[base : base + size] += 2.0 * swaps / size
+        counts: Optional[np.ndarray] = None
+        if spec.kind == "uniform":
+            rates += writes / n
+        elif spec.kind == "zipf":
+            weights = spec.weights()
+            assert weights is not None
+            user = np.zeros(n)
+            np.add.at(
+                user,
+                self.translate_many(np.arange(n, dtype=np.int64)),
+                weights,
+            )
+            rates += user * writes
+        else:  # sequential: deterministic even coverage through both XORs
+            counts = spread_exact(np.full(n, writes / n), writes)
+        elapsed = writes * timing.write_latency(spec.data)
+        elapsed += (outer_swaps + inner_swaps) * timing.swap_latency(
+            spec.data, spec.data
+        )
+        return RoundProfile(
+            writes,
+            elapsed,
+            wear_counts=counts,
+            wear_rates=rates,
+            meta={"region_writes": region_writes},
+        )
+
+    def apply_round(self, profile: RoundProfile) -> float:
+        outer_triggers = self.outer.pending_triggers(profile.writes)
+        self.outer.write_count += profile.writes
+        self.outer.advance_triggers(outer_triggers)
+        region_writes = profile.meta["region_writes"]
+        assert isinstance(region_writes, np.ndarray)
+        for inner, w_r in zip(self.inners, region_writes):
+            triggers = inner.pending_triggers(int(w_r))
+            inner.write_count += int(w_r)
+            inner.advance_triggers(triggers)
+        return profile.elapsed_ns
 
     # ------------------------------------------------------------- oracles
 
